@@ -1,0 +1,80 @@
+"""Extension X1 — bucket tuning (paper §7 / technical note [10]).
+
+The paper defers the study of bucket count × bucket size to its extended
+technical report, noting only that tuning "uniformly affects the results".
+This bench sweeps the partition of a fixed total bucket space and a sweep
+of the total itself, reporting how the short/long division responds:
+
+* with more total bucket space, fewer words overflow into long lists and
+  fewer long-list I/O operations are needed;
+* at a fixed total, fewer, larger buckets perform better — exactly the
+  paper's report from its technical note ("using fewer, larger buckets
+  offer better performance"): small buckets overflow on local spikes and
+  spill moderately-frequent words into long lists prematurely.
+"""
+
+from _common import base_config, report
+from repro.analysis.reporting import format_table
+from repro.core.policy import Limit, Policy, Style
+from repro.pipeline.experiment import Experiment, ExperimentConfig
+
+PARTITIONS = [(64, 4096), (256, 1024), (1024, 256)]  # same 256 Ki units
+TOTALS = [(128, 1024), (256, 1024), (512, 1024)]  # varying total
+
+
+def run_sweep():
+    rows = []
+    base = base_config()
+    for nbuckets, bucket_size in PARTITIONS + TOTALS:
+        config = ExperimentConfig(
+            workload=base.workload,
+            nbuckets=nbuckets,
+            bucket_size=bucket_size,
+            block_postings=base.block_postings,
+        )
+        experiment = Experiment(config)
+        bucket_stage = experiment.bucket_stage()
+        run = experiment.run_policy(Policy(style=Style.NEW, limit=Limit.Z))
+        rows.append(
+            (
+                nbuckets,
+                bucket_size,
+                nbuckets * bucket_size,
+                bucket_stage.trace.nupdates,
+                run.disks.manager.directory.nwords,
+                run.disks.series.io_ops[-1],
+            )
+        )
+    return rows
+
+
+def test_ext_bucket_tuning(benchmark, capfd):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "ext_bucket_tuning",
+        format_table(
+            (
+                "buckets",
+                "size",
+                "total units",
+                "long-list updates",
+                "long words",
+                "io ops (new z)",
+            ),
+            rows,
+            title="X1: bucket tuning — partition and total-space sweeps",
+        ),
+        capfd,
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    # More total bucket space ⇒ fewer long words and fewer I/O ops.
+    small = by_key[(128, 1024)]
+    large = by_key[(512, 1024)]
+    assert large[4] < small[4]
+    assert large[5] < small[5]
+    # Partition at fixed total: fewer, larger buckets are strictly better
+    # (fewer premature migrations, fewer long-list I/O operations).
+    partition_ops = [by_key[p][5] for p in PARTITIONS]
+    assert partition_ops[0] < partition_ops[1] < partition_ops[2]
+    partition_migrations = [by_key[p][3] for p in PARTITIONS]
+    assert partition_migrations[0] < partition_migrations[2]

@@ -1,0 +1,120 @@
+"""Extension X14 — grounding BlockPosting in measured compression rates.
+
+The paper folds compression into its parameters: "the variables
+BlockPosting and BlockSize implicitly model the efficiency of the
+compression algorithm applied to long lists", and its related work points
+to Zobel, Moffat & Sacks-Davis's compression methods as complementary.
+
+This bench measures bytes per posting on *real posting lists* from the
+content-mode index under three gap codecs (varint, Elias gamma, Elias
+delta), splitting the vocabulary into frequent (long-list) and rare
+(bucket) words — whose gap distributions differ exactly the way the codecs
+care about — and reports the ``BlockPosting`` each rate implies at 4 KB
+blocks.
+
+Asserted claims:
+
+* frequent words' lists (tiny gaps) compress far below 1 byte/posting with
+  the bit codecs — gamma at its best;
+* rare words' lists (huge gaps) favor delta over gamma;
+* every measured rate implies a BlockPosting of hundreds-to-thousands at
+  4 KB — the paper's three-digit OCR-garbled value is the right order of
+  magnitude for its era's ~16-byte uncompressed postings, while modern gap
+  coding supports far denser blocks.
+"""
+
+import numpy as np
+
+from dataclasses import replace
+
+from _common import base_config, report
+from repro.analysis.reporting import format_table
+from repro.core.compression import bytes_per_posting, implied_block_postings
+from repro.core.policy import Policy
+from repro.pipeline.content import build_content_index
+
+WORKLOAD_SCALE = 0.25
+BLOCK_SIZE = 4096
+
+
+def run_measurement():
+    config = base_config()
+    workload = replace(config.workload, scale=WORKLOAD_SCALE)
+    index = build_content_index(
+        workload,
+        Policy.recommended_whole(),
+        nbuckets=max(32, int(256 * WORKLOAD_SCALE)),
+        bucket_size=config.bucket_size,
+        block_postings=config.block_postings,
+    )
+    frequent_lists = [
+        index.fetch(e.word)[0].doc_ids
+        for e in sorted(
+            index.directory.entries(),
+            key=lambda e: e.npostings,
+            reverse=True,
+        )[:25]
+    ]
+    rng = np.random.default_rng(17)
+    bucket_words = sorted(index.buckets.words())
+    rare_lists = [
+        index.fetch(int(w))[0].doc_ids
+        for w in rng.choice(
+            np.array(bucket_words, dtype=np.int64), size=200, replace=False
+        )
+        if len(index.buckets.get(int(w)).doc_ids) >= 2
+    ]
+
+    def mean_rate(codec, lists):
+        total_bytes = sum(
+            bytes_per_posting(codec, ids) * len(ids) for ids in lists
+        )
+        total_postings = sum(len(ids) for ids in lists)
+        return total_bytes / total_postings
+
+    out = {}
+    for codec in ("varint", "gamma", "delta"):
+        out[codec] = (
+            mean_rate(codec, frequent_lists),
+            mean_rate(codec, rare_lists),
+        )
+    return out
+
+
+def test_ext_compression_rates(benchmark, capfd):
+    rates = benchmark.pedantic(run_measurement, rounds=1, iterations=1)
+    rows = [
+        (
+            codec,
+            round(freq, 3),
+            round(rare, 3),
+            implied_block_postings(freq, BLOCK_SIZE),
+        )
+        for codec, (freq, rare) in rates.items()
+    ]
+    report(
+        "ext_compression",
+        format_table(
+            (
+                "codec",
+                "B/posting (frequent)",
+                "B/posting (rare)",
+                "implied BlockPosting @4KB",
+            ),
+            rows,
+            title=(
+                "X14: measured gap-compression rates on real posting "
+                "lists"
+            ),
+        ),
+        capfd,
+    )
+
+    # Frequent lists: dense gaps compress below a byte with bit codecs.
+    assert rates["gamma"][0] < 1.0
+    assert rates["gamma"][0] < rates["varint"][0]
+    # Rare lists: large gaps favor delta over gamma.
+    assert rates["delta"][1] < rates["gamma"][1]
+    # Every rate implies a plausible BlockPosting at 4 KB blocks.
+    for codec, (freq, _) in rates.items():
+        assert implied_block_postings(freq, BLOCK_SIZE) >= 256, codec

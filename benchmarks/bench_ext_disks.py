@@ -1,0 +1,108 @@
+"""Extension X3 — varying disk count and speed; optical disks (§7, [10]).
+
+The paper's extended report varies the number of disks and their speed and
+studies updates on an optical disk.  Reproduced claims:
+
+* more disks ⇒ faster builds (per-disk streams run in parallel), with
+  diminishing returns;
+* a uniformly faster disk speeds every policy up by roughly its factor;
+* the optical disk is slower across the board (huge seeks, slow writes),
+  and the policy ordering is unchanged — choosing the right policy matters
+  on every medium.
+"""
+
+from _common import base_config, base_experiment, report
+from repro.analysis.reporting import format_table, ratio
+from repro.core.policy import Limit, Policy, Style
+from repro.pipeline.exercise import ExerciseConfig, ExerciseDisksProcess
+from repro.storage.profiles import (
+    FAST_SCSI_1996,
+    OPTICAL_1994,
+    SEAGATE_SCSI_1994,
+)
+
+POLICIES = {
+    "new 0": Policy(style=Style.NEW, limit=Limit.ZERO),
+    "whole 0": Policy(style=Style.WHOLE, limit=Limit.ZERO),
+}
+
+
+def run_matrix():
+    experiment = base_experiment()
+    traces = {
+        name: experiment.run_policy(p).disks.trace
+        for name, p in POLICIES.items()
+    }
+    results = {}
+    base_ndisks = base_config().ndisks
+    # Disk-count sweep must replay a trace generated for that many disks.
+    for ndisks in (1, 2, 4, 8):
+        from repro.pipeline.compute_disks import (
+            ComputeDisksProcess,
+            DiskStageConfig,
+        )
+
+        disks = ComputeDisksProcess(
+            DiskStageConfig(
+                policy=POLICIES["new 0"],
+                ndisks=ndisks,
+                block_postings=base_config().block_postings,
+                bucket_flush_blocks=base_config().bucket_flush_blocks,
+            )
+        ).run(experiment.bucket_stage().trace)
+        outcome = ExerciseDisksProcess(
+            ExerciseConfig(profile=SEAGATE_SCSI_1994, ndisks=ndisks)
+        ).run(disks.trace)
+        results[("ndisks", ndisks)] = outcome.total_s
+    # Profile sweep at the base disk count.
+    for profile in (SEAGATE_SCSI_1994, FAST_SCSI_1996, OPTICAL_1994):
+        for name, trace in traces.items():
+            outcome = ExerciseDisksProcess(
+                ExerciseConfig(profile=profile, ndisks=base_ndisks)
+            ).run(trace)
+            results[(profile.name, name)] = outcome.total_s
+    return results
+
+
+def test_ext_disk_count_and_speed(benchmark, capfd):
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    rows = [(str(k[0]), str(k[1]), round(v, 1)) for k, v in results.items()]
+    report(
+        "ext_disks",
+        format_table(
+            ("dimension", "value", "build time (s)"),
+            rows,
+            title="X3: disk count and profile sweeps",
+        ),
+        capfd,
+    )
+
+    # More disks ⇒ faster, with diminishing returns.
+    t1, t2, t4, t8 = (results[("ndisks", n)] for n in (1, 2, 4, 8))
+    assert t1 > t2 > t4 > t8
+    assert ratio(t1, t2) > ratio(t4, t8)
+
+    # Faster profile speeds things up.
+    assert (
+        results[("fast-scsi-1996", "new 0")]
+        < results[("seagate-scsi-1994", "new 0")]
+    )
+
+    # Optical disk: slower across the board, same policy ordering.
+    for policy in ("new 0", "whole 0"):
+        assert (
+            results[("optical-1994", policy)]
+            > results[("seagate-scsi-1994", policy)]
+        ), policy
+    assert (
+        results[("optical-1994", "new 0")]
+        < results[("optical-1994", "whole 0")]
+    )
+    # The spread between policies stays large on every medium.
+    for medium in ("seagate-scsi-1994", "fast-scsi-1996", "optical-1994"):
+        assert (
+            ratio(
+                results[(medium, "whole 0")], results[(medium, "new 0")]
+            )
+            > 3
+        ), medium

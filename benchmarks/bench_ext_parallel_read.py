@@ -1,0 +1,101 @@
+"""Extension X10 — striping long lists across a disk array (paper §1/§5.4).
+
+The introduction asks whether large lists can be striped across disks to
+improve performance; the fill style's bottom line claims its bounded
+extents make lists "automatically divided into sections of disks which can
+be ... read in parallel (e.g., with a disk array)", with the §7 note that
+the extent cost "can be lowered by using multiple extent sizes".
+
+This bench prices reading the ten longest lists under the read-time model
+(seek + rotation + transfer per chunk; parallel = max per-disk time):
+
+* the whole style's single chunk cannot be parallelized at all;
+* fill's chunks spread round-robin, so a disk array cuts its read time by
+  roughly the disk count;
+* larger extents (fewer seeks per list) close most of fill's remaining gap
+  to whole — the multiple-extent-sizes lever the paper points at.
+"""
+
+from _common import base_config, base_experiment, report
+from repro.analysis.readtime import list_read_time, longest_entries
+from repro.analysis.reporting import format_table, ratio
+from repro.core.policy import Limit, Policy, Style
+from repro.storage.profiles import SEAGATE_SCSI_1994
+
+TOP_N = 10
+
+POLICIES = {
+    "whole z": Policy.recommended_whole(),
+    "fill z e=4": Policy(style=Style.FILL, limit=Limit.Z, extent_blocks=4),
+    "fill z e=16": Policy(style=Style.FILL, limit=Limit.Z, extent_blocks=16),
+    "new z": Policy(style=Style.NEW, limit=Limit.Z),
+}
+
+
+def run_model():
+    experiment = base_experiment()
+    bp = base_config().block_postings
+    out = {}
+    for name, policy in POLICIES.items():
+        directory = experiment.run_policy(policy).disks.manager.directory
+        top = longest_entries(directory, TOP_N)
+        serial = sum(
+            list_read_time(e, SEAGATE_SCSI_1994, bp, parallel=False)
+            for e in top
+        ) / len(top)
+        parallel = sum(
+            list_read_time(e, SEAGATE_SCSI_1994, bp, parallel=True)
+            for e in top
+        ) / len(top)
+        chunks = sum(e.nchunks for e in top) / len(top)
+        out[name] = (serial, parallel, chunks)
+    return out
+
+
+def test_ext_parallel_list_reads(benchmark, capfd):
+    results = benchmark.pedantic(run_model, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            round(chunks, 1),
+            round(serial * 1000, 1),
+            round(parallel * 1000, 1),
+            round(serial / parallel, 2),
+        )
+        for name, (serial, parallel, chunks) in results.items()
+    ]
+    report(
+        "ext_parallel_read",
+        format_table(
+            (
+                "policy",
+                "chunks/list",
+                "serial read (ms)",
+                "parallel read (ms)",
+                "array speedup",
+            ),
+            rows,
+            title=(
+                f"X10: reading the {TOP_N} longest lists, single head vs "
+                "4-disk array"
+            ),
+        ),
+        capfd,
+    )
+
+    whole_serial, whole_parallel, _ = results["whole z"]
+    fill4_serial, fill4_parallel, _ = results["fill z e=4"]
+    fill16_serial, fill16_parallel, _ = results["fill z e=16"]
+
+    # Whole: one chunk, one disk — no parallel speedup.
+    assert whole_parallel == whole_serial
+    # Fill: the array delivers a substantial speedup (≥ half the disks).
+    assert fill4_serial / fill4_parallel > 2.0
+    # Parallelism closes most of fill's gap to whole...
+    serial_gap = ratio(fill4_serial, whole_serial)
+    parallel_gap = ratio(fill4_parallel, whole_parallel)
+    assert parallel_gap < 0.5 * serial_gap
+    # ...and bigger extents close it further (the paper's multiple-extent-
+    # sizes remark): fewer seeks per list.
+    assert fill16_parallel < fill4_parallel
+    assert ratio(fill16_parallel, whole_parallel) < parallel_gap

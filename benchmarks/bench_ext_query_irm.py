@@ -1,0 +1,85 @@
+"""Extension X4 — boolean vs vector IRM query costs (paper §5.2.1, [9]).
+
+The paper concentrates on the vector-space IRM and defers boolean results
+to the technical note, arguing that boolean queries use few, infrequent
+words that "reside in buckets".  Reproduced claims:
+
+* per word, boolean queries are far cheaper than vector queries under any
+  policy (bucket reads vs multi-chunk long-list reads);
+* the *policy choice* matters enormously for the vector IRM but barely
+  for the boolean IRM — the dual structure insulates infrequent words
+  from the long-list layout.
+"""
+
+from _common import base_experiment, report
+from repro.analysis.reporting import format_table, ratio
+from repro.core.policy import Limit, Policy, Style
+from repro.query.cost import BooleanWorkload, QueryCostModel, VectorWorkload
+
+POLICIES = {
+    "new 0": Policy(style=Style.NEW, limit=Limit.ZERO),
+    "new z": Policy(style=Style.NEW, limit=Limit.Z),
+    "whole z": Policy(style=Style.WHOLE, limit=Limit.Z),
+}
+
+BOOLEAN = BooleanWorkload(words_per_query=4, nqueries=200)
+VECTOR = VectorWorkload(words_per_query=150, nqueries=30)
+
+
+def run_costs():
+    experiment = base_experiment()
+    word_counts: dict[int, int] = {}
+    for update in experiment.updates():
+        for word, count in update:
+            word_counts[word] = word_counts.get(word, 0) + count
+    out = {}
+    for name, policy in POLICIES.items():
+        run = experiment.run_policy(policy)
+        manager = run.disks.manager
+        bucket_words = set(
+            experiment.bucket_stage().manager.words()
+        )
+        model = QueryCostModel(
+            manager.directory, bucket_words, word_counts
+        )
+        out[name] = (
+            model.boolean_cost(BOOLEAN) / BOOLEAN.words_per_query,
+            model.vector_cost(VECTOR),
+        )
+    return out
+
+
+def test_ext_query_irm_costs(benchmark, capfd):
+    costs = benchmark.pedantic(run_costs, rounds=1, iterations=1)
+    rows = [
+        (name, round(b, 3), round(v, 3))
+        for name, (b, v) in costs.items()
+    ]
+    report(
+        "ext_query_irm",
+        format_table(
+            ("policy", "boolean reads/word", "vector reads/word"),
+            rows,
+            title="X4: query cost per word, boolean vs vector IRM",
+        ),
+        capfd,
+    )
+
+    for name, (boolean, vector) in costs.items():
+        # Boolean words are bucket-resident: ≈1 read per word.
+        assert boolean < 1.5, name
+        # Vector queries hit long lists: never cheaper per word, and
+        # strictly dearer whenever lists can span multiple chunks (the
+        # whole style collapses both to exactly one read).
+        assert vector >= boolean, name
+    assert costs["new 0"][1] > costs["new 0"][0]
+    assert costs["new z"][1] > costs["new z"][0]
+
+    # Policy choice swings vector costs far more than boolean costs.
+    vector_spread = ratio(
+        max(v for _, v in costs.values()), min(v for _, v in costs.values())
+    )
+    boolean_spread = ratio(
+        max(b for b, _ in costs.values()), min(b for b, _ in costs.values())
+    )
+    assert vector_spread > 2 * boolean_spread

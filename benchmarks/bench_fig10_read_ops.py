@@ -1,0 +1,36 @@
+"""Figure 10 — average read operations to read a word with a long list.
+
+Paper claims reproduced: the whole style guarantees exactly one read; the
+Limit=0 policies degrade steadily as chunks proliferate; in-place updates
+are necessary for competitive query performance; at the final index, whole
+beats fill-z by a small factor and new-z by a larger one (the paper cites
+≈1.5× and ≈6×).
+"""
+
+from _common import base_experiment, report
+from repro import figures
+from repro.analysis.reporting import ratio
+
+
+def test_fig10_avg_reads_per_long_list(benchmark, capfd):
+    result = benchmark.pedantic(
+        lambda: figures.figure10(base_experiment()), rounds=1, iterations=1
+    )
+    series = result.data["series"]
+    report("fig10_read_ops", result.rendered, capfd)
+
+    finals = {name: s[-1] for name, s in series.items()}
+
+    # Whole style: always exactly one read.
+    assert all(v == 1.0 for v in series["whole 0&z"] if v > 0)
+    # Limit=0 policies are the worst and keep degrading.
+    worst_two = sorted(finals, key=finals.get, reverse=True)[:2]
+    assert set(worst_two) == {"new 0", "fill 0"}
+    assert finals["new 0"] > 10
+    # In-place updates are needed for competitive reads.
+    assert finals["new z"] < 0.5 * finals["new 0"]
+    assert finals["fill z"] < 0.5 * finals["fill 0"]
+    # Final-index ratios against whole (paper: ≈1.5× fill z, ≈6× new z;
+    # bounds kept loose enough to hold across REPRO_SCALE settings).
+    assert 1.5 < ratio(finals["fill z"], finals["whole 0&z"]) < 8
+    assert 2.5 < ratio(finals["new z"], finals["whole 0&z"]) < 14

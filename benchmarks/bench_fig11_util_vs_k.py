@@ -1,0 +1,31 @@
+"""Figure 11 — impact of the proportional constant k on utilization.
+
+Paper claims reproduced: utilization generally falls as k rises for both
+the new and whole styles; the fill style does not interact with the
+proportional strategy (flat reference line).
+"""
+
+from _common import base_experiment, report
+from repro import figures
+
+
+def test_fig11_utilization_vs_k(benchmark, capfd):
+    result = benchmark.pedantic(
+        lambda: figures.figure11(base_experiment()), rounds=1, iterations=1
+    )
+    sweep = result.data["sweep"]
+    report("fig11_util_vs_k", result.rendered, capfd)
+
+    # Utilization falls from the smallest to the largest k for new & whole.
+    for style in ("new", "whole"):
+        assert sweep[style][0] > sweep[style][-1] + 0.05, style
+        # And the trend is broadly monotone (allow one small local bump —
+        # the paper's own new-style curve has a cusp at k = 2).
+        violations = sum(
+            1
+            for a, b in zip(sweep[style], sweep[style][1:])
+            if b > a + 0.02
+        )
+        assert violations <= 1, style
+    # The fill reference line is flat by construction.
+    assert len(set(sweep["fill (e=4)"])) == 1

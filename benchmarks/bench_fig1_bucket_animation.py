@@ -1,0 +1,37 @@
+"""Figure 1 — animation of one bucket's contents over time.
+
+Paper setup: a small system of 100 buckets (capacity 8000 units each), one
+bucket watched; the trace shows words rising slowly, postings climbing
+steeply, and downward spikes when the longest short list overflows into a
+long list.
+"""
+
+from _common import report
+from repro import figures
+
+
+def test_fig1_bucket_animation(benchmark, capfd):
+    result = benchmark.pedantic(figures.figure1, rounds=1, iterations=1)
+    history = result.data["history"]
+    capacity = result.data["capacity"]
+    assert len(history) > 50, "watched bucket saw too few changes"
+
+    words = [s.nwords for s in history]
+    postings = [s.npostings for s in history]
+    totals = [s.size for s in history]
+    report("fig1_bucket_animation", result.rendered, capfd)
+
+    # Words rise slowly and stay far below postings (top vs bottom lines).
+    assert words[-1] > words[0]
+    assert max(postings) > 3 * max(words)
+    # The bucket filled up and evicted: at least one downward spike, and
+    # the size never exceeds capacity at rest.
+    drops = [
+        i
+        for i in range(1, len(totals))
+        if totals[i] < totals[i - 1] - 100
+    ]
+    assert drops, "no eviction spike observed"
+    assert totals[-1] <= capacity
+    # Postings climb steeply while the bucket fills (the middle line).
+    assert max(postings) > 0.5 * capacity

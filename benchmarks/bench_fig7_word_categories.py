@@ -1,0 +1,47 @@
+"""Figure 7 — fraction of words per update in each category.
+
+Paper claims reproduced: new words start at 1.0 and stabilize well below;
+bucket words rise while the buckets fill, then decline roughly linearly as
+overflow sets in; long words appear only after the fill-up phase and rise
+roughly linearly; weekly peaks appear on the long-words curve (small
+Saturday updates have a higher share of frequent words).
+"""
+
+import numpy as np
+
+from _common import base_experiment, report
+from repro import figures
+
+
+def test_fig7_word_categories(benchmark, capfd):
+    result = benchmark.pedantic(
+        lambda: figures.figure7(base_experiment()), rounds=1, iterations=1
+    )
+    new = result.data["new"]
+    bucket = result.data["bucket"]
+    long_ = result.data["long"]
+    n = len(new)
+    report("fig7_word_categories", result.rendered, capfd)
+
+    # New words: start at 1.0, end far lower, still nonzero (misspellings
+    # and fresh vocabulary keep arriving).
+    assert new[0] == 1.0
+    assert 0.05 < new[-1] < 0.6
+    # Bucket words: interior peak, then decline.
+    peak = int(np.argmax(bucket))
+    assert 2 < peak < n - 5
+    assert bucket[-1] < bucket[peak] - 0.05
+    # Long words: none until the buckets fill, then a roughly steady rise.
+    assert long_[0] == 0.0
+    first_long = next(i for i, v in enumerate(long_) if v > 0)
+    assert first_long >= 1
+    late = np.mean(long_[-10:])
+    mid = np.mean(long_[n // 2 : n // 2 + 10])
+    assert late > mid > 0
+    # Weekly peaks: Saturdays (day % 7 == 0, smallest updates) carry a
+    # higher long-word fraction than their weekday neighbours, on average.
+    saturdays = [i for i in range(14, n) if i % 7 == 0]
+    neighbours = [i for i in range(14, n) if i % 7 in (2, 3, 4)]
+    assert np.mean([long_[i] for i in saturdays]) > np.mean(
+        [long_[i] for i in neighbours]
+    )

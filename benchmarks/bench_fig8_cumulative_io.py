@@ -1,0 +1,37 @@
+"""Figure 8 — cumulative I/O operations to build the final index.
+
+Paper claims reproduced: every curve has increasing slope (updates slow
+down as the index grows); the Limit=0 policies form the bottom pair;
+in-place updates roughly double the operation count (each in-place update
+is a read plus a write); the whole style is the upper bound, with whole,
+fill-z and new-z landing within a few tens of percent of each other.
+"""
+
+from _common import base_experiment, report
+from repro import figures
+from repro.analysis.metrics import increasing_slope
+from repro.analysis.reporting import ratio
+
+
+def test_fig8_cumulative_io_operations(benchmark, capfd):
+    result = benchmark.pedantic(
+        lambda: figures.figure8(base_experiment()), rounds=1, iterations=1
+    )
+    series = result.data["series"]
+    report("fig8_cumulative_io", result.rendered, capfd)
+
+    finals = {name: s[-1] for name, s in series.items()}
+
+    # Increasing slope on every curve.
+    for name, s in series.items():
+        assert increasing_slope(s), f"{name} does not steepen"
+    # Bottom two lines are the Limit=0 new/fill policies.
+    bottom_two = sorted(finals, key=finals.get)[:2]
+    assert set(bottom_two) == {"new 0", "fill 0"}
+    # In-place updates cost a read and a write, roughly doubling ops.
+    assert 1.4 < ratio(finals["new z"], finals["new 0"]) < 2.2
+    assert 1.4 < ratio(finals["fill z"], finals["fill 0"]) < 2.2
+    # Whole is the upper bound; whole/fill-z/new-z within ~40%.
+    assert finals["whole 0&z"] == max(finals.values())
+    assert ratio(finals["whole 0&z"], finals["new z"]) < 1.4
+    assert ratio(finals["whole 0&z"], finals["fill z"]) < 1.4

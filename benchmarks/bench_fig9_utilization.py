@@ -1,0 +1,35 @@
+"""Figure 9 — internal utilization of long-list disk space per policy.
+
+Paper claims reproduced: the whole style keeps utilization high regardless
+of in-place updates; without in-place updates the new and (especially)
+fill styles waste most of their space; in-place updates rescue both; the
+initial spike to 1.0 before any long list exists is visible.
+"""
+
+from _common import base_experiment, report
+from repro import figures
+
+
+def test_fig9_long_list_utilization(benchmark, capfd):
+    result = benchmark.pedantic(
+        lambda: figures.figure9(base_experiment()), rounds=1, iterations=1
+    )
+    series = result.data["series"]
+    report("fig9_utilization", result.rendered, capfd)
+
+    finals = {name: s[-1] for name, s in series.items()}
+
+    # Initial spike: utilization is 1.0 while there are no long lists.
+    assert all(s[0] == 1.0 for s in series.values())
+    # Whole dominates everything.
+    assert finals["whole 0&z"] == max(finals.values())
+    assert finals["whole 0&z"] > 0.85
+    # No in-place ⇒ collapse; fill 0 is the worst case.
+    assert finals["fill 0"] == min(finals.values())
+    assert finals["fill 0"] < 0.3
+    # new 0 falls dramatically relative to its in-place twin.
+    assert finals["new 0"] < 0.7 * finals["new z"]
+    # In-place rescues new and fill.
+    assert finals["new z"] > 1.4 * finals["new 0"]
+    assert finals["fill z"] > 3 * finals["fill 0"]
+    assert finals["new z"] > 0.7

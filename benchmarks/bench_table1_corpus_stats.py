@@ -1,0 +1,46 @@
+"""Table 1 — statistics of the (synthetic) News text database.
+
+Paper claim reproduced: a tiny top fraction of words ("frequent words")
+accounts for the vast majority of postings, while the huge remainder of the
+vocabulary is infrequent — the skew that motivates the dual structure.
+"""
+
+import numpy as np
+
+from _common import base_experiment, report
+from repro import figures
+from repro.analysis.reporting import format_table
+from repro.workload.zipf import fit_zipf_exponent
+
+
+def test_table1_corpus_statistics(benchmark, capfd):
+    experiment = base_experiment()
+    result = benchmark.pedantic(
+        lambda: figures.table1(experiment), rounds=1, iterations=1
+    )
+    stats = result.data["stats"]
+    top1_share = result.data["top1_share"]
+
+    counts = {}
+    for update in experiment.updates():
+        for word, count in update:
+            counts[word] = counts.get(word, 0) + count
+    s_hat = fit_zipf_exponent(np.array(list(counts.values())))
+
+    extra = format_table(
+        ("Check", "Value"),
+        [
+            ("Updates (days)", len(experiment.updates())),
+            ("Fitted Zipf exponent", round(s_hat, 2)),
+            ("Postings share of top 1% words", f"{top1_share:.1%}"),
+        ],
+    )
+    report("table1_corpus_stats", result.rendered + "\n\n" + extra, capfd)
+
+    # Paper shape: frequent words are a sliver of the vocabulary yet carry
+    # the vast majority of postings (thresholds hold across REPRO_SCALE).
+    assert stats.frequent_words < 0.01 * stats.total_words
+    assert stats.frequent_postings_share > 0.4
+    assert top1_share > 0.6
+    # And the distribution is Zipf-shaped.
+    assert 1.0 < s_hat < 2.0

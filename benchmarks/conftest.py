@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration: make `_common` importable and warm the
+shared experiment once so per-bench timings exclude the policy-independent
+stages (as the paper's staged design intends)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

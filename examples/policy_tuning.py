@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Policy tuning: explore the paper's update-time / query-time trade-off.
+
+Runs the experiment pipeline (size-only evaluation mode, as in the paper)
+over a synthetic workload for the named policies of Sections 3.1 and 5.4,
+then prints the three-way trade-off the paper quantifies: index build
+time, query performance, and disk space.
+
+This is the "which policy should my IR system use?" decision table from
+the paper's Bottom Line, regenerated for your parameters — edit WORKLOAD
+and POLICIES to explore your own corner of the space.
+
+Run:  python examples/policy_tuning.py
+"""
+
+from repro import Policy
+from repro.analysis.bottomline import (
+    PolicyMeasurement,
+    Preference,
+    bottom_line,
+    comparison_table,
+)
+from repro.core.policy import Limit, Style
+from repro.pipeline.experiment import Experiment, ExperimentConfig
+from repro.workload.synthetic import SyntheticNewsConfig
+
+WORKLOAD = SyntheticNewsConfig(days=40, docs_per_day=120)
+
+POLICIES = [
+    ("update-optimized (§3.1)", Policy.update_optimized()),
+    ("recommended new (§5.4)", Policy.recommended_new()),
+    ("balanced fill (§3.1)", Policy.balanced()),
+    ("recommended whole (§5.4)", Policy.recommended_whole()),
+    ("naive whole (no reserve)", Policy(style=Style.WHOLE, limit=Limit.ZERO)),
+]
+
+
+def main() -> None:
+    experiment = Experiment(ExperimentConfig(workload=WORKLOAD))
+    print("Generating workload and running the bucket stage once...")
+    stats = experiment.stats(frequent_fraction=0.01)
+    print(
+        f"  corpus: {stats.documents} docs, {stats.total_postings} postings; "
+        f"top 1% of words carry {stats.frequent_postings_share:.0%} "
+        "of postings\n"
+    )
+
+    measurements = []
+    for _label, policy in POLICIES:
+        run = experiment.run_policy(policy, exercise=True)
+        measurements.append(
+            PolicyMeasurement(
+                policy=policy,
+                build_time_s=run.exercise.total_s,
+                reads_per_list=run.disks.final_avg_reads,
+                utilization=run.disks.final_utilization,
+            )
+        )
+
+    print(comparison_table(measurements))
+    print("\nBottom lines (paper §5.4, derived from the measurements):")
+    for preference in Preference:
+        rec = bottom_line(measurements, preference)
+        print(f"  {preference.value:12s} -> {rec.policy.name}: {rec.reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — a reproduction of Tomasic, Garcia-Molina & Shoens (SIGMOD 1994),
+"Incremental Updates of Inverted Lists for Text Document Retrieval".
+
+The package implements the paper's dual-structure inverted index (buckets of
+short lists + policy-managed long lists), the full family of long-list
+allocation policies, a simulated multi-disk storage subsystem, boolean and
+vector-space query processing, and the staged experiment pipeline that
+regenerates every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import TextDocumentIndex
+
+    index = TextDocumentIndex()
+    index.add_document("the cat sat with the dog")
+    index.flush_batch()
+    index.search_boolean("cat AND dog")
+
+See README.md for the architecture tour and DESIGN.md for the experiment
+index.
+"""
+
+from .core import (
+    Alloc,
+    BatchResult,
+    DeletionManager,
+    DualStructureIndex,
+    GrowthPolicy,
+    IndexConfig,
+    IndexStats,
+    Limit,
+    Policy,
+    PositionalPostings,
+    Region,
+    Style,
+    WordCategory,
+    figure8_policies,
+)
+from .figures import FigureResult, regenerate
+from .pipeline import Experiment, ExperimentConfig
+from .storage import DiskArrayConfig, DiskProfile, IOTrace
+from .textindex import QueryAnswer, TextDocumentIndex
+from .workload import SyntheticNews, SyntheticNewsConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alloc",
+    "BatchResult",
+    "DeletionManager",
+    "DiskArrayConfig",
+    "DiskProfile",
+    "DualStructureIndex",
+    "Experiment",
+    "ExperimentConfig",
+    "FigureResult",
+    "GrowthPolicy",
+    "IOTrace",
+    "IndexConfig",
+    "IndexStats",
+    "Limit",
+    "Policy",
+    "PositionalPostings",
+    "QueryAnswer",
+    "Region",
+    "Style",
+    "SyntheticNews",
+    "SyntheticNewsConfig",
+    "TextDocumentIndex",
+    "WordCategory",
+    "figure8_policies",
+    "regenerate",
+    "__version__",
+]

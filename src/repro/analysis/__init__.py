@@ -1,0 +1,29 @@
+"""Measurement series and report rendering for the experiment pipeline."""
+
+from .bottomline import (
+    PolicyMeasurement,
+    Preference,
+    Recommendation,
+    bottom_line,
+    comparison_table,
+)
+from .metrics import CategoryCounts, UpdateSeries, increasing_slope
+from .readtime import chunk_read_time, list_read_time, longest_entries
+from .reporting import format_series, format_table, ratio
+
+__all__ = [
+    "CategoryCounts",
+    "PolicyMeasurement",
+    "Preference",
+    "Recommendation",
+    "bottom_line",
+    "comparison_table",
+    "UpdateSeries",
+    "format_series",
+    "format_table",
+    "chunk_read_time",
+    "increasing_slope",
+    "list_read_time",
+    "longest_entries",
+    "ratio",
+]

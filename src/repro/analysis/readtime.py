@@ -1,0 +1,63 @@
+"""List read-time model: serial vs disk-array-parallel reads.
+
+The paper's introduction asks: "If multiple disks are available, can we
+stripe large lists across multiple disks to improve performance?" and its
+fill-style bottom line answers for one layout: bounded extents mean "long
+lists are automatically divided into sections of disks which can be
+written to disk and read in parallel (e.g., with a disk array)".
+
+This model prices reading one long list from its directory entry:
+
+* every chunk costs one positioned read — seek (average stroke) plus
+  rotational latency plus the transfer of its data blocks;
+* **serial**: chunks are read one after another — total time is the sum
+  (the single-head view behind Figure 10's op counting);
+* **parallel**: each disk's chunks are read by that disk concurrently —
+  total time is the *maximum* per-disk time, the disk-array advantage the
+  fill style's layout buys and the whole style (one chunk, one disk)
+  cannot exploit.
+"""
+
+from __future__ import annotations
+
+from ..core.directory import LongListEntry
+from ..storage.block import blocks_for_postings
+from ..storage.profiles import DiskProfile
+
+
+def chunk_read_time(
+    chunk, profile: DiskProfile, block_postings: int
+) -> float:
+    """Seconds to read one chunk's data blocks after a positioned seek."""
+    data_blocks = blocks_for_postings(chunk.npostings, block_postings)
+    return (
+        profile.seek_s(profile.nblocks // 3)
+        + profile.rotational_latency_s
+        + profile.transfer_s(data_blocks, is_write=False)
+    )
+
+
+def list_read_time(
+    entry: LongListEntry,
+    profile: DiskProfile,
+    block_postings: int,
+    parallel: bool,
+) -> float:
+    """Seconds to read a whole long list, serially or disk-parallel."""
+    per_disk: dict[int, float] = {}
+    for chunk in entry.chunks:
+        per_disk[chunk.disk] = per_disk.get(chunk.disk, 0.0) + (
+            chunk_read_time(chunk, profile, block_postings)
+        )
+    if not per_disk:
+        return 0.0
+    if parallel:
+        return max(per_disk.values())
+    return sum(per_disk.values())
+
+
+def longest_entries(directory, n: int) -> list[LongListEntry]:
+    """The ``n`` longest lists — where striping matters most."""
+    return sorted(
+        directory.entries(), key=lambda e: e.npostings, reverse=True
+    )[:n]

@@ -1,0 +1,84 @@
+"""Fixed-width rendering of the reproduced tables and figure series.
+
+The benchmark harness prints the same rows and series the paper reports,
+so ``pytest benchmarks/ --benchmark-only`` output doubles as the
+reproduction record (captured in ``bench_output.txt``).  Two renderers:
+
+* :func:`format_table` — paper-style tables (Tables 1, 5, 6);
+* :func:`format_series` — down-sampled numeric series for the figures,
+  one labelled column per curve.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table with right-aligned numeric columns."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    xlabel: str = "update",
+    max_points: int = 12,
+    title: str | None = None,
+) -> str:
+    """Render curves as a down-sampled table: one row per sampled x.
+
+    All series must share a length; ``max_points`` evenly spaced samples
+    (always including the final index) are shown.
+    """
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {lengths}")
+    (n,) = lengths
+    if n == 0:
+        raise ValueError("series are empty")
+    step = max(1, n // max_points)
+    xs = list(range(0, n, step))
+    if xs[-1] != n - 1:
+        xs.append(n - 1)
+    headers = [xlabel] + list(series)
+    rows = [[x + 1] + [series[name][x] for name in series] for x in xs]
+    return format_table(headers, rows, title=title)
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe ratio a/b used in shape assertions (inf when b is 0)."""
+    if b == 0:
+        return float("inf")
+    return a / b

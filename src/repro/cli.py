@@ -1,0 +1,243 @@
+"""Command-line interface.
+
+Five subcommands cover the library's main entry points::
+
+    repro index DIR -o index.ckpt [--policy SPEC] [--positional]
+        Build an index over the ``*.txt`` files of a directory (one
+        document per file, ingested in sorted filename order, one batch),
+        checkpoint it, and save the vocabulary next to it.
+
+    repro query INDEX.ckpt "cat AND dog" [--phrase | --near K]
+        Load a checkpointed index and run a boolean / phrase / proximity
+        query; prints matching doc ids (= ingest order) and the I/O cost.
+
+    repro experiment [--policy SPEC] [--days N] [--scale S] [--exercise]
+        Run the paper's pipeline on the synthetic News workload for one
+        policy and print the evaluation metrics.
+
+    repro figure {table1,fig1,fig7,...,fig14}
+        Regenerate one of the paper's tables/figures and print it.
+
+    repro stats [--days N] [--scale S]
+        Print the Table-1 corpus statistics of the synthetic workload.
+
+Policy specs are either a named policy (``update-optimized``,
+``query-optimized``, ``balanced``, ``recommended-new``,
+``recommended-whole``, ``adaptive-new``) or a colon-joined tuple
+``STYLE:LIMIT[:ALLOC:K]``, e.g. ``new:z:proportional:2.0``, ``whole:0``,
+``fill:z``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .core.index import IndexConfig
+from .core.policy import Alloc, Limit, Policy, Style
+from .pipeline.experiment import Experiment, ExperimentConfig
+from .textindex import TextDocumentIndex
+from .workload.synthetic import SyntheticNewsConfig
+
+NAMED_POLICIES = {
+    "update-optimized": Policy.update_optimized,
+    "query-optimized": Policy.query_optimized,
+    "balanced": Policy.balanced,
+    "recommended-new": Policy.recommended_new,
+    "recommended-whole": Policy.recommended_whole,
+    "adaptive-new": Policy.adaptive_new,
+}
+
+
+def parse_policy(spec: str) -> Policy:
+    """Parse a policy spec (named or ``STYLE:LIMIT[:ALLOC:K]``)."""
+    named = NAMED_POLICIES.get(spec)
+    if named is not None:
+        return named()
+    parts = spec.split(":")
+    if len(parts) not in (2, 4):
+        raise argparse.ArgumentTypeError(
+            f"bad policy spec {spec!r}; expected a name "
+            f"({', '.join(sorted(NAMED_POLICIES))}) or STYLE:LIMIT[:ALLOC:K]"
+        )
+    try:
+        style = Style(parts[0])
+        limit = Limit(parts[1])
+        if len(parts) == 2:
+            return Policy(style=style, limit=limit)
+        alloc = Alloc(parts[2])
+        return Policy(style=style, limit=limit, alloc=alloc, k=float(parts[3]))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad policy spec {spec!r}: {exc}")
+
+
+# -- subcommands -------------------------------------------------------------------
+
+
+def cmd_index(args) -> int:
+    directory = pathlib.Path(args.directory)
+    files = sorted(directory.glob("*.txt"))
+    if not files:
+        print(f"no *.txt files under {directory}", file=sys.stderr)
+        return 1
+    index = TextDocumentIndex(
+        IndexConfig(
+            policy=args.policy,
+            store_contents=True,
+            positional=args.positional,
+            nbuckets=args.nbuckets,
+            bucket_size=args.bucket_size,
+        )
+    )
+    for path in files:
+        doc_id = index.add_document(path.read_text(encoding="utf-8"))
+        print(f"indexed doc {doc_id}: {path.name}")
+    result = index.flush_batch()
+    index.save(args.output)
+    print(
+        f"indexed {len(files)} documents ({result.npostings} postings) "
+        f"under policy '{args.policy.name}'"
+    )
+    print(f"snapshot: {args.output}")
+    return 0
+
+
+def _load_index(path: str) -> TextDocumentIndex:
+    return TextDocumentIndex.load(path)
+
+
+def cmd_query(args) -> int:
+    index = _load_index(args.index)
+    if args.phrase:
+        answer = index.search_phrase(args.query)
+        kind = "phrase"
+    elif args.near is not None:
+        words = args.query.split()
+        if len(words) != 2:
+            print("--near queries take exactly two words", file=sys.stderr)
+            return 1
+        answer = index.search_near(words[0], words[1], args.near)
+        kind = f"near({args.near})"
+    else:
+        answer = index.search_boolean(args.query)
+        kind = "boolean"
+    print(
+        f"{kind} query {args.query!r}: {len(answer.doc_ids)} documents "
+        f"({answer.read_ops} read ops)"
+    )
+    for doc in answer.doc_ids:
+        print(f"  doc {doc}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    config = ExperimentConfig(
+        workload=SyntheticNewsConfig(days=args.days, scale=args.scale)
+    )
+    experiment = Experiment(config)
+    run = experiment.run_policy(args.policy, exercise=args.exercise)
+    disks = run.disks
+    print(f"policy:               {args.policy.name}")
+    print(f"updates:              {disks.series.nupdates}")
+    print(f"long-list I/O ops:    {disks.series.io_ops[-1]:,}")
+    print(f"avg reads per list:   {disks.final_avg_reads:.2f}")
+    print(f"long-list utilization {disks.final_utilization:.1%}")
+    print(
+        "in-place updates:     "
+        f"{disks.counters.in_place_updates:,} "
+        f"({disks.counters.in_place_fraction:.0%} of possible)"
+    )
+    if args.exercise:
+        if run.exercise.feasible:
+            print(f"simulated build time: {run.exercise.total_s:.1f} s")
+        else:
+            print(f"exercise: INFEASIBLE ({run.exercise.reason})")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from . import figures
+
+    result = figures.regenerate(args.name)
+    print(result.rendered)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    config = ExperimentConfig(
+        workload=SyntheticNewsConfig(days=args.days, scale=args.scale)
+    )
+    print(Experiment(config).stats().as_table())
+    return 0
+
+
+# -- parser ------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Dual-structure inverted index (Tomasic, Garcia-Molina & "
+            "Shoens, SIGMOD 1994)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_index = sub.add_parser("index", help="build an index from *.txt files")
+    p_index.add_argument("directory")
+    p_index.add_argument("-o", "--output", required=True)
+    p_index.add_argument(
+        "--policy", type=parse_policy, default=Policy.recommended_new()
+    )
+    p_index.add_argument("--positional", action="store_true")
+    p_index.add_argument("--nbuckets", type=int, default=1024)
+    p_index.add_argument("--bucket-size", type=int, default=1024)
+    p_index.set_defaults(func=cmd_index)
+
+    p_query = sub.add_parser("query", help="query a checkpointed index")
+    p_query.add_argument("index")
+    p_query.add_argument("query")
+    p_query.add_argument("--phrase", action="store_true")
+    p_query.add_argument("--near", type=int, default=None, metavar="K")
+    p_query.set_defaults(func=cmd_query)
+
+    p_exp = sub.add_parser(
+        "experiment", help="run the evaluation pipeline for one policy"
+    )
+    p_exp.add_argument(
+        "--policy", type=parse_policy, default=Policy.recommended_new()
+    )
+    p_exp.add_argument("--days", type=int, default=73)
+    p_exp.add_argument("--scale", type=float, default=1.0)
+    p_exp.add_argument("--exercise", action="store_true")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_fig = sub.add_parser(
+        "figure",
+        help="regenerate one of the paper's tables/figures by id",
+    )
+    p_fig.add_argument(
+        "name",
+        choices=sorted(
+            __import__("repro.figures", fromlist=["REGISTRY"]).REGISTRY
+        ),
+    )
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_stats = sub.add_parser("stats", help="synthetic corpus statistics")
+    p_stats.add_argument("--days", type=int, default=73)
+    p_stats.add_argument("--scale", type=float, default=1.0)
+    p_stats.set_defaults(func=cmd_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

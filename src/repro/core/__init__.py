@@ -1,0 +1,84 @@
+"""Core of the reproduction: the dual-structure index and its policies."""
+
+from .buckets import Bucket, BucketManager, BucketSample, modular_hash
+from .compression import (
+    CODECS,
+    bytes_per_posting,
+    delta_decode,
+    delta_encode,
+    gamma_decode,
+    gamma_encode,
+    implied_block_postings,
+)
+from .deletion import DeletionManager, SweepStats
+from .directory import Directory, LongListEntry
+from .flush import FlushCounters, FlushManager
+from .index import (
+    BatchResult,
+    DualStructureIndex,
+    IndexConfig,
+    IndexStats,
+    WordCategory,
+)
+from .longlists import LongListCounters, LongListManager
+from .memindex import InMemoryIndex
+from .policy import Alloc, Limit, Policy, Style, figure8_policies
+from .positional import PositionalPosting, PositionalPostings, Region
+from .rebalance import BucketGrower, GrowthEvent, GrowthPolicy
+from .postings import (
+    CountPostings,
+    DocPostings,
+    PostingPayload,
+    decode_doc_ids,
+    decode_varint,
+    empty_like,
+    encode_doc_ids,
+    encode_varint,
+)
+
+__all__ = [
+    "Alloc",
+    "CODECS",
+    "BatchResult",
+    "Bucket",
+    "BucketManager",
+    "BucketSample",
+    "BucketGrower",
+    "CountPostings",
+    "DeletionManager",
+    "Directory",
+    "DocPostings",
+    "DualStructureIndex",
+    "FlushCounters",
+    "FlushManager",
+    "IndexConfig",
+    "IndexStats",
+    "GrowthEvent",
+    "GrowthPolicy",
+    "InMemoryIndex",
+    "Limit",
+    "LongListCounters",
+    "LongListEntry",
+    "LongListManager",
+    "Policy",
+    "PositionalPosting",
+    "PositionalPostings",
+    "PostingPayload",
+    "Region",
+    "Style",
+    "SweepStats",
+    "WordCategory",
+    "bytes_per_posting",
+    "decode_doc_ids",
+    "delta_decode",
+    "delta_encode",
+    "gamma_decode",
+    "gamma_encode",
+    "implied_block_postings",
+    "decode_varint",
+    "empty_like",
+    "encode_doc_ids",
+    "encode_varint",
+    "figure8_policies",
+    "modular_hash",
+]

@@ -1,0 +1,241 @@
+"""Buckets: the short-list half of the dual-structure index (paper §2).
+
+Every inverted list starts life as a *short list* inside a bucket — a
+fixed-size region of disk holding the lists of many words.  Sizes are
+measured in *units*: one unit per word plus one unit per posting stored in
+the bucket ("for each inverted list in the bucket, we need to store the word
+it represents plus all of its postings").
+
+When an insertion overflows a bucket, the longest short list is evicted and
+becomes a *long list*; the bucket is left partially empty.  The buckets thus
+**dynamically discover the frequent words** — the central idea of the paper.
+
+:class:`BucketManager` also supports the per-bucket animation capture behind
+the paper's Figure 1: when a bucket is watched, every change to it (new word
+inserted, postings appended, word evicted) appends a ``(words, postings)``
+sample to its history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from .postings import PostingPayload
+
+
+@dataclass
+class BucketSample:
+    """One Figure-1 animation sample: bucket contents after a change."""
+
+    step: int
+    nwords: int
+    npostings: int
+
+    @property
+    def size(self) -> int:
+        """Occupied units: words + postings."""
+        return self.nwords + self.npostings
+
+
+class Bucket:
+    """One fixed-capacity bucket of short lists.
+
+    The capacity is in units (words + postings).  ``insert`` may leave the
+    bucket over capacity; the manager resolves overflow by evicting longest
+    lists, because eviction decisions (and the resulting long-list creation)
+    belong one level up.
+    """
+
+    __slots__ = ("capacity", "lists", "npostings")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("bucket capacity must be > 0")
+        self.capacity = capacity
+        self.lists: dict[int, PostingPayload] = {}
+        self.npostings = 0
+
+    @property
+    def nwords(self) -> int:
+        return len(self.lists)
+
+    @property
+    def size(self) -> int:
+        """Occupied units: one per word plus one per posting."""
+        return self.nwords + self.npostings
+
+    @property
+    def overflowing(self) -> bool:
+        return self.size > self.capacity
+
+    def insert(self, word: int, payload: PostingPayload) -> None:
+        """Add (or append to) the short list for ``word``."""
+        existing = self.lists.get(word)
+        if existing is None:
+            self.lists[word] = payload.copy()
+        else:
+            existing.extend(payload)
+        self.npostings += len(payload)
+
+    def remove_longest(self) -> tuple[int, PostingPayload]:
+        """Evict and return the longest short list (ties: lowest word id,
+        making experiments deterministic; the paper chooses arbitrarily)."""
+        if not self.lists:
+            raise ValueError("cannot evict from an empty bucket")
+        word = min(
+            self.lists, key=lambda w: (-len(self.lists[w]), w)
+        )
+        payload = self.lists.pop(word)
+        self.npostings -= len(payload)
+        return word, payload
+
+    def remove(self, word: int) -> PostingPayload:
+        """Remove a specific word's short list."""
+        payload = self.lists.pop(word)
+        self.npostings -= len(payload)
+        return payload
+
+
+def modular_hash(nbuckets: int) -> Callable[[int], int]:
+    """The paper's bucket hash: modular arithmetic on the word id."""
+
+    def h(word: int) -> int:
+        return word % nbuckets
+
+    return h
+
+
+class BucketManager:
+    """All buckets plus the overflow/eviction algorithm of paper §2.
+
+    ``insert`` returns the list of ``(word, payload)`` migrations the
+    insertion caused — short lists promoted to long lists.  The caller
+    (ComputeBuckets or the index facade) routes those to the long-list
+    manager; this class knows nothing about disks.
+    """
+
+    def __init__(
+        self,
+        nbuckets: int,
+        bucket_size: int,
+        hash_fn: Callable[[int], int] | None = None,
+    ) -> None:
+        if nbuckets <= 0:
+            raise ValueError("nbuckets must be > 0")
+        self.nbuckets = nbuckets
+        self.bucket_size = bucket_size
+        self.buckets = [Bucket(bucket_size) for _ in range(nbuckets)]
+        self.hash_fn = hash_fn or modular_hash(nbuckets)
+        self._watched: dict[int, list[BucketSample]] = {}
+        self._step = 0
+
+    # -- animation (Figure 1) ---------------------------------------------
+
+    def watch(self, bucket_id: int) -> None:
+        """Start recording Figure-1 samples for ``bucket_id``."""
+        self._watched.setdefault(bucket_id, [])
+
+    def history(self, bucket_id: int) -> list[BucketSample]:
+        """Recorded samples for a watched bucket."""
+        return self._watched[bucket_id]
+
+    def _record(self, bucket_id: int) -> None:
+        samples = self._watched.get(bucket_id)
+        if samples is not None:
+            bucket = self.buckets[bucket_id]
+            samples.append(
+                BucketSample(self._step, bucket.nwords, bucket.npostings)
+            )
+        self._step += 1
+
+    # -- core algorithm -----------------------------------------------------
+
+    def bucket_of(self, word: int) -> int:
+        """h(w): which bucket holds (or would hold) the word's short list."""
+        bucket_id = self.hash_fn(word)
+        if not 0 <= bucket_id < self.nbuckets:
+            raise ValueError(
+                f"hash function returned {bucket_id} outside "
+                f"[0, {self.nbuckets})"
+            )
+        return bucket_id
+
+    def contains(self, word: int) -> bool:
+        """True when the word currently has a short list."""
+        return word in self.buckets[self.bucket_of(word)].lists
+
+    def get(self, word: int) -> PostingPayload | None:
+        """The word's short-list payload, or None."""
+        return self.buckets[self.bucket_of(word)].lists.get(word)
+
+    def insert(
+        self, word: int, payload: PostingPayload
+    ) -> list[tuple[int, PostingPayload]]:
+        """Insert an in-memory list into the word's bucket.
+
+        Returns the migrations caused: while the bucket overflows, its
+        longest short list is evicted and reported for promotion to a long
+        list.  (An in-memory list larger than the whole bucket simply passes
+        straight through as its own migration.)
+        """
+        bucket_id = self.bucket_of(word)
+        bucket = self.buckets[bucket_id]
+        bucket.insert(word, payload)
+        self._record(bucket_id)
+        migrations: list[tuple[int, PostingPayload]] = []
+        while bucket.overflowing:
+            evicted = bucket.remove_longest()
+            migrations.append(evicted)
+            self._record(bucket_id)
+        return migrations
+
+    def remove(self, word: int) -> PostingPayload:
+        """Remove a word's short list (used when promoting externally)."""
+        bucket_id = self.bucket_of(word)
+        payload = self.buckets[bucket_id].remove(word)
+        self._record(bucket_id)
+        return payload
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def total_words(self) -> int:
+        return sum(b.nwords for b in self.buckets)
+
+    @property
+    def total_postings(self) -> int:
+        return sum(b.npostings for b in self.buckets)
+
+    @property
+    def total_units(self) -> int:
+        """Occupied units across all buckets."""
+        return self.total_words + self.total_postings
+
+    @property
+    def capacity_units(self) -> int:
+        """Total capacity: nbuckets × bucket_size (the paper's BucketTotal)."""
+        return self.nbuckets * self.bucket_size
+
+    def occupancy(self) -> float:
+        """Fraction of bucket capacity in use."""
+        return self.total_units / self.capacity_units
+
+    def words(self) -> Iterator[int]:
+        """All words currently holding short lists."""
+        for bucket in self.buckets:
+            yield from bucket.lists
+
+    def flush_blocks(self, block_size: int, unit_bytes: int = 4) -> int:
+        """Disk blocks one full flush of the bucket region occupies.
+
+        Buckets live in a fixed-size region regardless of occupancy.  A
+        unit (one word or one posting) costs ``unit_bytes`` on disk — the
+        paper notes that BucketSize "implicitly models the efficiency of
+        the compression algorithm applied to in-memory inverted lists",
+        i.e. units are compressed bytes, not raw postings.
+        """
+        if block_size <= 0 or unit_bytes <= 0:
+            raise ValueError("block_size and unit_bytes must be > 0")
+        total_bytes = self.nbuckets * self.bucket_size * unit_bytes
+        return -(-total_bytes // block_size)

@@ -1,0 +1,393 @@
+"""Checkpoint and restore of a dual-structure index.
+
+The paper relies on periodic flushes of the buckets and directory so that
+"the incremental update of the index can be restarted if it is aborted"
+(§1).  This module makes that concrete for the library: a checkpoint is a
+self-contained binary snapshot of everything the index needs to resume —
+configuration, directory, bucket contents, free-space maps, flush-region
+bookkeeping, counters, and (in content mode) the simulated disks' block
+payloads.
+
+Checkpoints are only taken at batch boundaries (the in-memory batch must be
+empty), matching the paper's recovery granularity: work since the last flush
+is replayed, never half-applied.
+
+Format: a small framed binary format (magic ``DSIX``, version byte, then
+length-prefixed sections).  ``save``/``load`` work on file paths or binary
+file objects.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO
+
+from ..storage.block import Chunk
+from ..storage.freelist import BuddyFreeList
+from ..storage.profiles import PROFILES, SEAGATE_SCSI_1994
+from .index import DualStructureIndex, IndexConfig
+from .policy import Alloc, Limit, Policy, Style
+from .positional import PositionalPostings
+from .postings import CountPostings, DocPostings
+
+_MAGIC = b"DSIX"
+_VERSION = 1
+
+
+class CheckpointError(Exception):
+    """Raised on malformed checkpoints or un-checkpointable state."""
+
+
+# -- low-level helpers ---------------------------------------------------------
+
+
+def _w_u32(fp: BinaryIO, value: int) -> None:
+    fp.write(struct.pack("<I", value))
+
+
+def _w_u64(fp: BinaryIO, value: int) -> None:
+    fp.write(struct.pack("<Q", value))
+
+
+def _w_f64(fp: BinaryIO, value: float) -> None:
+    fp.write(struct.pack("<d", value))
+
+
+def _w_bytes(fp: BinaryIO, data: bytes) -> None:
+    _w_u32(fp, len(data))
+    fp.write(data)
+
+
+def _w_str(fp: BinaryIO, text: str) -> None:
+    _w_bytes(fp, text.encode("utf-8"))
+
+
+def _r_u32(fp: BinaryIO) -> int:
+    data = fp.read(4)
+    if len(data) != 4:
+        raise CheckpointError("truncated checkpoint (u32)")
+    return struct.unpack("<I", data)[0]
+
+
+def _r_u64(fp: BinaryIO) -> int:
+    data = fp.read(8)
+    if len(data) != 8:
+        raise CheckpointError("truncated checkpoint (u64)")
+    return struct.unpack("<Q", data)[0]
+
+
+def _r_f64(fp: BinaryIO) -> float:
+    data = fp.read(8)
+    if len(data) != 8:
+        raise CheckpointError("truncated checkpoint (f64)")
+    return struct.unpack("<d", data)[0]
+
+
+def _r_bytes(fp: BinaryIO) -> bytes:
+    n = _r_u32(fp)
+    data = fp.read(n)
+    if len(data) != n:
+        raise CheckpointError("truncated checkpoint (bytes)")
+    return data
+
+
+def _r_str(fp: BinaryIO) -> str:
+    return _r_bytes(fp).decode("utf-8")
+
+
+def _w_chunk(fp: BinaryIO, chunk: Chunk) -> None:
+    fp.write(
+        struct.pack(
+            "<IQQQQ",
+            chunk.disk,
+            chunk.start,
+            chunk.nblocks,
+            chunk.npostings,
+            chunk.reserved,
+        )
+    )
+
+
+def _r_chunk(fp: BinaryIO) -> Chunk:
+    data = fp.read(36)
+    if len(data) != 36:
+        raise CheckpointError("truncated checkpoint (chunk)")
+    disk, start, nblocks, npostings, reserved = struct.unpack("<IQQQQ", data)
+    return Chunk(
+        disk=disk,
+        start=start,
+        nblocks=nblocks,
+        npostings=npostings,
+        reserved=reserved,
+    )
+
+
+def _w_payload(fp: BinaryIO, payload) -> None:
+    if isinstance(payload, CountPostings):
+        fp.write(b"C")
+        _w_u64(fp, payload.count)
+    elif isinstance(payload, PositionalPostings):
+        fp.write(b"P")
+        _w_bytes(fp, payload.encode())
+    elif isinstance(payload, DocPostings):
+        fp.write(b"D")
+        _w_bytes(fp, payload.encode())
+    else:
+        raise CheckpointError(f"cannot checkpoint payload {type(payload)!r}")
+
+
+def _r_payload(fp: BinaryIO):
+    tag = fp.read(1)
+    if tag == b"C":
+        return CountPostings(_r_u64(fp))
+    if tag == b"D":
+        return DocPostings.decode(_r_bytes(fp))
+    if tag == b"P":
+        return PositionalPostings.decode(_r_bytes(fp))
+    raise CheckpointError(f"unknown payload tag {tag!r}")
+
+
+# -- save -----------------------------------------------------------------------
+
+
+def save(index: DualStructureIndex, target) -> None:
+    """Write a checkpoint of ``index`` to a path or binary file object.
+
+    Raises :class:`CheckpointError` when the in-memory batch is not empty
+    (checkpoints happen at batch boundaries) or the array uses a buddy
+    allocator (whose internal state is not interval-shaped).
+    """
+    if len(index.memory) != 0:
+        raise CheckpointError(
+            "checkpoint requires an empty in-memory batch; call "
+            "flush_batch() first"
+        )
+    for disk in index.array.disks:
+        if isinstance(disk.freelist, BuddyFreeList):
+            raise CheckpointError("buddy allocator state is not checkpointable")
+    if hasattr(target, "write"):
+        _save(index, target)
+    else:
+        with open(target, "wb") as fp:
+            _save(index, fp)
+
+
+def _save(index: DualStructureIndex, fp: BinaryIO) -> None:
+    cfg = index.config
+    fp.write(_MAGIC)
+    fp.write(bytes([_VERSION]))
+    # configuration
+    _w_u32(fp, cfg.nbuckets)
+    _w_u32(fp, cfg.bucket_size)
+    _w_u32(fp, cfg.block_postings)
+    _w_u32(fp, cfg.ndisks)
+    _w_str(fp, cfg.allocator)
+    _w_str(fp, cfg.policy.style.value)
+    _w_str(fp, cfg.policy.limit.value)
+    _w_str(fp, cfg.policy.alloc.value)
+    _w_f64(fp, cfg.policy.k)
+    _w_u32(fp, cfg.policy.extent_blocks)
+    _w_u32(fp, 1 if cfg.store_contents else 0)
+    _w_u32(fp, 1 if cfg.positional else 0)
+    _w_u64(fp, cfg.nblocks_override or 0)
+    _w_u32(fp, 1 if cfg.trace_enabled else 0)
+    _w_u32(fp, cfg.directory_entry_bytes)
+    profile = cfg.profile or SEAGATE_SCSI_1994
+    _w_str(fp, profile.name)
+    # progress
+    _w_u64(fp, index._batches)
+    _w_u64(fp, index._next_doc_id)
+    _w_u32(fp, index.array._next_disk)
+    # directory
+    entries = list(index.longlists.directory.entries())
+    _w_u64(fp, len(entries))
+    for entry in entries:
+        _w_u64(fp, entry.word)
+        _w_u32(fp, len(entry.chunks))
+        for chunk in entry.chunks:
+            _w_chunk(fp, chunk)
+    # buckets
+    nonempty = [
+        (i, b) for i, b in enumerate(index.buckets.buckets) if b.lists
+    ]
+    _w_u64(fp, len(nonempty))
+    for bucket_id, bucket in nonempty:
+        _w_u32(fp, bucket_id)
+        _w_u32(fp, len(bucket.lists))
+        for word, payload in bucket.lists.items():
+            _w_u64(fp, word)
+            _w_payload(fp, payload)
+    # flush regions (shadow bookkeeping)
+    _w_u32(fp, len(index.flusher._bucket_regions))
+    for chunk in index.flusher._bucket_regions:
+        _w_chunk(fp, chunk)
+    have_dir = index.flusher._directory_region is not None
+    _w_u32(fp, 1 if have_dir else 0)
+    if have_dir:
+        _w_chunk(fp, index.flusher._directory_region)
+    # free lists: store allocated state as free intervals
+    for disk in index.array.disks:
+        intervals = list(disk.freelist.intervals())
+        _w_u64(fp, disk.freelist.nblocks)
+        _w_u64(fp, len(intervals))
+        for start, length in intervals:
+            _w_u64(fp, start)
+            _w_u64(fp, length)
+    # disk contents
+    _w_u32(fp, 1 if cfg.store_contents else 0)
+    if cfg.store_contents:
+        for disk in index.array.disks:
+            blocks = disk._blocks
+            _w_u64(fp, len(blocks))
+            for block, data in blocks.items():
+                _w_u64(fp, block)
+                _w_bytes(fp, data)
+    # counters
+    c = index.longlists.counters
+    for value in (
+        c.appends,
+        c.appends_to_existing,
+        c.in_place_updates,
+        c.reads,
+        c.writes,
+        c.blocks_read,
+        c.blocks_written,
+        c.lists_created,
+        c.whole_moves,
+    ):
+        _w_u64(fp, value)
+    # adaptive-allocation update-size estimates
+    sizes = index.longlists._update_sizes
+    _w_u64(fp, len(sizes))
+    for word, estimate in sizes.items():
+        _w_u64(fp, word)
+        _w_f64(fp, estimate)
+
+
+# -- load -----------------------------------------------------------------------
+
+
+def load(source) -> DualStructureIndex:
+    """Reconstruct a :class:`DualStructureIndex` from a checkpoint."""
+    if hasattr(source, "read"):
+        return _load(source)
+    with open(source, "rb") as fp:
+        return _load(fp)
+
+
+def _load(fp: BinaryIO) -> DualStructureIndex:
+    if fp.read(4) != _MAGIC:
+        raise CheckpointError("not a dual-structure index checkpoint")
+    version = fp.read(1)
+    if version != bytes([_VERSION]):
+        raise CheckpointError(f"unsupported checkpoint version {version!r}")
+    nbuckets = _r_u32(fp)
+    bucket_size = _r_u32(fp)
+    block_postings = _r_u32(fp)
+    ndisks = _r_u32(fp)
+    allocator = _r_str(fp)
+    policy = Policy(
+        style=Style(_r_str(fp)),
+        limit=Limit(_r_str(fp)),
+        alloc=Alloc(_r_str(fp)),
+        k=_r_f64(fp),
+        extent_blocks=_r_u32(fp),
+    )
+    store_contents = bool(_r_u32(fp))
+    positional = bool(_r_u32(fp))
+    nblocks_override = _r_u64(fp) or None
+    trace_enabled = bool(_r_u32(fp))
+    directory_entry_bytes = _r_u32(fp)
+    profile_name = _r_str(fp)
+    profile = PROFILES.get(profile_name, SEAGATE_SCSI_1994)
+    config = IndexConfig(
+        nbuckets=nbuckets,
+        bucket_size=bucket_size,
+        block_postings=block_postings,
+        ndisks=ndisks,
+        allocator=allocator,
+        policy=policy,
+        store_contents=store_contents,
+        positional=positional,
+        nblocks_override=nblocks_override,
+        trace_enabled=trace_enabled,
+        directory_entry_bytes=directory_entry_bytes,
+        profile=profile,
+    )
+    index = DualStructureIndex(config)
+    index._batches = _r_u64(fp)
+    index._next_doc_id = _r_u64(fp)
+    index.array._next_disk = _r_u32(fp)
+    # directory
+    nentries = _r_u64(fp)
+    for _ in range(nentries):
+        word = _r_u64(fp)
+        nchunks = _r_u32(fp)
+        entry = index.longlists.directory.entry(word)
+        for _ in range(nchunks):
+            entry.chunks.append(_r_chunk(fp))
+    # buckets
+    nbucket_records = _r_u64(fp)
+    for _ in range(nbucket_records):
+        bucket_id = _r_u32(fp)
+        nwords = _r_u32(fp)
+        bucket = index.buckets.buckets[bucket_id]
+        for _ in range(nwords):
+            word = _r_u64(fp)
+            payload = _r_payload(fp)
+            bucket.lists[word] = payload
+            bucket.npostings += len(payload)
+    # flush regions
+    nregions = _r_u32(fp)
+    index.flusher._bucket_regions = [_r_chunk(fp) for _ in range(nregions)]
+    if _r_u32(fp):
+        index.flusher._directory_region = _r_chunk(fp)
+    # free lists
+    for disk in index.array.disks:
+        nblocks = _r_u64(fp)
+        if nblocks != disk.freelist.nblocks:
+            raise CheckpointError(
+                "checkpoint disk capacity does not match configuration"
+            )
+        nintervals = _r_u64(fp)
+        disk.freelist._starts = []
+        disk.freelist._lengths = []
+        for _ in range(nintervals):
+            disk.freelist._starts.append(_r_u64(fp))
+            disk.freelist._lengths.append(_r_u64(fp))
+        disk.freelist.check_invariants()
+    # disk contents
+    if _r_u32(fp):
+        for disk in index.array.disks:
+            nblocks_stored = _r_u64(fp)
+            for _ in range(nblocks_stored):
+                block = _r_u64(fp)
+                disk._blocks[block] = _r_bytes(fp)
+    # counters
+    c = index.longlists.counters
+    (
+        c.appends,
+        c.appends_to_existing,
+        c.in_place_updates,
+        c.reads,
+        c.writes,
+        c.blocks_read,
+        c.blocks_written,
+        c.lists_created,
+        c.whole_moves,
+    ) = (_r_u64(fp) for _ in range(9))
+    # adaptive-allocation update-size estimates
+    nsizes = _r_u64(fp)
+    for _ in range(nsizes):
+        word = _r_u64(fp)
+        index.longlists._update_sizes[word] = _r_f64(fp)
+    return index
+
+
+def roundtrip(index: DualStructureIndex) -> DualStructureIndex:
+    """Save to memory and load back (test/debug convenience)."""
+    buf = io.BytesIO()
+    save(index, buf)
+    buf.seek(0)
+    return load(buf)

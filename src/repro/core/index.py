@@ -1,0 +1,352 @@
+"""The dual-structure index facade — the paper's primary contribution.
+
+:class:`DualStructureIndex` ties the pieces together exactly as §2 describes:
+
+* arriving documents accumulate in an :class:`~repro.core.memindex.InMemoryIndex`;
+* at a batch boundary (:meth:`flush_batch`) each in-memory list moves to
+  disk: **appended to the word's long list** when the directory has an
+  entry, otherwise **inserted into bucket** ``h(w)``; bucket overflows
+  promote the longest short list to a new long list via the policy machine;
+* finally all buckets and the directory shadow-flush to disk and the
+  RELEASE list is freed.
+
+A word never has both a short and a long list (asserted in tests).  The
+facade works on integer word ids; :class:`repro.textindex.TextDocumentIndex`
+layers tokenization and a vocabulary on top for text documents.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..storage.diskarray import DiskArray, DiskArrayConfig
+from ..storage.iotrace import IOTrace
+from ..storage.profiles import SEAGATE_SCSI_1994, DiskProfile
+from .buckets import BucketManager
+from .flush import FlushManager
+from .longlists import LongListManager
+from .memindex import InMemoryIndex
+from .policy import Policy
+from .positional import PositionalPostings
+from .rebalance import BucketGrower, GrowthPolicy
+from .postings import DocPostings
+
+
+class WordCategory(enum.Enum):
+    """Per-update word classification behind the paper's Figure 7."""
+
+    NEW = "new"
+    BUCKET = "bucket"
+    LONG = "long"
+
+
+@dataclass(frozen=True)
+class IndexConfig:
+    """Tunable parameters of the dual-structure index.
+
+    Defaults reproduce the base case of the paper's Table 4 as reconstructed
+    in DESIGN.md §6.
+    """
+
+    nbuckets: int = 1024
+    bucket_size: int = 1024
+    block_postings: int = 64
+    bucket_unit_bytes: int = 4
+    ndisks: int = 4
+    profile: DiskProfile | None = None
+    allocator: str = "first-fit"
+    policy: Policy = field(default_factory=Policy.recommended_new)
+    store_contents: bool = False
+    #: Store word positions and region flags in every posting (paper §1);
+    #: implies content mode semantics for payloads.
+    positional: bool = False
+    nblocks_override: int | None = None
+    trace_enabled: bool = True
+    directory_entry_bytes: int = 16
+    #: Grow the bucket space automatically when occupancy crosses the
+    #: growth policy's threshold (paper §7's rebalancing strategy).
+    grow_buckets: bool = False
+    growth: GrowthPolicy = field(default_factory=GrowthPolicy)
+
+    def __post_init__(self) -> None:
+        if self.nbuckets <= 0 or self.bucket_size <= 0:
+            raise ValueError("nbuckets and bucket_size must be > 0")
+        if self.block_postings <= 0:
+            raise ValueError("block_postings must be > 0")
+
+    def array_config(self) -> DiskArrayConfig:
+        return DiskArrayConfig(
+            ndisks=self.ndisks,
+            profile=self.profile or SEAGATE_SCSI_1994,
+            allocator=self.allocator,
+            store_contents=self.store_contents,
+            nblocks_override=self.nblocks_override,
+        )
+
+
+@dataclass
+class BatchResult:
+    """Outcome of flushing one batch update."""
+
+    batch: int
+    nwords: int
+    npostings: int
+    new_words: int
+    bucket_words: int
+    long_words: int
+    migrations: int
+    io_ops: int
+    in_place_updates: int
+
+    @property
+    def category_fractions(self) -> dict[WordCategory, float]:
+        """Figure 7's per-update fractions (all zero for an empty batch)."""
+        if self.nwords == 0:
+            return {c: 0.0 for c in WordCategory}
+        return {
+            WordCategory.NEW: self.new_words / self.nwords,
+            WordCategory.BUCKET: self.bucket_words / self.nwords,
+            WordCategory.LONG: self.long_words / self.nwords,
+        }
+
+
+@dataclass
+class IndexStats:
+    """Point-in-time index statistics (the measurements of Section 5)."""
+
+    batches: int
+    long_words: int
+    long_chunks: int
+    long_postings: int
+    long_blocks: int
+    long_utilization: float
+    avg_reads_per_long_list: float
+    bucket_words: int
+    bucket_postings: int
+    bucket_occupancy: float
+    disk_allocated_blocks: int
+    disk_total_blocks: int
+    in_place_updates: int
+    in_place_possible: int
+    io_ops: int
+
+
+class DualStructureIndex:
+    """Incrementally updatable inverted index over integer word ids."""
+
+    def __init__(self, config: IndexConfig | None = None) -> None:
+        self.config = config or IndexConfig()
+        self.trace = IOTrace() if self.config.trace_enabled else None
+        self.array = DiskArray(self.config.array_config())
+        self.buckets = BucketManager(
+            self.config.nbuckets, self.config.bucket_size
+        )
+        content_cls = (
+            PositionalPostings if self.config.positional else DocPostings
+        )
+        self.longlists = LongListManager(
+            self.config.policy,
+            self.array,
+            self.config.block_postings,
+            trace=self.trace,
+            content_cls=content_cls,
+        )
+        self.flusher = FlushManager(
+            self.array,
+            self.config.block_postings,
+            trace=self.trace,
+            directory_entry_bytes=self.config.directory_entry_bytes,
+        )
+        self.memory = InMemoryIndex()
+        self.grower = BucketGrower(self.config.growth) if (
+            self.config.grow_buckets
+        ) else None
+        self._batches = 0
+        self._next_doc_id = 0
+
+    # -- ingest -----------------------------------------------------------
+
+    @property
+    def directory(self):
+        """The long-list directory (read-only use expected)."""
+        return self.longlists.directory
+
+    def add_document(self, words, doc_id: int | None = None) -> int:
+        """Add one document's words to the current in-memory batch.
+
+        Returns the document id used.  Ids are assigned in arrival order
+        when not supplied — the paper's increasing-identifier assumption
+        that keeps all lists sorted and append-only.
+        """
+        if doc_id is None:
+            doc_id = self._next_doc_id
+        elif doc_id < self._next_doc_id:
+            raise ValueError(
+                f"doc ids must be non-decreasing; got {doc_id} after "
+                f"{self._next_doc_id - 1}"
+            )
+        if self.config.positional:
+            raise RuntimeError(
+                "positional indexes ingest via add_document_occurrences"
+            )
+        self.memory.add_document(doc_id, words)
+        self._next_doc_id = doc_id + 1
+        return doc_id
+
+    def add_document_occurrences(self, occurrences, doc_id: int | None = None):
+        """Positional variant of :meth:`add_document`: ``occurrences`` are
+        ``(word, position, Region)`` triples (paper §1's posting extras)."""
+        if not self.config.positional:
+            raise RuntimeError("index is not configured as positional")
+        if doc_id is None:
+            doc_id = self._next_doc_id
+        elif doc_id < self._next_doc_id:
+            raise ValueError(
+                f"doc ids must be non-decreasing; got {doc_id} after "
+                f"{self._next_doc_id - 1}"
+            )
+        self.memory.add_document_occurrences(doc_id, occurrences)
+        self._next_doc_id = doc_id + 1
+        return doc_id
+
+    def add_counts(self, pairs) -> None:
+        """Load word-occurrence pairs into the batch (evaluation mode)."""
+        self.memory.add_counts(pairs)
+
+    def classify(self, word: int) -> WordCategory:
+        """Categorize a word as the paper's Figure 7 does: long if the
+        directory knows it, bucket if a bucket holds it, new otherwise."""
+        if word in self.longlists.directory:
+            return WordCategory.LONG
+        if self.buckets.contains(word):
+            return WordCategory.BUCKET
+        return WordCategory.NEW
+
+    def flush_batch(self) -> BatchResult:
+        """Write the in-memory index to disk as one batch update."""
+        counts = {c: 0 for c in WordCategory}
+        npostings = 0
+        migrations = 0
+        ops_before = self.longlists.counters.io_ops
+        in_place_before = self.longlists.counters.in_place_updates
+        nwords = len(self.memory)
+
+        for word, payload in self.memory.items():
+            category = self.classify(word)
+            counts[category] += 1
+            npostings += len(payload)
+            if category is WordCategory.LONG:
+                self.longlists.append(word, payload)
+            else:
+                for mword, mpayload in self.buckets.insert(word, payload):
+                    migrations += 1
+                    self.longlists.append(mword, mpayload)
+
+        if self.grower is not None:
+            # Rebalance before the flush so the enlarged region is what
+            # gets written ("expanded and written in a larger region").
+            self.grower.maybe_grow(self.buckets, batch=self._batches)
+        profile = self.array.profile
+        self.flusher.flush(
+            self.buckets.flush_blocks(
+                profile.block_size, self.config.bucket_unit_bytes
+            ),
+            self.longlists.directory,
+        )
+        self.longlists.end_batch()
+        if self.trace is not None:
+            self.trace.end_batch()
+        self.memory.clear()
+        self._batches += 1
+        return BatchResult(
+            batch=self._batches - 1,
+            nwords=nwords,
+            npostings=npostings,
+            new_words=counts[WordCategory.NEW],
+            bucket_words=counts[WordCategory.BUCKET],
+            long_words=counts[WordCategory.LONG],
+            migrations=migrations,
+            io_ops=self.longlists.counters.io_ops - ops_before,
+            in_place_updates=(
+                self.longlists.counters.in_place_updates - in_place_before
+            ),
+        )
+
+    # -- retrieval ---------------------------------------------------------
+
+    def fetch(self, word: int):
+        """Fetch a word's full posting list and the read ops it cost.
+
+        Requires content mode.  Merges, in order: the on-disk long list
+        (one read per chunk — the Figure 10 cost), or the bucket short list
+        (one bucket read), plus any unflushed postings from the current
+        in-memory batch ("the batch can be searched simultaneously with the
+        larger index", §1).
+        """
+        if not self.config.store_contents:
+            raise RuntimeError(
+                "retrieval requires store_contents=True in IndexConfig"
+            )
+        content_cls = self.longlists.content_cls
+        postings = content_cls()
+        read_ops = 0
+        entry = self.longlists.directory.get(word)
+        if entry is not None:
+            postings = self.longlists.read_postings(word)
+            read_ops = entry.nchunks
+        else:
+            short = self.buckets.get(word)
+            if short is not None:
+                if not isinstance(short, content_cls):
+                    raise RuntimeError("bucket holds count payloads")
+                postings = short.copy()
+                read_ops = 1
+        pending = self.memory.get(word)
+        if pending is not None:
+            if not isinstance(pending, content_cls):
+                raise RuntimeError("memory holds count payloads")
+            postings.extend(pending.copy())
+        return postings, read_ops
+
+    def posting_count(self, word: int) -> int:
+        """Total postings currently indexed for a word (any mode)."""
+        total = 0
+        entry = self.longlists.directory.get(word)
+        if entry is not None:
+            total += entry.npostings
+        else:
+            short = self.buckets.get(word)
+            if short is not None:
+                total += len(short)
+        pending = self.memory.get(word)
+        if pending is not None:
+            total += len(pending)
+        return total
+
+    @property
+    def ndocs(self) -> int:
+        """Documents indexed so far (content usage)."""
+        return self._next_doc_id
+
+    # -- statistics ---------------------------------------------------------
+
+    def stats(self) -> IndexStats:
+        d = self.longlists.directory
+        return IndexStats(
+            batches=self._batches,
+            long_words=d.nwords,
+            long_chunks=d.total_chunks,
+            long_postings=d.total_postings,
+            long_blocks=d.total_blocks,
+            long_utilization=d.utilization(self.config.block_postings),
+            avg_reads_per_long_list=d.avg_reads_per_list(),
+            bucket_words=self.buckets.total_words,
+            bucket_postings=self.buckets.total_postings,
+            bucket_occupancy=self.buckets.occupancy(),
+            disk_allocated_blocks=self.array.allocated_blocks,
+            disk_total_blocks=self.array.total_blocks,
+            in_place_updates=self.longlists.counters.in_place_updates,
+            in_place_possible=self.longlists.counters.appends_to_existing,
+            io_ops=self.longlists.counters.io_ops,
+        )

@@ -1,0 +1,155 @@
+"""The in-memory inverted index for arriving documents (paper §2, ¶1).
+
+"When a new document arrives it is parsed and its words are inserted into an
+in-memory inverted index.  At some point the in-memory inverted index must
+be written to disk.  Collecting many documents into an in-memory inverted
+index before writing the index to disk amortizes the cost of storing a
+posting."
+
+This is the batching structure whose contents become one *batch update*.
+It supports both payload kinds: real document ids (library use) and bare
+counts (evaluation pipeline, where a batch update is a list of
+word-occurrence pairs, paper §4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .positional import PositionalPostings, Region
+from .postings import CountPostings, DocPostings, PostingPayload
+
+
+class InMemoryIndex:
+    """Accumulates postings for a batch of arriving documents."""
+
+    def __init__(self) -> None:
+        self._lists: dict[int, PostingPayload] = {}
+        self._ndocs = 0
+        self._npostings = 0
+
+    def __len__(self) -> int:
+        """Number of distinct words in the batch."""
+        return len(self._lists)
+
+    def __contains__(self, word: int) -> bool:
+        return word in self._lists
+
+    @property
+    def ndocs(self) -> int:
+        return self._ndocs
+
+    @property
+    def npostings(self) -> int:
+        return self._npostings
+
+    @property
+    def size_units(self) -> int:
+        """Memory footprint in the paper's units: words + postings."""
+        return len(self._lists) + self._npostings
+
+    def add_document(self, doc_id: int, words: Iterable[int]) -> None:
+        """Index one document: one posting per *distinct* word.
+
+        Duplicate words within the document are dropped, as the paper's
+        lexical analysis does (§4.2).  Documents must arrive in increasing
+        id order so posting lists stay sorted.
+        """
+        seen: set[int] = set()
+        for word in words:
+            if word in seen:
+                continue
+            seen.add(word)
+            payload = self._lists.get(word)
+            if payload is None:
+                self._lists[word] = DocPostings([doc_id])
+            else:
+                payload.extend(DocPostings([doc_id]))
+            self._npostings += 1
+        self._ndocs += 1
+
+    def add_document_occurrences(
+        self, doc_id: int, occurrences: Iterable[tuple[int, int, Region]]
+    ) -> None:
+        """Index one document with word positions and regions.
+
+        ``occurrences`` yields ``(word, position, region)`` triples; per
+        word the positions are collected and the region flags or-ed, so the
+        document still contributes exactly one posting per distinct word
+        (the accounting the evaluation relies on).
+        """
+        per_word: dict[int, tuple[list[int], Region]] = {}
+        for word, position, region in occurrences:
+            if word in per_word:
+                positions, regions = per_word[word]
+                positions.append(position)
+                per_word[word] = (positions, regions | region)
+            else:
+                per_word[word] = ([position], region)
+        for word, (positions, regions) in per_word.items():
+            single = PositionalPostings.single(
+                doc_id, sorted(set(positions)), regions
+            )
+            payload = self._lists.get(word)
+            if payload is None:
+                self._lists[word] = single
+            else:
+                payload.extend(single)
+            self._npostings += 1
+        self._ndocs += 1
+
+    def add_counts(self, pairs: Iterable[tuple[int, int]]) -> None:
+        """Load a batch of word-occurrence pairs (evaluation mode)."""
+        for word, count in pairs:
+            if count <= 0:
+                raise ValueError(
+                    f"word {word} has non-positive count {count}"
+                )
+            payload = self._lists.get(word)
+            if payload is None:
+                self._lists[word] = CountPostings(count)
+            else:
+                payload.extend(CountPostings(count))
+            self._npostings += count
+
+    def get(self, word: int) -> PostingPayload | None:
+        """The in-memory list for a word, or None."""
+        return self._lists.get(word)
+
+    def items(self) -> Iterator[tuple[int, PostingPayload]]:
+        """All (word, in-memory list) pairs in ascending word order.
+
+        Sorted order matters operationally: the paper notes that sorting
+        the in-memory lists into bucket order lets an implementation keep
+        only one bucket in memory at a time during the merge.
+        """
+        for word in sorted(self._lists):
+            yield word, self._lists[word]
+
+    def items_by_bucket(self, hash_fn, nbuckets: int):
+        """All (word, list) pairs grouped by destination bucket.
+
+        The paper's memory optimization (§4.3): "the cost of maintaining
+        all the buckets in memory during the update process can be avoided
+        by sorting the in-memory lists into bucket order and then merging
+        the in-memory list with the buckets, requiring only one bucket to
+        be in memory at any single point in time."  Within each bucket the
+        words stay in ascending order, so the overall outcome is identical
+        to the word-ordered merge (asserted in tests).
+
+        Yields ``(bucket_id, [(word, payload), ...])`` in bucket order,
+        skipping empty buckets.
+        """
+        groups: dict[int, list[tuple[int, PostingPayload]]] = {}
+        for word in sorted(self._lists):
+            groups.setdefault(hash_fn(word) % nbuckets, []).append(
+                (word, self._lists[word])
+            )
+        for bucket_id in sorted(groups):
+            yield bucket_id, groups[bucket_id]
+
+    def clear(self) -> None:
+        """Reset after the batch has been written to disk."""
+        self._lists.clear()
+        self._ndocs = 0
+        self._npostings = 0

@@ -1,0 +1,227 @@
+"""Long-list allocation policies (paper Section 3, Table 2).
+
+A policy is determined by three variables:
+
+``Limit`` — when to update in place.
+    * ``ZERO``: never.  The paper then forces ``Alloc = constant`` with
+      ``k = 0`` because reserved space could never be used.
+    * ``Z``: update in place whenever the in-memory list fits entirely in
+      the slack ``z`` at the end of the list's last chunk ("an in-memory
+      inverted list is never split into two different chunks for an
+      in-place update").
+
+``Style`` — how new postings reach disk when not updating in place.
+    * ``FILL``: write fixed-size extents of ``e`` blocks until the
+      in-memory list is exhausted; the last extent's unused space becomes
+      the list's future slack.
+    * ``NEW``: write one new chunk holding the in-memory list plus
+      reserved space.
+    * ``WHOLE``: read the entire long list, append, and write the combined
+      list as a single new chunk (with reserved space); the old chunk
+      retires to the RELEASE list.
+
+``Alloc`` — reserved space ``f(x)`` for a chunk written with ``x`` postings.
+    * ``CONSTANT``: ``f(x) = x + k`` postings.
+    * ``BLOCK``: round the chunk up to a multiple of ``k`` blocks.
+    * ``PROPORTIONAL``: ``f(x) = k · x`` postings (``k >= 1``).
+
+The named constructors at the bottom reproduce the specific policies the
+paper discusses: the update-optimized and query-optimized extremes of
+Section 3, and the recommended policies of Section 5.4.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..storage.block import blocks_for_postings
+
+
+class Style(enum.Enum):
+    """How non-in-place writes are organized on disk."""
+
+    FILL = "fill"
+    NEW = "new"
+    WHOLE = "whole"
+
+
+class Limit(enum.Enum):
+    """In-place update rule: never (ZERO) or when it fits in slack (Z)."""
+
+    ZERO = "0"
+    Z = "z"
+
+
+class Alloc(enum.Enum):
+    """Reserved-space strategy for written chunks.
+
+    ``ADAPTIVE`` is the scheme the paper's related-work section attributes
+    to Faloutsos & Jagadish and leaves unstudied ("our new style with an
+    adaptive allocation scheme (not studied here)"): reserve space sized by
+    the *observed* update behaviour of each word — here, ``k`` predicted
+    future updates at the word's exponentially-weighted mean update size.
+    """
+
+    CONSTANT = "constant"
+    BLOCK = "block"
+    PROPORTIONAL = "proportional"
+    ADAPTIVE = "adaptive"
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A complete long-list allocation policy.
+
+    ``k`` parameterizes the Alloc strategy (postings for ``constant``,
+    blocks for ``block``, a multiplier for ``proportional``).
+    ``extent_blocks`` is the fill style's global extent size ``e``.
+    """
+
+    style: Style
+    limit: Limit = Limit.Z
+    alloc: Alloc = Alloc.CONSTANT
+    k: float = 0.0
+    extent_blocks: int = 4
+    #: Smoothing factor of the adaptive strategy's per-word update-size
+    #: estimate (ignored by the other strategies).
+    ewma_alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.extent_blocks <= 0:
+            raise ValueError("extent_blocks must be > 0")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.alloc is Alloc.CONSTANT and self.k < 0:
+            raise ValueError("constant allocation needs k >= 0")
+        if self.alloc is Alloc.BLOCK and (
+            self.k < 1 or self.k != int(self.k)
+        ):
+            raise ValueError("block allocation needs an integer k >= 1")
+        if self.alloc is Alloc.PROPORTIONAL and self.k < 1.0:
+            raise ValueError("proportional allocation needs k >= 1")
+        if self.alloc is Alloc.ADAPTIVE and self.k <= 0:
+            raise ValueError("adaptive allocation needs k > 0")
+        if self.limit is Limit.ZERO and not (
+            self.alloc is Alloc.CONSTANT and self.k == 0
+        ):
+            # Paper Section 3.1: with Limit = 0 reserved space is never
+            # used, so Alloc is forced to constant with k = 0.
+            raise ValueError(
+                "Limit=0 policies must use Alloc=constant with k=0 "
+                "(reserved space would never be used)"
+            )
+
+    # -- naming ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Short label in the paper's style, e.g. ``new z prop-2.0``."""
+        base = f"{self.style.value} {self.limit.value}"
+        if self.style is Style.FILL:
+            return f"{base} e={self.extent_blocks}"
+        if self.limit is Limit.ZERO:
+            return base
+        if self.alloc is Alloc.CONSTANT and self.k == 0:
+            return base
+        return f"{base} {self.alloc.value[:4]}-{self.k:g}"
+
+    # -- reserved space ---------------------------------------------------
+
+    def chunk_blocks(
+        self,
+        npostings: int,
+        block_postings: int,
+        predicted_update: float = 0.0,
+    ) -> int:
+        """Blocks to allocate for a chunk written with ``npostings``
+        postings, including reserved space ``f(x)`` (paper Section 3,
+        fourth issue).  Fill-style chunks are always ``extent_blocks``.
+
+        ``predicted_update`` feeds the adaptive strategy: the manager's
+        running estimate of the word's next in-memory list size.
+        """
+        if self.style is Style.FILL:
+            return self.extent_blocks
+        if self.alloc is Alloc.CONSTANT:
+            target = npostings + int(self.k)
+            return blocks_for_postings(target, block_postings)
+        if self.alloc is Alloc.BLOCK:
+            needed = blocks_for_postings(npostings, block_postings)
+            k = int(self.k)
+            return k * -(-needed // k)
+        if self.alloc is Alloc.ADAPTIVE:
+            target = npostings + int(math.ceil(self.k * predicted_update))
+            return blocks_for_postings(target, block_postings)
+        # PROPORTIONAL
+        target = int(math.ceil(self.k * npostings))
+        return blocks_for_postings(max(target, npostings), block_postings)
+
+    def in_place_limit(self, slack: int) -> int:
+        """The paper's ``Limit`` value: 0, or the current slack ``z``."""
+        return 0 if self.limit is Limit.ZERO else slack
+
+    # -- the policies the paper names --------------------------------------
+
+    @classmethod
+    def update_optimized(cls) -> "Policy":
+        """Section 3.1's fastest-update extreme: ``new`` style, never
+        in place — blocks stream to the end of the data with no reads."""
+        return cls(style=Style.NEW, limit=Limit.ZERO)
+
+    @classmethod
+    def query_optimized(cls, k: float = 1.2) -> "Policy":
+        """Section 3.1's fastest-query policy: ``whole`` with in-place
+        updates and proportional reserve, guaranteeing one read per list."""
+        return cls(
+            style=Style.WHOLE, limit=Limit.Z, alloc=Alloc.PROPORTIONAL, k=k
+        )
+
+    @classmethod
+    def balanced(cls, extent_blocks: int = 4) -> "Policy":
+        """Section 3.1's trade-off policy: fill fixed extents in place."""
+        return cls(style=Style.FILL, limit=Limit.Z, extent_blocks=extent_blocks)
+
+    @classmethod
+    def adaptive_new(cls, k: float = 1.0, ewma_alpha: float = 0.5) -> "Policy":
+        """The related-work adaptive scheme on the new style: reserve room
+        for ``k`` future updates at the word's observed update size."""
+        return cls(
+            style=Style.NEW,
+            limit=Limit.Z,
+            alloc=Alloc.ADAPTIVE,
+            k=k,
+            ewma_alpha=ewma_alpha,
+        )
+
+    @classmethod
+    def recommended_new(cls, k: float = 2.0) -> "Policy":
+        """Section 5.4 bottom line for update-leaning workloads: new style,
+        in-place, proportional reserve at the cusp constant."""
+        return cls(
+            style=Style.NEW, limit=Limit.Z, alloc=Alloc.PROPORTIONAL, k=k
+        )
+
+    @classmethod
+    def recommended_whole(cls, k: float = 1.2) -> "Policy":
+        """Section 5.4 bottom line for query-critical workloads."""
+        return cls.query_optimized(k=k)
+
+
+def figure8_policies(extent_blocks: int = 4) -> list[Policy]:
+    """The five policies of Figures 8–10 and 13–14.
+
+    ``whole 0`` and ``whole z`` coincide in operation counts (each append
+    costs one read and one write either way), so the counting figures label
+    a single curve "whole 0 & whole z"; we return both for the timing
+    figures, where they differ.
+    """
+    return [
+        Policy(style=Style.NEW, limit=Limit.ZERO),
+        Policy(style=Style.NEW, limit=Limit.Z),
+        Policy(style=Style.FILL, limit=Limit.ZERO, extent_blocks=extent_blocks),
+        Policy(style=Style.FILL, limit=Limit.Z, extent_blocks=extent_blocks),
+        Policy(style=Style.WHOLE, limit=Limit.ZERO),
+        Policy(style=Style.WHOLE, limit=Limit.Z),
+    ]

@@ -1,0 +1,115 @@
+"""Dynamic bucket-space growth (paper §7's open problem).
+
+"We also need to study how to dynamically grow the bucket space since,
+unfortunately, as the size of the index grows from the addition of more
+documents, the performance of the index degrades.  This implies that we
+need a strategy to rebalance the division between short and long lists for
+any number of incremental updates — i.e., periodically, as the buckets are
+read, they can be expanded and written in a larger region of disk."
+
+:class:`BucketGrower` implements the strategy the paper sketches:
+
+* a **trigger**: when bucket occupancy at a flush exceeds a threshold, the
+  bucket space has stopped absorbing the infrequent-word mass and eviction
+  pressure is pushing moderately-rare words into long lists prematurely;
+* an **action**: double the number of buckets and re-hash every short list
+  into the enlarged space (the modular hash adapts automatically).  Since
+  the buckets are all in memory during an update and are rewritten to a
+  fresh disk region at every flush anyway (shadow flushes), growth costs
+  one larger flush — exactly the "expanded and written in a larger region
+  of disk" the paper anticipates.
+
+Growth never demotes existing long lists — the division rebalances going
+forward, which is the paper's stated goal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .buckets import BucketManager, modular_hash
+
+
+@dataclass
+class GrowthEvent:
+    """Record of one bucket-space expansion."""
+
+    batch: int
+    old_nbuckets: int
+    new_nbuckets: int
+    occupancy_before: float
+
+
+@dataclass
+class GrowthPolicy:
+    """When and how to expand the bucket space."""
+
+    #: Grow when occupancy at a flush exceeds this fraction.
+    occupancy_threshold: float = 0.85
+    #: Multiply the bucket count by this factor per growth step.
+    factor: int = 2
+    #: Hard ceiling on the bucket count (0 = unlimited).
+    max_buckets: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.occupancy_threshold < 1.0:
+            raise ValueError("occupancy_threshold must be in (0, 1)")
+        if self.factor < 2:
+            raise ValueError("factor must be >= 2")
+        if self.max_buckets < 0:
+            raise ValueError("max_buckets must be >= 0")
+
+
+class BucketGrower:
+    """Applies a :class:`GrowthPolicy` to a :class:`BucketManager`."""
+
+    def __init__(self, policy: GrowthPolicy | None = None) -> None:
+        self.policy = policy or GrowthPolicy()
+        self.events: list[GrowthEvent] = []
+
+    def should_grow(self, manager: BucketManager) -> bool:
+        occupancy = manager.occupancy()
+        if occupancy <= self.policy.occupancy_threshold:
+            return False
+        if (
+            self.policy.max_buckets
+            and manager.nbuckets * self.policy.factor > self.policy.max_buckets
+        ):
+            return False
+        return True
+
+    def grow(self, manager: BucketManager, batch: int = -1) -> GrowthEvent:
+        """Expand the manager in place: ``factor``× buckets, re-hashed.
+
+        Every short list moves to its new home bucket; capacities per
+        bucket are unchanged, so total bucket space multiplies.  Returns
+        the recorded event.
+        """
+        event = GrowthEvent(
+            batch=batch,
+            old_nbuckets=manager.nbuckets,
+            new_nbuckets=manager.nbuckets * self.policy.factor,
+            occupancy_before=manager.occupancy(),
+        )
+        old_buckets = manager.buckets
+        manager.nbuckets = event.new_nbuckets
+        manager.hash_fn = modular_hash(manager.nbuckets)
+        manager.buckets = [
+            type(old_buckets[0])(manager.bucket_size)
+            for _ in range(manager.nbuckets)
+        ]
+        for bucket in old_buckets:
+            for word, payload in bucket.lists.items():
+                home = manager.buckets[manager.bucket_of(word)]
+                home.lists[word] = payload
+                home.npostings += len(payload)
+        # Growth cannot overflow: per-word loads are unchanged and every
+        # destination bucket holds a subset of one old bucket's words.
+        self.events.append(event)
+        return event
+
+    def maybe_grow(self, manager: BucketManager, batch: int = -1):
+        """Grow if the trigger fires; returns the event or None."""
+        if self.should_grow(manager):
+            return self.grow(manager, batch=batch)
+        return None

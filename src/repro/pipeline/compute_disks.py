@@ -1,0 +1,120 @@
+"""ComputeDisks process: long-list trace + policy → I/O trace (§4.4).
+
+"The compute disks process takes as input the trace file of long list
+updates and computes the sequence of I/O system calls required to implement
+the policies described in Section 3.  In addition, the write operations for
+saving the buckets and the directory are added at the end of each batch
+update."
+
+The stage replays the policy-independent long-list trace through a
+:class:`~repro.core.longlists.LongListManager` configured with one policy,
+records every I/O system call on an :class:`~repro.storage.IOTrace`, and
+samples the per-update metric series (cumulative ops, utilization, reads
+per list, in-place updates) that Figures 8–12 and Tables 5–6 are built of.
+
+The disk array here uses a large *virtual* capacity: the paper's
+ComputeDisks stage generated traces even for the ``fill 0`` policy whose
+layout later proved too large for the physical disks; infeasibility is the
+ExerciseDisks stage's verdict, not this one's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.metrics import UpdateSeries
+from ..core.flush import FlushManager
+from ..core.longlists import LongListCounters, LongListManager
+from ..core.policy import Policy
+from ..core.postings import CountPostings
+from ..storage.diskarray import DiskArray, DiskArrayConfig
+from ..storage.iotrace import IOTrace
+from ..storage.profiles import SEAGATE_SCSI_1994, DiskProfile
+from .compute_buckets import LongListTrace
+
+
+@dataclass(frozen=True)
+class DiskStageConfig:
+    """Parameters of the ComputeDisks stage (paper Table 4 slice)."""
+
+    policy: Policy
+    ndisks: int = 4
+    block_postings: int = 64
+    #: Blocks the bucket region occupies per flush (constant across a run).
+    bucket_flush_blocks: int = 1024
+    #: Virtual per-disk capacity for trace generation (16 GB at 4 KB).
+    virtual_blocks: int = 4_194_304
+    allocator: str = "first-fit"
+    profile: DiskProfile | None = None
+
+
+@dataclass
+class DiskStageResult:
+    """Everything the ComputeDisks stage produces for one policy."""
+
+    policy: Policy
+    trace: IOTrace
+    series: UpdateSeries
+    counters: LongListCounters
+    manager: LongListManager
+
+    @property
+    def final_avg_reads(self) -> float:
+        return self.manager.directory.avg_reads_per_list()
+
+    @property
+    def final_utilization(self) -> float:
+        return self.manager.directory.utilization(
+            self.manager.block_postings
+        )
+
+
+class ComputeDisksProcess:
+    """Replays a long-list trace against one allocation policy."""
+
+    def __init__(self, config: DiskStageConfig) -> None:
+        self.config = config
+        profile = config.profile or SEAGATE_SCSI_1994
+        self.trace = IOTrace()
+        self.array = DiskArray(
+            DiskArrayConfig(
+                ndisks=config.ndisks,
+                profile=profile,
+                allocator=config.allocator,
+                nblocks_override=config.virtual_blocks,
+            )
+        )
+        self.manager = LongListManager(
+            config.policy,
+            self.array,
+            config.block_postings,
+            trace=self.trace,
+        )
+        self.flusher = FlushManager(
+            self.array, config.block_postings, trace=self.trace
+        )
+
+    def run(self, long_trace: LongListTrace) -> DiskStageResult:
+        """Replay every batch of the long-list trace."""
+        series = UpdateSeries()
+        directory = self.manager.directory
+        bp = self.config.block_postings
+        for batch in long_trace.batches:
+            for update in batch:
+                self.manager.append(update.word, CountPostings(update.npostings))
+            self.flusher.flush(self.config.bucket_flush_blocks, directory)
+            self.manager.end_batch()
+            self.trace.end_batch()
+            series.io_ops.append(self.trace.nops)
+            series.utilization.append(directory.utilization(bp))
+            series.avg_reads.append(directory.avg_reads_per_list())
+            series.in_place.append(self.manager.counters.in_place_updates)
+            series.long_words.append(directory.nwords)
+            series.long_blocks.append(directory.total_blocks)
+        return DiskStageResult(
+            policy=self.config.policy,
+            trace=self.trace,
+            series=series,
+            counters=self.manager.counters,
+            manager=self.manager,
+        )

@@ -1,0 +1,97 @@
+"""Corpus statistics: the paper's Table 1.
+
+Table 1 reports, for the News abstracts database: total words (vocabulary),
+total postings, documents, average postings per word, the number of
+frequent vs infrequent words, and the share of postings each group carries
+(frequent = words ranking in a small top percentile by frequency; the
+paper's prose example uses the top fraction of words carrying the vast
+majority of postings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..analysis.reporting import format_table
+from ..text.batchupdate import BatchUpdate
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Whole-corpus statistics in the shape of the paper's Table 1."""
+
+    total_words: int
+    total_postings: int
+    documents: int
+    avg_postings_per_word: float
+    frequent_fraction: float
+    frequent_words: int
+    infrequent_words: int
+    frequent_postings_share: float
+    infrequent_postings_share: float
+
+    def as_table(self) -> str:
+        """Render in the paper's Table-1 layout."""
+        rows = [
+            ("Total Words", self.total_words),
+            ("Total Postings", self.total_postings),
+            ("Documents", self.documents),
+            ("Average Postings per Word", round(self.avg_postings_per_word, 1)),
+            (
+                f"Frequent Words (top {self.frequent_fraction:.1%})",
+                self.frequent_words,
+            ),
+            ("Infrequent Words", self.infrequent_words),
+            (
+                "Postings for Frequent Words",
+                f"{self.frequent_postings_share:.1%}",
+            ),
+            (
+                "Postings for Infrequent Words",
+                f"{self.infrequent_postings_share:.1%}",
+            ),
+        ]
+        return format_table(
+            ("Statistic", "Value"), rows, title="Text Document Database: News"
+        )
+
+
+def corpus_stats(
+    updates: Iterable[BatchUpdate], frequent_fraction: float = 0.002
+) -> CorpusStats:
+    """Aggregate batch updates into Table-1 statistics.
+
+    ``frequent_fraction`` is the top-percentile cutoff defining "frequent";
+    the paper's table uses a small top fraction of the frequency ranking.
+    """
+    if not 0.0 < frequent_fraction < 1.0:
+        raise ValueError("frequent_fraction must be in (0, 1)")
+    counts: dict[int, int] = {}
+    ndocs = 0
+    for update in updates:
+        ndocs += update.ndocs
+        for word, count in update:
+            counts[word] = counts.get(word, 0) + count
+    if not counts:
+        raise ValueError("no words in corpus")
+    values = np.sort(np.fromiter(counts.values(), dtype=np.int64))[::-1]
+    total_words = int(values.size)
+    total_postings = int(values.sum())
+    nfrequent = max(1, int(round(frequent_fraction * total_words)))
+    frequent_postings = int(values[:nfrequent].sum())
+    return CorpusStats(
+        total_words=total_words,
+        total_postings=total_postings,
+        documents=ndocs,
+        avg_postings_per_word=total_postings / total_words,
+        frequent_fraction=frequent_fraction,
+        frequent_words=nfrequent,
+        infrequent_words=total_words - nfrequent,
+        frequent_postings_share=frequent_postings / total_postings,
+        infrequent_postings_share=(
+            (total_postings - frequent_postings) / total_postings
+        ),
+    )

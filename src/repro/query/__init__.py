@@ -1,0 +1,47 @@
+"""Query substrate: boolean and vector IR models plus cost estimation."""
+
+from .boolean import (
+    QueryParseError,
+    difference,
+    evaluate,
+    intersect,
+    parse,
+    union,
+)
+from .cost import BooleanWorkload, QueryCostModel, VectorWorkload
+from .positional import phrase_docs, positions_within, proximity_docs, region_docs
+from .streaming import (
+    ListCursor,
+    StreamStats,
+    stream_intersect,
+    stream_union,
+    streamed_and,
+    streamed_or,
+)
+from .vector import ScoredDocument, idf, query_from_document, rank
+
+__all__ = [
+    "BooleanWorkload",
+    "ListCursor",
+    "StreamStats",
+    "QueryCostModel",
+    "QueryParseError",
+    "ScoredDocument",
+    "VectorWorkload",
+    "difference",
+    "evaluate",
+    "idf",
+    "intersect",
+    "parse",
+    "phrase_docs",
+    "positions_within",
+    "proximity_docs",
+    "query_from_document",
+    "region_docs",
+    "rank",
+    "stream_intersect",
+    "stream_union",
+    "streamed_and",
+    "streamed_or",
+    "union",
+]

@@ -1,0 +1,137 @@
+"""Query-cost models for the two IR models (paper §5.2.1).
+
+"Measuring query performance for a policy is difficult since the typical
+workload depends on the information retrieval model.  For a typical boolean
+IRM, a query contains a few words (less than 10) and the words tend to be
+the less frequently appearing words ... Thus we would expect many query
+words to reside in buckets for this model.  For a typical vector space IRM,
+a query may be derived from a document; consequently the query often
+contains many words (more than 100) and the words tend to be frequently
+appearing words."
+
+Cost accounting:
+
+* a word with a **long list** costs one read per chunk (the directory is in
+  memory; chunks are contiguous);
+* a word with a **short list** costs one bucket read;
+* an unknown word costs nothing (the directory and ``h(w)`` resolve it).
+
+The vector-IRM aggregate is the paper's Figure-10 metric — average chunks
+per long list — because vector queries are dominated by long-list words.
+The boolean-IRM aggregate samples few-word queries biased toward infrequent
+words and reports expected reads per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..core.directory import Directory
+
+
+@dataclass(frozen=True)
+class BooleanWorkload:
+    """Shape of a boolean query workload (paper's "less than 10 words",
+    biased to infrequent words)."""
+
+    words_per_query: int = 4
+    #: Words are drawn from outside the top ``frequent_cutoff`` fraction of
+    #: the vocabulary by total postings.
+    frequent_cutoff: float = 0.02
+    nqueries: int = 200
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.words_per_query <= 0 or self.nqueries <= 0:
+            raise ValueError("words_per_query and nqueries must be > 0")
+        if not 0.0 <= self.frequent_cutoff < 1.0:
+            raise ValueError("frequent_cutoff must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class VectorWorkload:
+    """Shape of a vector query workload (paper's "more than 100 words",
+    frequency-weighted)."""
+
+    words_per_query: int = 150
+    nqueries: int = 50
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.words_per_query <= 0 or self.nqueries <= 0:
+            raise ValueError("words_per_query and nqueries must be > 0")
+
+
+class QueryCostModel:
+    """Estimates expected read operations per query for an index state.
+
+    ``word_counts`` maps every indexed word to its total postings — the
+    frequency distribution queries are sampled against.  ``directory`` and
+    ``bucket_words`` describe where each word's list lives.
+    """
+
+    def __init__(
+        self,
+        directory: Directory,
+        bucket_words: set[int],
+        word_counts: Mapping[int, int],
+    ) -> None:
+        self.directory = directory
+        self.bucket_words = bucket_words
+        self.word_counts = dict(word_counts)
+
+    def reads_for_word(self, word: int) -> int:
+        """Read ops to fetch one word's list."""
+        entry = self.directory.get(word)
+        if entry is not None:
+            return entry.nchunks
+        if word in self.bucket_words:
+            return 1
+        return 0
+
+    def vector_cost(self, workload: VectorWorkload | None = None) -> float:
+        """Expected reads per vector query word.
+
+        Samples query words proportionally to their posting counts (queries
+        derived from documents see words at document rates) and averages
+        the per-word read cost.  Figure 10's directory-level metric is the
+        long-list-only limit of this number.
+        """
+        wl = workload or VectorWorkload()
+        words = np.array(sorted(self.word_counts), dtype=np.int64)
+        if words.size == 0:
+            return 0.0
+        counts = np.array(
+            [self.word_counts[int(w)] for w in words], dtype=np.float64
+        )
+        probs = counts / counts.sum()
+        rng = np.random.default_rng(wl.seed)
+        total_reads = 0
+        nwords = wl.nqueries * wl.words_per_query
+        for word in rng.choice(words, size=nwords, p=probs):
+            total_reads += self.reads_for_word(int(word))
+        return total_reads / nwords
+
+    def boolean_cost(self, workload: BooleanWorkload | None = None) -> float:
+        """Expected reads per boolean *query* (few infrequent words)."""
+        wl = workload or BooleanWorkload()
+        ranked = sorted(
+            self.word_counts, key=lambda w: -self.word_counts[w]
+        )
+        cutoff = int(len(ranked) * wl.frequent_cutoff)
+        infrequent = np.array(ranked[cutoff:], dtype=np.int64)
+        if infrequent.size == 0:
+            return 0.0
+        rng = np.random.default_rng(wl.seed)
+        total_reads = 0
+        for _ in range(wl.nqueries):
+            query = rng.choice(
+                infrequent,
+                size=min(wl.words_per_query, infrequent.size),
+                replace=False,
+            )
+            total_reads += sum(self.reads_for_word(int(w)) for w in query)
+        return total_reads / wl.nqueries

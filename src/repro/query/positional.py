@@ -1,0 +1,106 @@
+"""Positional query conditions (paper §1).
+
+"The query may also give additional conditions, such as requiring that
+'cat' and 'dog' occur within so many words of each other, or that 'mouse'
+occur within a title region."
+
+Three evaluators over :class:`~repro.core.positional.PositionalPostings`:
+
+* :func:`proximity_docs` — documents where two words occur within ``k``
+  positions of each other;
+* :func:`phrase_docs` — documents containing an exact word sequence
+  (consecutive positions);
+* :func:`region_docs` — documents where a word occurs inside a region.
+
+All run by merging sorted posting lists, then checking positions only on
+the merged candidates — the "prune with inverted lists first" discipline
+the paper describes for conditional evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.positional import PositionalPostings, Region
+
+
+def positions_within(
+    a: Sequence[int], b: Sequence[int], k: int
+) -> bool:
+    """True when some position of ``a`` is within ``k`` of one of ``b``.
+
+    Linear two-pointer scan over the sorted position lists.
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    i = j = 0
+    while i < len(a) and j < len(b):
+        delta = a[i] - b[j]
+        if abs(delta) <= k:
+            return True
+        if delta > 0:
+            j += 1
+        else:
+            i += 1
+    return False
+
+
+def _candidates(payloads: Sequence[PositionalPostings]) -> list[int]:
+    """Doc ids present in every payload (sorted-list intersection)."""
+    if not payloads:
+        return []
+    docs = payloads[0].doc_ids
+    for payload in payloads[1:]:
+        other = set(payload.doc_ids)
+        docs = [d for d in docs if d in other]
+    return docs
+
+
+def proximity_docs(
+    a: PositionalPostings, b: PositionalPostings, k: int
+) -> list[int]:
+    """Documents where the two words occur within ``k`` words of each
+    other (the paper's "within so many words" condition)."""
+    out = []
+    for doc in _candidates([a, b]):
+        pa = a.positions_for(doc)
+        pb = b.positions_for(doc)
+        if pa and pb and positions_within(pa, pb, k):
+            out.append(doc)
+    return out
+
+
+def phrase_docs(payloads: Sequence[PositionalPostings]) -> list[int]:
+    """Documents containing the words as an exact consecutive phrase.
+
+    Word ``i`` of the phrase must occur at position ``p + i`` for some
+    anchor ``p``.  A single-word phrase degenerates to its posting list.
+    """
+    if not payloads:
+        return []
+    if len(payloads) == 1:
+        return list(payloads[0].doc_ids)
+    out = []
+    for doc in _candidates(payloads):
+        position_sets = [
+            set(p.positions_for(doc) or ()) for p in payloads
+        ]
+        anchors = position_sets[0]
+        if any(
+            all((anchor + i) in position_sets[i] for i in range(1, len(payloads)))
+            for anchor in anchors
+        ):
+            out.append(doc)
+    return out
+
+
+def region_docs(
+    payload: PositionalPostings, region: Region
+) -> list[int]:
+    """Documents where the word occurs inside ``region`` (the paper's
+    "occur within a title region" condition)."""
+    return [
+        posting.doc_id
+        for posting in payload.entries
+        if posting.regions & region
+    ]

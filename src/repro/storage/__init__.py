@@ -1,0 +1,61 @@
+"""Disk substrate: blocks, free lists, simulated disks, traces, exerciser.
+
+This subpackage stands in for the raw SCSI disks of the paper's testbed.
+See DESIGN.md ("Substitutions") for how the timing model preserves the
+behaviours the paper's evaluation depends on.
+"""
+
+from .block import BlockRange, Chunk, blocks_for_postings
+from .btree import BTree, BTreeConfig
+from .disk import DiskCounters, DiskFullError, SimulatedDisk
+from .diskarray import DiskArray, DiskArrayConfig
+from .exerciser import BatchTiming, DiskExerciser, ExerciseResult
+from .freelist import (
+    ALLOCATORS,
+    BestFitFreeList,
+    BuddyFreeList,
+    FirstFitFreeList,
+    FreeListError,
+    make_freelist,
+)
+from .iotrace import IOTrace, OpKind, Target, TraceOp
+from .profiles import (
+    FAST_SCSI_1996,
+    MODERN_HDD,
+    OPTICAL_1994,
+    PROFILES,
+    SEAGATE_SCSI_1994,
+    DiskProfile,
+)
+
+__all__ = [
+    "ALLOCATORS",
+    "BTree",
+    "BTreeConfig",
+    "BatchTiming",
+    "BestFitFreeList",
+    "BlockRange",
+    "BuddyFreeList",
+    "Chunk",
+    "DiskArray",
+    "DiskArrayConfig",
+    "DiskCounters",
+    "DiskExerciser",
+    "DiskFullError",
+    "DiskProfile",
+    "ExerciseResult",
+    "FAST_SCSI_1996",
+    "FirstFitFreeList",
+    "FreeListError",
+    "IOTrace",
+    "MODERN_HDD",
+    "OPTICAL_1994",
+    "OpKind",
+    "PROFILES",
+    "SEAGATE_SCSI_1994",
+    "SimulatedDisk",
+    "Target",
+    "TraceOp",
+    "blocks_for_postings",
+    "make_freelist",
+]

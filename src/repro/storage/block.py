@@ -1,0 +1,144 @@
+"""Block-level primitives for the simulated disk subsystem.
+
+The paper (Section 3) distinguishes three granularities of disk space:
+
+* **block** — the unit of disk transfer (``BlockSize`` bytes, holding up to
+  ``BlockPosting`` postings of a single word's long list).
+* **extent** — a *fixed-size* contiguous run of blocks, used by the ``fill``
+  style (global parameter ``e``).
+* **chunk** — a *variable-size* contiguous run of blocks.  A long inverted
+  list is a sequence of one or more chunks, possibly on different disks; the
+  directory records the chunk pointers.
+
+This module defines the value objects shared by the allocator, the long-list
+manager, and the trace machinery.  They deliberately contain no behaviour
+beyond simple derived quantities so that every policy decision lives in
+:mod:`repro.core.longlists` where the paper describes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def blocks_for_postings(npostings: int, block_postings: int) -> int:
+    """Number of blocks needed to hold ``npostings`` postings.
+
+    A request for zero postings still occupies one block: the paper's
+    ``WRITE`` primitive always allocates whole blocks and a chunk is never
+    empty on disk.
+
+    >>> blocks_for_postings(1, 256)
+    1
+    >>> blocks_for_postings(256, 256)
+    1
+    >>> blocks_for_postings(257, 256)
+    2
+    """
+    if npostings < 0:
+        raise ValueError(f"npostings must be >= 0, got {npostings}")
+    if block_postings <= 0:
+        raise ValueError(f"block_postings must be > 0, got {block_postings}")
+    if npostings == 0:
+        return 1
+    return -(-npostings // block_postings)
+
+
+@dataclass(frozen=True)
+class BlockRange:
+    """A contiguous run of blocks on a single disk.
+
+    ``start`` is a block address local to the disk; ``nblocks`` is the run
+    length.  Immutable so ranges can be used as set/dict members when the
+    exerciser coalesces requests.
+    """
+
+    disk: int
+    start: int
+    nblocks: int
+
+    def __post_init__(self) -> None:
+        if self.disk < 0:
+            raise ValueError(f"disk must be >= 0, got {self.disk}")
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.nblocks <= 0:
+            raise ValueError(f"nblocks must be > 0, got {self.nblocks}")
+
+    @property
+    def end(self) -> int:
+        """One past the last block of the range."""
+        return self.start + self.nblocks
+
+    def adjacent_to(self, other: "BlockRange") -> bool:
+        """True when ``other`` begins exactly where this range ends."""
+        return self.disk == other.disk and self.end == other.start
+
+    def overlaps(self, other: "BlockRange") -> bool:
+        """True when the two ranges share at least one block."""
+        return (
+            self.disk == other.disk
+            and self.start < other.end
+            and other.start < self.end
+        )
+
+
+@dataclass
+class Chunk:
+    """One contiguous piece of a long inverted list.
+
+    A chunk tracks how many postings it currently holds (``npostings``)
+    against its physical capacity (``nblocks * block_postings``); the
+    difference is the slack ``z`` the paper's in-place update tests against.
+    """
+
+    disk: int
+    start: int
+    nblocks: int
+    npostings: int = 0
+    #: Reserved-postings watermark: capacity the allocation strategy set
+    #: aside on purpose (informational; slack is computed from capacity).
+    reserved: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nblocks <= 0:
+            raise ValueError(f"nblocks must be > 0, got {self.nblocks}")
+        if self.npostings < 0:
+            raise ValueError(f"npostings must be >= 0, got {self.npostings}")
+
+    def capacity(self, block_postings: int) -> int:
+        """Maximum postings the chunk can hold."""
+        return self.nblocks * block_postings
+
+    def slack(self, block_postings: int) -> int:
+        """Free posting slots at the end of the chunk (the paper's ``z``)."""
+        return self.capacity(block_postings) - self.npostings
+
+    def block_range(self) -> BlockRange:
+        """The physical blocks backing this chunk."""
+        return BlockRange(self.disk, self.start, self.nblocks)
+
+    def last_block(self) -> BlockRange:
+        """The final block of the chunk — what UPDATE reads before an
+        in-place append."""
+        return BlockRange(self.disk, self.start + self.nblocks - 1, 1)
+
+    def blocks_touched_by_append(
+        self, npostings: int, block_postings: int
+    ) -> BlockRange:
+        """Blocks an in-place append of ``npostings`` postings writes.
+
+        The append begins in the (possibly partially filled) block that
+        currently holds the tail of the list and extends into the reserved
+        blocks.  Used by UPDATE to emit a faithful write trace.
+        """
+        if npostings <= 0:
+            raise ValueError("append of <= 0 postings")
+        if npostings > self.slack(block_postings):
+            raise ValueError(
+                f"append of {npostings} does not fit in slack "
+                f"{self.slack(block_postings)}"
+            )
+        first = self.start + self.npostings // block_postings
+        last = self.start + (self.npostings + npostings - 1) // block_postings
+        return BlockRange(self.disk, first, last - first + 1)

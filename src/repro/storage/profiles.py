@@ -1,0 +1,171 @@
+"""Disk performance profiles for the exercise-disks simulator.
+
+The paper ran its I/O traces on an IBM RS/6000 Model 350 with four Seagate
+SCSI-2 disks on a shared SCSI bus.  We do not have that hardware; instead the
+simulator is parameterized by a :class:`DiskProfile` capturing the quantities
+that determine trace execution time:
+
+* a seek-time curve (track-to-track, average, full-stroke),
+* rotational latency (from spindle RPM),
+* sustained transfer rate,
+* capacity.
+
+``SEAGATE_SCSI_1994`` approximates the paper's drives (early-90s 3.5" SCSI:
+~2 GB, 5400 RPM, ~10.5 ms average seek, ~3 MB/s sustained).  The other
+profiles support the extension benchmark that varies disk speed and studies
+an optical disk, which the paper's Section 7 reports doing in its extended
+technical report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DiskProfile:
+    """Performance and capacity parameters of one simulated disk.
+
+    Seek time for a request ``d`` blocks away from the head follows the
+    standard square-root model calibrated to the three published numbers:
+
+    ``seek(d) = tt + (avg - tt) * sqrt(d / (capacity / 3))`` clamped to
+    ``max_seek`` — the average seek distance of a random workload is one
+    third of the stroke, so the curve passes through (capacity/3, avg).
+    """
+
+    name: str
+    nblocks: int
+    block_size: int
+    track_to_track_ms: float
+    avg_seek_ms: float
+    max_seek_ms: float
+    rpm: float
+    transfer_mb_s: float
+    #: Multiplier on transfer time for writes (optical media write slower).
+    write_penalty: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nblocks <= 0:
+            raise ValueError("nblocks must be > 0")
+        if self.block_size <= 0:
+            raise ValueError("block_size must be > 0")
+        if not (
+            0 <= self.track_to_track_ms <= self.avg_seek_ms <= self.max_seek_ms
+        ):
+            raise ValueError(
+                "seek times must satisfy 0 <= track-to-track <= avg <= max"
+            )
+        if self.rpm <= 0 or self.transfer_mb_s <= 0 or self.write_penalty <= 0:
+            raise ValueError("rpm, transfer rate and write penalty must be > 0")
+
+    @property
+    def rotational_latency_s(self) -> float:
+        """Average rotational latency: half a revolution."""
+        return 0.5 * 60.0 / self.rpm
+
+    @property
+    def block_transfer_s(self) -> float:
+        """Time to transfer one block at the sustained rate."""
+        return self.block_size / (self.transfer_mb_s * 1_000_000.0)
+
+    def seek_s(self, distance_blocks: int) -> float:
+        """Seek time in seconds for a head movement of ``distance_blocks``."""
+        if distance_blocks < 0:
+            raise ValueError("seek distance must be >= 0")
+        if distance_blocks == 0:
+            return 0.0
+        reference = self.nblocks / 3.0
+        t = self.track_to_track_ms + (
+            self.avg_seek_ms - self.track_to_track_ms
+        ) * math.sqrt(distance_blocks / reference)
+        return min(t, self.max_seek_ms) / 1000.0
+
+    def transfer_s(self, nblocks: int, is_write: bool) -> float:
+        """Transfer time for ``nblocks`` blocks."""
+        if nblocks <= 0:
+            raise ValueError("nblocks must be > 0")
+        t = nblocks * self.block_transfer_s
+        if is_write:
+            t *= self.write_penalty
+        return t
+
+    def scaled(self, speedup: float, name: str | None = None) -> "DiskProfile":
+        """A profile ``speedup``× faster in both seek and transfer.
+
+        Used by the disk-speed extension benchmark.
+        """
+        if speedup <= 0:
+            raise ValueError("speedup must be > 0")
+        return DiskProfile(
+            name=name or f"{self.name}-x{speedup:g}",
+            nblocks=self.nblocks,
+            block_size=self.block_size,
+            track_to_track_ms=self.track_to_track_ms / speedup,
+            avg_seek_ms=self.avg_seek_ms / speedup,
+            max_seek_ms=self.max_seek_ms / speedup,
+            rpm=self.rpm * speedup,
+            transfer_mb_s=self.transfer_mb_s * speedup,
+            write_penalty=self.write_penalty,
+        )
+
+    def with_capacity(self, nblocks: int) -> "DiskProfile":
+        """Same timing parameters with a different capacity."""
+        return DiskProfile(
+            name=self.name,
+            nblocks=nblocks,
+            block_size=self.block_size,
+            track_to_track_ms=self.track_to_track_ms,
+            avg_seek_ms=self.avg_seek_ms,
+            max_seek_ms=self.max_seek_ms,
+            rpm=self.rpm,
+            transfer_mb_s=self.transfer_mb_s,
+            write_penalty=self.write_penalty,
+        )
+
+
+#: Approximation of the paper's Seagate SCSI-2 drives (2 GB, 4 KB blocks).
+SEAGATE_SCSI_1994 = DiskProfile(
+    name="seagate-scsi-1994",
+    nblocks=524_288,  # 2 GB / 4 KB
+    block_size=4096,
+    track_to_track_ms=1.7,
+    avg_seek_ms=10.5,
+    max_seek_ms=22.0,
+    rpm=5400.0,
+    transfer_mb_s=3.0,
+)
+
+#: A mid-90s "fast SCSI" drive for the disk-speed sweep.
+FAST_SCSI_1996 = SEAGATE_SCSI_1994.scaled(2.0, name="fast-scsi-1996")
+
+#: A (conservatively) modern 7200 RPM drive.
+MODERN_HDD = DiskProfile(
+    name="modern-hdd",
+    nblocks=524_288,
+    block_size=4096,
+    track_to_track_ms=0.5,
+    avg_seek_ms=4.0,
+    max_seek_ms=9.0,
+    rpm=7200.0,
+    transfer_mb_s=150.0,
+)
+
+#: Magneto-optical disk of the era: very slow seeks, slow writes.
+OPTICAL_1994 = DiskProfile(
+    name="optical-1994",
+    nblocks=262_144,  # 1 GB
+    block_size=4096,
+    track_to_track_ms=20.0,
+    avg_seek_ms=80.0,
+    max_seek_ms=150.0,
+    rpm=2400.0,
+    transfer_mb_s=1.0,
+    write_penalty=2.0,  # write-verify pass
+)
+
+PROFILES = {
+    p.name: p
+    for p in (SEAGATE_SCSI_1994, FAST_SCSI_1996, MODERN_HDD, OPTICAL_1994)
+}

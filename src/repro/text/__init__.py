@@ -1,0 +1,58 @@
+"""Text substrate: tokenization, documents, vocabulary, batch updates."""
+
+from .batchupdate import (
+    END_MARKER,
+    BatchUpdate,
+    build_batch_update,
+    read_updates,
+    write_updates,
+)
+from .occurrences import (
+    DEFAULT_REGION_PREFIXES,
+    Occurrence,
+    RegionRules,
+    tokenize_occurrences,
+)
+from .documents import (
+    Document,
+    DocumentBatch,
+    FilterConfig,
+    admit,
+    filter_batch,
+    text_fraction,
+)
+from .tokenizer import (
+    DEFAULT_IGNORED_PREFIXES,
+    DEFAULT_STOP_WORDS,
+    TokenizerConfig,
+    tokenize,
+    tokenize_document,
+    tokenize_line,
+)
+from .vocabulary import Vocabulary, alphabetical_ids
+
+__all__ = [
+    "BatchUpdate",
+    "DEFAULT_IGNORED_PREFIXES",
+    "DEFAULT_STOP_WORDS",
+    "DEFAULT_REGION_PREFIXES",
+    "Occurrence",
+    "RegionRules",
+    "tokenize_occurrences",
+    "Document",
+    "DocumentBatch",
+    "END_MARKER",
+    "FilterConfig",
+    "TokenizerConfig",
+    "Vocabulary",
+    "admit",
+    "alphabetical_ids",
+    "build_batch_update",
+    "filter_batch",
+    "read_updates",
+    "text_fraction",
+    "tokenize",
+    "tokenize_document",
+    "tokenize_line",
+    "write_updates",
+]

@@ -1,0 +1,106 @@
+"""Batch updates: word-occurrence pairs per day (paper §4.2, Table 3).
+
+"A batch update contains a list of words that appear in the documents of
+the batch and the number of times each word occurs in the batch."  The
+count is the number of *documents containing* the word — duplicates within
+a document were dropped by the lexer — i.e. the size of the in-memory
+inverted list the update stands for.
+
+The text serialization follows the paper's artifacts:
+
+* Table-3 style (word form): ``abandons 1`` pairs, whitespace separated;
+* Figure-5 style (integer form): ``<word-id> <count>`` lines with a
+  ``0 0`` line marking the end of each batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, TextIO
+
+
+@dataclass
+class BatchUpdate:
+    """One day's word-occurrence pairs, in ascending word-id order."""
+
+    day: int
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+    ndocs: int = 0
+
+    def __post_init__(self) -> None:
+        prev = -1
+        for word, count in self.pairs:
+            if word <= prev:
+                raise ValueError(
+                    f"pairs must be sorted by strictly increasing word id; "
+                    f"{word} after {prev}"
+                )
+            if word <= 0:
+                raise ValueError("word ids must be >= 1 (0 is the marker)")
+            if count <= 0:
+                raise ValueError(f"word {word} has non-positive count {count}")
+            prev = word
+
+    @property
+    def nwords(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def npostings(self) -> int:
+        return sum(count for _, count in self.pairs)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self.pairs)
+
+
+def build_batch_update(
+    day: int, doc_word_sets: Iterable[Iterable[int]]
+) -> BatchUpdate:
+    """Aggregate per-document word sets into one batch update.
+
+    Each element of ``doc_word_sets`` is one document's distinct word ids;
+    the update records, per word, the number of documents containing it.
+    """
+    counts: dict[int, int] = {}
+    ndocs = 0
+    for words in doc_word_sets:
+        ndocs += 1
+        for word in set(words):
+            counts[word] = counts.get(word, 0) + 1
+    pairs = sorted(counts.items())
+    return BatchUpdate(day=day, pairs=pairs, ndocs=ndocs)
+
+
+# -- Figure-5 text format -------------------------------------------------------
+
+END_MARKER = "0 0"
+
+
+def write_updates(updates: Iterable[BatchUpdate], fp: TextIO) -> None:
+    """Serialize batch updates in the Figure-5 integer format."""
+    for update in updates:
+        for word, count in update.pairs:
+            fp.write(f"{word} {count}\n")
+        fp.write(END_MARKER + "\n")
+
+
+def read_updates(fp: TextIO) -> Iterator[BatchUpdate]:
+    """Parse the Figure-5 format back into batch updates."""
+    day = 0
+    pairs: list[tuple[int, int]] = []
+    for raw in fp:
+        line = raw.strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"malformed batch-update line: {line!r}")
+        word, count = int(parts[0]), int(parts[1])
+        if (word, count) == (0, 0):
+            yield BatchUpdate(day=day, pairs=pairs)
+            day += 1
+            pairs = []
+        else:
+            pairs.append((word, count))
+    if pairs:
+        yield BatchUpdate(day=day, pairs=pairs)

@@ -1,0 +1,129 @@
+"""Lexical analysis of documents (paper Section 4.2).
+
+"To generate a batch update, each document in the batch is lexically
+analyzed to produce a token stream.  Sequences of letters and sequences of
+numbers are tokens — all other characters are ignored.  Certain lines of a
+document (such as 'Date:' lines) are also ignored.  Finally, duplicate
+tokens for a document are dropped. ... Tokens are converted to words by
+converting upper case letters to lower case."
+
+The tokenizer reproduces those rules:
+
+* a token is a maximal run of ASCII letters **or** a maximal run of digits
+  (a mixed run like ``abc123`` yields two tokens, ``abc`` and ``123``);
+* lines whose first token-ish prefix matches an ignored header (``Date:``
+  and friends, configurable) contribute nothing;
+* tokens are lowercased into *words*;
+* per-document deduplication happens one level up (the in-memory index and
+  the batch builder both deduplicate), but :func:`tokenize_document`
+  offers it directly for convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Header lines the paper's lexer skips; NetNews/RFC-822 style headers.
+DEFAULT_IGNORED_PREFIXES = (
+    "date:",
+    "message-id:",
+    "path:",
+    "references:",
+    "xref:",
+    "received:",
+    "nntp-posting-host:",
+)
+
+
+#: A small English stop list for full-text configurations.  The paper (§1)
+#: notes that a full text index covers "every word occurring in documents
+#: (minus perhaps some stop words)"; stopping is off by default because the
+#: abstracts-style evaluation keeps everything.
+DEFAULT_STOP_WORDS = frozenset(
+    "a an and are as at be by for from has he in is it its of on that the "
+    "to was were will with".split()
+)
+
+
+@dataclass(frozen=True)
+class TokenizerConfig:
+    """Tokenizer rules; defaults follow the paper."""
+
+    ignored_prefixes: tuple[str, ...] = DEFAULT_IGNORED_PREFIXES
+    lowercase: bool = True
+    #: Maximum token length kept (guards against binary garbage; the paper
+    #: filtered encoded binaries out at the document level, see documents.py).
+    max_token_length: int = 64
+    #: Words dropped from the token stream (paper §1: "minus perhaps some
+    #: stop words").  Empty by default.  Matched after lowercasing.
+    stop_words: frozenset[str] = frozenset()
+
+    @classmethod
+    def full_text(cls) -> "TokenizerConfig":
+        """A full-text configuration with the default English stop list."""
+        return cls(stop_words=DEFAULT_STOP_WORDS)
+
+
+def _line_ignored(line: str, prefixes: tuple[str, ...]) -> bool:
+    stripped = line.lstrip().lower()
+    return any(stripped.startswith(p) for p in prefixes)
+
+
+def tokenize_line(line: str, config: TokenizerConfig | None = None) -> Iterator[str]:
+    """Yield the tokens of one line: letter runs and digit runs."""
+    cfg = config or TokenizerConfig()
+    token: list[str] = []
+    mode = ""  # "alpha", "digit", or "" outside a token
+
+    def finish() -> Iterator[str]:
+        nonlocal token
+        if token and len(token) <= cfg.max_token_length:
+            text = "".join(token)
+            if cfg.lowercase:
+                text = text.lower()
+            if text.lower() not in cfg.stop_words:
+                yield text
+        token = []
+
+    for ch in line:
+        if ch.isascii() and ch.isalpha():
+            kind = "alpha"
+        elif ch.isdigit():
+            kind = "digit"
+        else:
+            kind = ""
+        if kind and kind == mode:
+            token.append(ch)
+        else:
+            yield from finish()
+            mode = kind
+            if kind:
+                token.append(ch)
+    yield from finish()
+
+
+def tokenize(text: str, config: TokenizerConfig | None = None) -> Iterator[str]:
+    """Yield all tokens of a document, skipping ignored header lines."""
+    cfg = config or TokenizerConfig()
+    for line in text.splitlines():
+        if _line_ignored(line, cfg.ignored_prefixes):
+            continue
+        yield from tokenize_line(line, cfg)
+
+
+def tokenize_document(
+    text: str, config: TokenizerConfig | None = None
+) -> list[str]:
+    """The document's distinct words, in first-appearance order.
+
+    This is the unit the abstracts-style index stores: one posting per
+    (word, document) pair.
+    """
+    seen: set[str] = set()
+    out: list[str] = []
+    for token in tokenize(text, config):
+        if token not in seen:
+            seen.add(token)
+            out.append(token)
+    return out

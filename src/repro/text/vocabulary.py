@@ -1,0 +1,84 @@
+"""Word ⇄ integer mapping (paper §4.2).
+
+"At this point all words in batch updates are converted to unique integers
+to simplify the remaining computations.  (Words are numbered
+alphabetically.)"
+
+True alphabetical numbering requires knowing the whole vocabulary up front;
+an *incremental* system cannot renumber on every new word.  We provide both:
+
+* :class:`Vocabulary` — arrival-order ids, the incremental mapping the
+  library uses; and
+* :func:`alphabetical_ids` — the paper's batch renumbering, used by the
+  pipeline when reproducing the exact trace formats of Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Vocabulary:
+    """Bidirectional word ⇄ id mapping with arrival-order ids."""
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self._words: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._ids
+
+    def id_of(self, word: str) -> int:
+        """The id for ``word``, assigning a fresh one if unseen."""
+        word_id = self._ids.get(word)
+        if word_id is None:
+            word_id = len(self._words)
+            self._ids[word] = word_id
+            self._words.append(word)
+        return word_id
+
+    def lookup(self, word: str) -> int | None:
+        """The id for ``word`` if it has one, else None (no assignment)."""
+        return self._ids.get(word)
+
+    def word_of(self, word_id: int) -> str:
+        """Inverse lookup; raises ``IndexError`` on unknown ids."""
+        return self._words[word_id]
+
+    def ids_of(self, words: Iterable[str]) -> list[int]:
+        """Map many words, assigning ids as needed."""
+        return [self.id_of(w) for w in words]
+
+    def words(self) -> Iterator[str]:
+        """All words in id order."""
+        return iter(self._words)
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write one word per line, in id order."""
+        with open(path, "w", encoding="utf-8") as fp:
+            for word in self._words:
+                fp.write(word + "\n")
+
+    @classmethod
+    def load(cls, path) -> "Vocabulary":
+        vocab = cls()
+        with open(path, "r", encoding="utf-8") as fp:
+            for line in fp:
+                vocab.id_of(line.rstrip("\n"))
+        return vocab
+
+
+def alphabetical_ids(words: Iterable[str]) -> dict[str, int]:
+    """The paper's numbering: distinct words sorted, then numbered from 1.
+
+    (Figure 5 reserves ``0 0`` as the end-of-batch marker, so numbering
+    starts at 1.)
+    """
+    return {
+        word: i + 1 for i, word in enumerate(sorted(set(words)))
+    }

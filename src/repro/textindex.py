@@ -1,0 +1,315 @@
+"""Text-level retrieval facade: the library's friendliest entry point.
+
+:class:`TextDocumentIndex` composes the text substrate (tokenizer +
+vocabulary) with the dual-structure index and the two query models, so a
+user can go from raw article text to ranked results in a few lines::
+
+    from repro import TextDocumentIndex
+
+    index = TextDocumentIndex()
+    index.add_document("Date: ignored\\n\\nthe cat sat with the dog")
+    index.add_document("a mouse ran past the dog")
+    index.flush_batch()
+    index.search_boolean("(cat AND dog) OR mouse")   # -> [0, 1]
+    index.search_vector({"dog": 1.0, "mouse": 2.0})  # ranked
+
+The index stores real postings on the simulated disks (content mode), so
+every query pays — and reports — the read operations the paper's evaluation
+charges for the configured policy.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, replace
+
+from .core import checkpoint
+from .core.deletion import DeletionManager, SweepStats
+from .core.index import BatchResult, DualStructureIndex, IndexConfig
+from .core.positional import PositionalPostings, Region
+from .query import boolean as boolean_query
+from .query import positional as positional_query
+from .query import streaming as streaming_query
+from .query import vector as vector_query
+from .query.vector import ScoredDocument
+from .text.occurrences import RegionRules, tokenize_occurrences
+from .text.tokenizer import TokenizerConfig, tokenize_document
+from .text.vocabulary import Vocabulary
+
+
+@dataclass
+class QueryAnswer:
+    """Boolean query result plus its I/O cost."""
+
+    doc_ids: list[int]
+    read_ops: int
+
+
+class TextDocumentIndex:
+    """An incrementally updatable full-text index over text documents."""
+
+    def __init__(
+        self,
+        config: IndexConfig | None = None,
+        tokenizer_config: TokenizerConfig | None = None,
+        region_rules: RegionRules | None = None,
+    ) -> None:
+        base = config or IndexConfig()
+        if not base.store_contents:
+            base = replace(base, store_contents=True)
+        self.index = DualStructureIndex(base)
+        self.vocabulary = Vocabulary()
+        self.tokenizer_config = tokenizer_config
+        self.region_rules = region_rules
+        self.deletions = DeletionManager(self.index)
+        self._last_read_ops = 0
+
+    # -- ingest ---------------------------------------------------------------
+
+    def add_document(self, text: str) -> int:
+        """Tokenize and index one document; returns its doc id.
+
+        On a positional index (``IndexConfig(positional=True)``) every
+        posting also records the word's offsets and region flags.
+        """
+        if self.index.config.positional:
+            occurrences = [
+                (self.vocabulary.id_of(o.word), o.position, o.region)
+                for o in tokenize_occurrences(
+                    text, self.tokenizer_config, self.region_rules
+                )
+            ]
+            return self.index.add_document_occurrences(occurrences)
+        words = tokenize_document(text, self.tokenizer_config)
+        word_ids = [self.vocabulary.id_of(w) for w in words]
+        return self.index.add_document(word_ids)
+
+    def flush_batch(self) -> BatchResult:
+        """Flush the in-memory batch to disk (one incremental update)."""
+        return self.index.flush_batch()
+
+    @property
+    def ndocs(self) -> int:
+        return self.index.ndocs
+
+    # -- deletion -----------------------------------------------------------------
+
+    def delete_document(self, doc_id: int) -> None:
+        """Delete a document from the user's point of view (paper §3):
+        it disappears from answers immediately; its postings are reclaimed
+        by the background sweep."""
+        self.deletions.delete(doc_id)
+
+    def sweep_deletions(self, max_lists: int | None = None) -> SweepStats:
+        """Run the background reclamation sweep — incrementally when
+        ``max_lists`` is given, else to completion."""
+        if max_lists is None:
+            return self.deletions.sweep_all()
+        if not self.deletions.sweeping:
+            self.deletions.begin_sweep()
+        return self.deletions.sweep_step(max_lists=max_lists)
+
+    # -- retrieval ----------------------------------------------------------------
+
+    def _fetch(self, word: str) -> list[int]:
+        word_id = self.vocabulary.lookup(word)
+        if word_id is None:
+            return []
+        postings, read_ops = self.index.fetch(word_id)
+        self._last_read_ops += read_ops
+        return self.deletions.filter(postings.doc_ids)
+
+    def search_boolean(self, query: str) -> QueryAnswer:
+        """Evaluate a boolean query (AND/OR/NOT, parentheses)."""
+        self._last_read_ops = 0
+        docs = boolean_query.evaluate(query, self._fetch, self.index.ndocs)
+        # NOT complements against the full doc-id universe, which still
+        # contains deleted ids; the answer filter removes them (§3).
+        docs = self.deletions.filter(docs)
+        return QueryAnswer(doc_ids=docs, read_ops=self._last_read_ops)
+
+    def search_streamed(self, query: str) -> QueryAnswer:
+        """Evaluate a flat conjunction or disjunction lazily.
+
+        Supports queries of the shape ``a AND b AND c`` or ``a OR b OR c``
+        (one operator, no parentheses or NOT): the streaming evaluator
+        decodes posting blocks on demand and a conjunction stops reading
+        as soon as any operand is exhausted.  ``read_ops`` counts only the
+        chunks actually touched — for skewed conjunctions this is far
+        below :meth:`search_boolean`'s cost.
+        """
+        tokens = query.split()
+        words = [t.lower() for t in tokens[::2]]
+        operators = {t.upper() for t in tokens[1::2]}
+        if len(tokens) % 2 == 0 or operators - {"AND", "OR"} or (
+            len(operators) > 1
+        ):
+            raise ValueError(
+                "search_streamed takes flat 'a AND b AND c' or "
+                "'a OR b OR c' queries; use search_boolean for general "
+                "expressions"
+            )
+        word_ids = [
+            word_id
+            for word_id in (self.vocabulary.lookup(w) for w in words)
+            if word_id is not None
+        ]
+        missing = len(words) - len(word_ids)
+        if operators == {"OR"} or len(words) == 1:
+            docs, stats = streaming_query.streamed_or(self.index, word_ids)
+        elif missing:
+            # An unknown conjunct empties the conjunction without I/O.
+            docs, stats = [], streaming_query.StreamStats()
+        else:
+            docs, stats = streaming_query.streamed_and(self.index, word_ids)
+        docs = self.deletions.filter(docs)
+        return QueryAnswer(doc_ids=docs, read_ops=stats.read_ops)
+
+    def search_vector(
+        self, weights: dict[str, float], top_k: int = 10
+    ) -> list[ScoredDocument]:
+        """Rank documents for a weighted vector query."""
+        self._last_read_ops = 0
+        return vector_query.rank(
+            weights, self._fetch, self.index.ndocs, top_k=top_k
+        )
+
+    # -- positional conditions (paper §1) ------------------------------------------
+
+    def _fetch_positional(self, word: str) -> PositionalPostings:
+        if not self.index.config.positional:
+            raise RuntimeError(
+                "positional queries need IndexConfig(positional=True)"
+            )
+        word_id = self.vocabulary.lookup(word.lower())
+        if word_id is None:
+            return PositionalPostings()
+        postings, read_ops = self.index.fetch(word_id)
+        self._last_read_ops += read_ops
+        return postings
+
+    def search_phrase(self, phrase: str) -> QueryAnswer:
+        """Documents containing the words of ``phrase`` consecutively."""
+        self._last_read_ops = 0
+        words = tokenize_document(phrase, self.tokenizer_config)
+        payloads = [self._fetch_positional(w) for w in words]
+        docs = self.deletions.filter(positional_query.phrase_docs(payloads))
+        return QueryAnswer(doc_ids=docs, read_ops=self._last_read_ops)
+
+    def search_near(self, word_a: str, word_b: str, k: int) -> QueryAnswer:
+        """Documents where the two words occur within ``k`` words of each
+        other (the paper's proximity condition)."""
+        self._last_read_ops = 0
+        docs = positional_query.proximity_docs(
+            self._fetch_positional(word_a),
+            self._fetch_positional(word_b),
+            k,
+        )
+        docs = self.deletions.filter(docs)
+        return QueryAnswer(doc_ids=docs, read_ops=self._last_read_ops)
+
+    def search_region(self, word: str, region: Region) -> QueryAnswer:
+        """Documents where ``word`` occurs inside ``region`` (the paper's
+        "within a title region" condition)."""
+        self._last_read_ops = 0
+        docs = positional_query.region_docs(
+            self._fetch_positional(word), region
+        )
+        docs = self.deletions.filter(docs)
+        return QueryAnswer(doc_ids=docs, read_ops=self._last_read_ops)
+
+    def more_like(self, text: str, top_k: int = 10) -> list[ScoredDocument]:
+        """Vector query derived from a document, the paper's vector-IRM
+        workload shape."""
+        words = tokenize_document(text, self.tokenizer_config)
+        return self.search_vector(
+            vector_query.query_from_document(words), top_k=top_k
+        )
+
+    @property
+    def last_read_ops(self) -> int:
+        """Read operations charged by the most recent search."""
+        return self._last_read_ops
+
+    # -- introspection -----------------------------------------------------------
+
+    def document_frequency(self, word: str) -> int:
+        """Number of documents containing ``word``."""
+        word_id = self.vocabulary.lookup(word)
+        if word_id is None:
+            return 0
+        if self.deletions.ndeleted:
+            postings, _ = self.index.fetch(word_id)
+            return len(self.deletions.filter(postings.doc_ids))
+        return self.index.posting_count(word_id)
+
+    def stats(self):
+        """Underlying index statistics."""
+        return self.index.stats()
+
+    # -- persistence ----------------------------------------------------------------
+
+    _MAGIC = b"DSTX"
+
+    def save(self, target) -> None:
+        """Persist the whole text index to one file: the core checkpoint,
+        the vocabulary, and the deletion filter set.
+
+        Like core checkpoints, saving happens at batch boundaries (flush
+        first).  ``target`` is a path or binary file object.
+        """
+        if hasattr(target, "write"):
+            self._save(target)
+        else:
+            with open(target, "wb") as fp:
+                self._save(fp)
+
+    def _save(self, fp) -> None:
+        fp.write(self._MAGIC)
+        core = io.BytesIO()
+        checkpoint.save(self.index, core)
+        blob = core.getvalue()
+        fp.write(struct.pack("<Q", len(blob)))
+        fp.write(blob)
+        words = list(self.vocabulary.words())
+        fp.write(struct.pack("<Q", len(words)))
+        for word in words:
+            data = word.encode("utf-8")
+            fp.write(struct.pack("<I", len(data)))
+            fp.write(data)
+        deleted = sorted(self.deletions.deleted)
+        fp.write(struct.pack("<Q", len(deleted)))
+        for doc_id in deleted:
+            fp.write(struct.pack("<Q", doc_id))
+
+    @classmethod
+    def load(cls, source) -> "TextDocumentIndex":
+        """Restore a text index saved by :meth:`save`."""
+        if hasattr(source, "read"):
+            return cls._load(source)
+        with open(source, "rb") as fp:
+            return cls._load(fp)
+
+    @classmethod
+    def _load(cls, fp) -> "TextDocumentIndex":
+        if fp.read(4) != cls._MAGIC:
+            raise ValueError("not a text-index snapshot")
+        (core_len,) = struct.unpack("<Q", fp.read(8))
+        core = checkpoint.load(io.BytesIO(fp.read(core_len)))
+        index = cls.__new__(cls)
+        index.index = core
+        index.vocabulary = Vocabulary()
+        (nwords,) = struct.unpack("<Q", fp.read(8))
+        for _ in range(nwords):
+            (wlen,) = struct.unpack("<I", fp.read(4))
+            index.vocabulary.id_of(fp.read(wlen).decode("utf-8"))
+        index.tokenizer_config = None
+        index.region_rules = None
+        index.deletions = DeletionManager(core)
+        (ndeleted,) = struct.unpack("<Q", fp.read(8))
+        for _ in range(ndeleted):
+            (doc_id,) = struct.unpack("<Q", fp.read(8))
+            index.deletions.deleted.add(doc_id)
+        index._last_read_ops = 0
+        return index

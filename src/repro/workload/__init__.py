@@ -1,0 +1,28 @@
+"""Workload substrate: synthetic News corpus and Zipf tooling."""
+
+from .newsgen import generate_articles, id_for_word, render_article, word_for_id
+from .presets import PRESETS, preset
+from .synthetic import SyntheticNews, SyntheticNewsConfig
+from .zipf import (
+    bounded_zipf_probabilities,
+    concentration,
+    fit_zipf_exponent,
+    sample_bounded_zipf,
+    sample_unbounded_zipf,
+)
+
+__all__ = [
+    "PRESETS",
+    "SyntheticNews",
+    "SyntheticNewsConfig",
+    "bounded_zipf_probabilities",
+    "concentration",
+    "fit_zipf_exponent",
+    "generate_articles",
+    "id_for_word",
+    "preset",
+    "render_article",
+    "sample_bounded_zipf",
+    "sample_unbounded_zipf",
+    "word_for_id",
+]

@@ -1,0 +1,69 @@
+"""Named workload presets for the paper's motivating feeds.
+
+The introduction motivates incremental updates with three dynamic sources:
+"news articles, electronic mail, or stock information".  The synthetic
+generator is parametric enough to model all three; these presets pick the
+parameters:
+
+* ``news`` — the evaluation base case: medium documents, moderately
+  skewed vocabulary, weekly volume cycle;
+* ``email`` — shorter messages, higher volume, flatter frequency curve
+  (personal vocabularies overlap less, so the tail is fatter);
+* ``stock`` — terse tickers drawn from a small hot set: very short
+  documents with an extremely skewed frequency law, arriving every day of
+  the week at similar volume.
+
+The presets share every structural property the dual structure relies on
+(Zipf-ish skew, per-document dedup, continuous new-word arrival), so the
+paper's policy conclusions should — and, per the X12 benchmark, do — hold
+across all of them.
+"""
+
+from __future__ import annotations
+
+from .synthetic import SyntheticNewsConfig
+
+
+def news(days: int = 73, scale: float = 1.0) -> SyntheticNewsConfig:
+    """The evaluation base case (see DESIGN.md §6)."""
+    return SyntheticNewsConfig(days=days, scale=scale)
+
+
+def email(days: int = 73, scale: float = 1.0) -> SyntheticNewsConfig:
+    """Electronic mail: many short messages, fat-tailed vocabulary."""
+    return SyntheticNewsConfig(
+        days=days,
+        docs_per_day=320,
+        scale=scale,
+        zipf_s=1.2,  # flatter head, fatter tail
+        tokens_per_doc_mu=3.9,  # median ≈ 50 tokens
+        tokens_per_doc_sigma=0.7,
+        seed=404,
+    )
+
+
+def stock(days: int = 73, scale: float = 1.0) -> SyntheticNewsConfig:
+    """Stock information: terse updates over a small hot symbol set."""
+    return SyntheticNewsConfig(
+        days=days,
+        docs_per_day=600,
+        scale=scale,
+        zipf_s=1.9,  # extreme concentration on the hot symbols
+        tokens_per_doc_mu=2.9,  # median ≈ 18 tokens
+        tokens_per_doc_sigma=0.4,
+        seed=777,
+    )
+
+
+PRESETS = {"news": news, "email": email, "stock": stock}
+
+
+def preset(name: str, days: int = 73, scale: float = 1.0) -> SyntheticNewsConfig:
+    """Look up a preset by name."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None
+    return factory(days=days, scale=scale)

@@ -1,0 +1,78 @@
+"""Zipf-distributed word sampling and rank-frequency fitting.
+
+The paper (§2) grounds the dual-structure design in the shape of word
+frequencies: "The lengths of the inverted lists for a database of text
+documents have a roughly exponential distribution (the Zipf curve)."  The
+synthetic corpus generator draws word ranks from a Zipf distribution, and
+the corpus-statistics tests fit the exponent back out to confirm the
+workload has the property the design exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bounded_zipf_probabilities(s: float, n: int) -> np.ndarray:
+    """Probabilities of ranks ``1..n`` under a bounded Zipf(s) law."""
+    if s <= 0:
+        raise ValueError("s must be > 0")
+    if n <= 0:
+        raise ValueError("n must be > 0")
+    weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** s
+    return weights / weights.sum()
+
+
+def sample_bounded_zipf(
+    rng: np.random.Generator, s: float, n: int, size: int
+) -> np.ndarray:
+    """Draw ``size`` ranks in ``1..n`` from a bounded Zipf(s) law."""
+    probs = bounded_zipf_probabilities(s, n)
+    return rng.choice(np.arange(1, n + 1), size=size, p=probs)
+
+
+def sample_unbounded_zipf(
+    rng: np.random.Generator, s: float, size: int
+) -> np.ndarray:
+    """Draw ``size`` ranks from the unbounded Zipf(s) law (``s > 1``).
+
+    The unbounded law is what gives the synthetic corpus its open-ended
+    vocabulary: deep-tail ranks are words never seen before (including the
+    paper's observation that misspellings enter the index like any word).
+    """
+    if s <= 1.0:
+        raise ValueError("the unbounded Zipf law requires s > 1")
+    return rng.zipf(s, size=size)
+
+
+def fit_zipf_exponent(counts: np.ndarray) -> float:
+    """Estimate the Zipf exponent from observed word counts.
+
+    Least-squares slope of log(frequency) against log(rank), over the head
+    of the distribution (tail ranks are dominated by ties at count 1 and
+    bias the fit).  Returns the positive exponent ``s``.
+    """
+    counts = np.sort(np.asarray(counts, dtype=np.float64))[::-1]
+    counts = counts[counts > 0]
+    if counts.size < 3:
+        raise ValueError("need at least 3 positive counts to fit")
+    head = counts[: max(3, counts.size // 10)]
+    ranks = np.arange(1, head.size + 1, dtype=np.float64)
+    slope, _intercept = np.polyfit(np.log(ranks), np.log(head), 1)
+    return float(-slope)
+
+
+def concentration(counts: np.ndarray, top_fraction: float) -> float:
+    """Fraction of all postings carried by the top ``top_fraction`` of words.
+
+    This is the paper's Table-1 "postings for frequent words" statistic
+    (frequent = words ranking in a small top percentile by frequency).
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError("top_fraction must be in (0, 1]")
+    counts = np.sort(np.asarray(counts, dtype=np.float64))[::-1]
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    top_n = max(1, int(round(top_fraction * counts.size)))
+    return float(counts[:top_n].sum() / total)

@@ -1,0 +1,93 @@
+"""Unit tests for the §5.4 bottom-line recommendation logic."""
+
+import pytest
+
+from repro.analysis.bottomline import (
+    PolicyMeasurement,
+    Preference,
+    Recommendation,
+    bottom_line,
+    comparison_table,
+)
+from repro.core.policy import Limit, Policy, Style
+
+
+def measurements():
+    return [
+        PolicyMeasurement(
+            Policy.update_optimized(), build_time_s=15.0,
+            reads_per_list=18.6, utilization=0.41,
+        ),
+        PolicyMeasurement(
+            Policy.recommended_new(), build_time_s=57.0,
+            reads_per_list=2.8, utilization=0.78,
+        ),
+        PolicyMeasurement(
+            Policy.balanced(), build_time_s=72.0,
+            reads_per_list=3.3, utilization=0.75,
+        ),
+        PolicyMeasurement(
+            Policy.recommended_whole(), build_time_s=169.0,
+            reads_per_list=1.0, utilization=0.89,
+        ),
+    ]
+
+
+class TestBottomLine:
+    def test_update_preference_picks_fast_but_usable(self):
+        rec = bottom_line(measurements(), Preference.UPDATE_TIME)
+        # new-0 is fastest but falls below the utilization floor; the
+        # recommended new style wins — the paper's own bottom line.
+        assert rec.policy == Policy.recommended_new()
+
+    def test_update_preference_without_floor_picks_new0(self):
+        rec = bottom_line(
+            measurements(), Preference.UPDATE_TIME, min_utilization=0.0
+        )
+        assert rec.policy == Policy.update_optimized()
+
+    def test_query_preference_picks_whole(self):
+        rec = bottom_line(measurements(), Preference.QUERY_TIME)
+        assert rec.policy.style is Style.WHOLE
+
+    def test_balanced_prefers_reserved_new(self):
+        rec = bottom_line(measurements(), Preference.BALANCED)
+        assert rec.policy == Policy.recommended_new()
+
+    def test_reason_is_populated(self):
+        rec = bottom_line(measurements(), Preference.QUERY_TIME)
+        assert "reads/list" in rec.reason
+
+    def test_floor_relaxes_when_nothing_qualifies(self):
+        only_bad = [
+            PolicyMeasurement(
+                Policy.update_optimized(), 10.0, 20.0, 0.1
+            )
+        ]
+        rec = bottom_line(only_bad, Preference.UPDATE_TIME)
+        assert rec.policy == Policy.update_optimized()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bottom_line([], Preference.BALANCED)
+
+
+class TestComparisonTable:
+    def test_sorted_by_build_time(self):
+        table = comparison_table(measurements())
+        lines = table.splitlines()
+        assert lines[3].strip().startswith("new 0")
+        assert "whole z" in lines[-1]
+
+    def test_contains_all_columns(self):
+        table = comparison_table(measurements())
+        for fragment in ("build time", "reads/list", "utilization", "78%"):
+            assert fragment in table
+
+
+class TestMeasurementValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            PolicyMeasurement(Policy.balanced(), -1, 1, 0.5)
+        with pytest.raises(ValueError):
+            PolicyMeasurement(Policy.balanced(), 1, 1, 1.5)

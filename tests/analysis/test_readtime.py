@@ -1,0 +1,82 @@
+"""Unit tests for the serial/parallel list read-time model."""
+
+import pytest
+
+from repro.analysis.readtime import (
+    chunk_read_time,
+    list_read_time,
+    longest_entries,
+)
+from repro.core.directory import Directory, LongListEntry
+from repro.storage.block import Chunk
+from repro.storage.profiles import SEAGATE_SCSI_1994
+
+BP = 64
+
+
+def entry(word, chunks):
+    e = LongListEntry(word)
+    for disk, nblocks, npostings in chunks:
+        e.chunks.append(
+            Chunk(disk=disk, start=0, nblocks=nblocks, npostings=npostings)
+        )
+    return e
+
+
+class TestChunkReadTime:
+    def test_components(self):
+        chunk = Chunk(disk=0, start=0, nblocks=4, npostings=200)
+        t = chunk_read_time(chunk, SEAGATE_SCSI_1994, BP)
+        p = SEAGATE_SCSI_1994
+        expected = (
+            p.seek_s(p.nblocks // 3)
+            + p.rotational_latency_s
+            + p.transfer_s(4, False)
+        )
+        assert t == pytest.approx(expected)
+
+    def test_only_data_blocks_transfer(self):
+        # 10 postings in a 4-block chunk: only 1 block is read.
+        slim = Chunk(disk=0, start=0, nblocks=4, npostings=10)
+        full = Chunk(disk=0, start=0, nblocks=4, npostings=256)
+        assert chunk_read_time(slim, SEAGATE_SCSI_1994, BP) < (
+            chunk_read_time(full, SEAGATE_SCSI_1994, BP)
+        )
+
+
+class TestListReadTime:
+    def test_single_chunk_parallel_equals_serial(self):
+        e = entry(1, [(0, 4, 200)])
+        serial = list_read_time(e, SEAGATE_SCSI_1994, BP, parallel=False)
+        parallel = list_read_time(e, SEAGATE_SCSI_1994, BP, parallel=True)
+        assert serial == parallel > 0
+
+    def test_perfect_striping_divides_by_disks(self):
+        chunks = [(d, 4, 256) for d in range(4)]
+        e = entry(1, chunks)
+        serial = list_read_time(e, SEAGATE_SCSI_1994, BP, parallel=False)
+        parallel = list_read_time(e, SEAGATE_SCSI_1994, BP, parallel=True)
+        assert parallel == pytest.approx(serial / 4)
+
+    def test_skewed_placement_bounded_by_busiest_disk(self):
+        e = entry(1, [(0, 4, 256), (0, 4, 256), (1, 4, 256)])
+        parallel = list_read_time(e, SEAGATE_SCSI_1994, BP, parallel=True)
+        one_chunk = list_read_time(
+            entry(2, [(0, 4, 256)]), SEAGATE_SCSI_1994, BP, parallel=True
+        )
+        assert parallel == pytest.approx(2 * one_chunk)
+
+    def test_empty_entry(self):
+        assert list_read_time(
+            entry(1, []), SEAGATE_SCSI_1994, BP, parallel=True
+        ) == 0.0
+
+
+class TestLongestEntries:
+    def test_ranked_by_postings(self):
+        d = Directory()
+        for word, n in ((1, 10), (2, 300), (3, 50)):
+            e = d.entry(word)
+            e.chunks.append(Chunk(disk=0, start=0, nblocks=8, npostings=n))
+        top = longest_entries(d, 2)
+        assert [e.word for e in top] == [2, 3]

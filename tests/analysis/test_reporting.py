@@ -1,0 +1,60 @@
+"""Unit tests for table/series rendering."""
+
+import pytest
+
+from repro.analysis.reporting import format_series, format_table, ratio
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(
+            ("name", "value"),
+            [("alpha", 1), ("beta", 22_000)],
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "22,000" in lines[-1]
+
+    def test_float_formats(self):
+        out = format_table(("v",), [(0.123456,), (12.34,), (1234.5,)])
+        assert "0.123" in out
+        assert "12.3" in out
+        assert "1,234" in out  # thousands get comma formatting
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_columns_align(self):
+        out = format_table(("col",), [(1,), (100,)])
+        data_lines = out.splitlines()[2:]
+        assert len({len(line) for line in data_lines}) == 1
+
+
+class TestFormatSeries:
+    def test_downsampling_includes_final(self):
+        series = {"a": list(range(100)), "b": [x * 2 for x in range(100)]}
+        out = format_series(series, max_points=5)
+        assert out.splitlines()[-1].split()[0] == "100"  # final update shown
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({"a": [1, 2], "b": [1]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({"a": []})
+
+    def test_short_series(self):
+        out = format_series({"a": [5.0]}, max_points=10)
+        assert "5" in out
+
+
+class TestRatio:
+    def test_normal(self):
+        assert ratio(10, 4) == 2.5
+
+    def test_zero_denominator(self):
+        assert ratio(1, 0) == float("inf")

@@ -1,0 +1,109 @@
+"""Unit tests for the adaptive allocation strategy (related work)."""
+
+import pytest
+
+from repro.core.longlists import LongListManager
+from repro.core.policy import Alloc, Limit, Policy, Style
+from repro.core.postings import CountPostings
+from repro.storage.diskarray import DiskArray, DiskArrayConfig
+from repro.storage.profiles import SEAGATE_SCSI_1994
+
+BP = 64
+
+
+def make_manager(policy):
+    array = DiskArray(
+        DiskArrayConfig(
+            ndisks=2, profile=SEAGATE_SCSI_1994, nblocks_override=100_000
+        )
+    )
+    return LongListManager(policy, array, BP)
+
+
+class TestPolicyValidation:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Policy(style=Style.NEW, alloc=Alloc.ADAPTIVE, k=0)
+
+    def test_ewma_alpha_validated(self):
+        with pytest.raises(ValueError):
+            Policy(style=Style.NEW, alloc=Alloc.ADAPTIVE, k=1, ewma_alpha=0)
+        with pytest.raises(ValueError):
+            Policy(style=Style.NEW, alloc=Alloc.ADAPTIVE, k=1, ewma_alpha=1.5)
+
+    def test_named_constructor(self):
+        p = Policy.adaptive_new()
+        assert p.alloc is Alloc.ADAPTIVE and p.limit is Limit.Z
+
+    def test_name(self):
+        assert Policy.adaptive_new(k=1.0).name == "new z adap-1"
+
+
+class TestChunkSizing:
+    def test_reserve_scales_with_prediction(self):
+        p = Policy.adaptive_new(k=1.0)
+        small = p.chunk_blocks(64, BP, predicted_update=10)
+        large = p.chunk_blocks(64, BP, predicted_update=500)
+        assert large > small
+
+    def test_zero_prediction_means_no_reserve(self):
+        p = Policy.adaptive_new(k=1.0)
+        assert p.chunk_blocks(64, BP, predicted_update=0) == 1
+
+    def test_k_multiplies_prediction(self):
+        p1 = Policy.adaptive_new(k=1.0)
+        p3 = Policy.adaptive_new(k=3.0)
+        assert p3.chunk_blocks(10, BP, predicted_update=100) > (
+            p1.chunk_blocks(10, BP, predicted_update=100)
+        )
+
+
+class TestManagerIntegration:
+    def test_steady_updates_become_in_place(self):
+        """After the first write observes the word's update size, steady
+        same-sized updates land in the adaptive reserve."""
+        mgr = make_manager(Policy.adaptive_new(k=1.0, ewma_alpha=1.0))
+        for _ in range(6):
+            mgr.append(1, CountPostings(100))
+        # First append creates the list; with k=1 the reserve then holds
+        # exactly one more 100-posting update each time a chunk is written.
+        assert mgr.counters.in_place_updates >= 2
+        assert mgr.directory.get(1).npostings == 600
+
+    def test_ewma_tracks_shrinking_updates(self):
+        mgr = make_manager(Policy.adaptive_new(k=1.0, ewma_alpha=1.0))
+        mgr.append(1, CountPostings(500))
+        big_chunk = mgr.directory.get(1).chunks[-1].nblocks
+        mgr2 = make_manager(Policy.adaptive_new(k=1.0, ewma_alpha=1.0))
+        mgr2.append(2, CountPostings(20))
+        small_chunk = mgr2.directory.get(2).chunks[-1].nblocks
+        assert big_chunk > small_chunk
+
+    def test_adaptive_beats_proportional_on_mixed_sizes(self):
+        """Adaptive sizes the reserve per word; proportional over-reserves
+        for large bulk migrations that never grow again."""
+        adaptive = make_manager(Policy.adaptive_new(k=1.0))
+        proportional = make_manager(
+            Policy(
+                style=Style.NEW, limit=Limit.Z, alloc=Alloc.PROPORTIONAL,
+                k=2.0,
+            )
+        )
+        for mgr in (adaptive, proportional):
+            # One huge one-shot list (a migration) ...
+            mgr.append(1, CountPostings(5000))
+            # ... plus steady small updates on other words.
+            for word in range(2, 12):
+                for _ in range(3):
+                    mgr.append(word, CountPostings(30))
+        util_a = adaptive.directory.utilization(BP)
+        util_p = proportional.directory.utilization(BP)
+        assert util_a > util_p
+
+    def test_counts_and_postings_conserved(self):
+        mgr = make_manager(Policy.adaptive_new(k=2.0))
+        total = 0
+        for i, n in enumerate((10, 300, 7, 64, 128, 1)):
+            mgr.append(1 + i % 3, CountPostings(n))
+            total += n
+        assert mgr.directory.total_postings == total

@@ -1,0 +1,113 @@
+"""Unit and property tests for the gap-compression codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.compression import (
+    CODECS,
+    BitReader,
+    BitWriter,
+    bytes_per_posting,
+    delta_decode,
+    delta_encode,
+    gamma_decode,
+    gamma_encode,
+    implied_block_postings,
+)
+
+
+class TestBitIO:
+    def test_roundtrip_bits(self):
+        w = BitWriter()
+        w.write_bits(0b1011, 4)
+        w.write_bit(1)
+        w.write_bits(0b000000001, 9)
+        r = BitReader(w.getvalue())
+        assert r.read_bits(4) == 0b1011
+        assert r.read_bit() == 1
+        assert r.read_bits(9) == 1
+
+    def test_unary(self):
+        w = BitWriter()
+        w.write_unary(0)
+        w.write_unary(5)
+        r = BitReader(w.getvalue())
+        assert r.read_unary() == 0
+        assert r.read_unary() == 5
+
+    def test_exhaustion(self):
+        r = BitReader(b"")
+        with pytest.raises(ValueError):
+            r.read_bit()
+
+
+class TestGamma:
+    def test_known_codes(self):
+        # gamma(1) = "1"; gamma(2) = "010"; gamma(5) = "00101".
+        w = BitWriter()
+        from repro.core.compression import _gamma_write
+
+        _gamma_write(w, 1)
+        _gamma_write(w, 2)
+        _gamma_write(w, 5)
+        bits = "".join(
+            str((w.getvalue()[i // 8] >> (7 - i % 8)) & 1)
+            for i in range(1 + 3 + 5)
+        )
+        assert bits == "1" + "010" + "00101"
+
+    def test_roundtrip(self):
+        ids = [0, 1, 5, 100, 101, 10_000]
+        assert gamma_decode(gamma_encode(ids), len(ids)) == ids
+
+    def test_dense_runs_are_one_bit_per_gap(self):
+        ids = list(range(1000))
+        assert len(gamma_encode(ids)) == pytest.approx(1000 / 8, abs=1)
+
+
+class TestDelta:
+    def test_roundtrip(self):
+        ids = [3, 70, 71, 5000, 123_456]
+        assert delta_decode(delta_encode(ids), len(ids)) == ids
+
+    def test_delta_beats_gamma_on_large_gaps(self):
+        ids = list(range(0, 1_000_000, 10_000))  # gaps of 10 000
+        assert len(delta_encode(ids)) < len(gamma_encode(ids))
+
+    def test_gamma_beats_delta_on_tiny_gaps(self):
+        ids = list(range(500))
+        assert len(gamma_encode(ids)) <= len(delta_encode(ids))
+
+
+doc_lists = st.lists(
+    st.integers(min_value=0, max_value=2**24), max_size=150, unique=True
+).map(sorted)
+
+
+@given(doc_lists)
+def test_all_codecs_roundtrip(ids):
+    for name, (encode, decode) in CODECS.items():
+        assert decode(encode(ids), len(ids)) == ids, name
+
+
+@given(doc_lists)
+def test_bit_codecs_beat_varint_floor_on_dense_lists(ids):
+    """Varint costs ≥1 byte/posting; gamma costs ≥1 bit/posting."""
+    if len(ids) < 8:
+        return
+    assert len(gamma_encode(ids)) <= 8 * max(1, len(ids))
+
+
+class TestRates:
+    def test_bytes_per_posting(self):
+        ids = list(range(100))
+        assert bytes_per_posting("varint", ids) == pytest.approx(1.0)
+        assert bytes_per_posting("gamma", ids) < 0.5
+        assert bytes_per_posting("varint", []) == 0.0
+
+    def test_implied_block_postings(self):
+        assert implied_block_postings(16.0, 4096) == 256
+        assert implied_block_postings(0.2, 4096) == 20_480
+        with pytest.raises(ValueError):
+            implied_block_postings(0, 4096)

@@ -1,0 +1,97 @@
+"""Unit tests for the long-list directory and its evaluation metrics."""
+
+import pytest
+
+from repro.core.directory import Directory, LongListEntry
+from repro.storage.block import Chunk
+
+
+def chunk(disk=0, start=0, nblocks=1, npostings=10):
+    return Chunk(disk=disk, start=start, nblocks=nblocks, npostings=npostings)
+
+
+class TestEntry:
+    def test_aggregates(self):
+        e = LongListEntry(7)
+        e.chunks.append(chunk(npostings=10, nblocks=1))
+        e.chunks.append(chunk(start=5, npostings=30, nblocks=2))
+        assert e.npostings == 40
+        assert e.nblocks == 3
+        assert e.nchunks == 2
+        assert e.last_chunk is e.chunks[-1]
+
+    def test_empty_entry(self):
+        e = LongListEntry(7)
+        assert e.last_chunk is None
+        assert e.npostings == 0
+
+
+class TestDirectory:
+    def test_entry_creates_on_demand(self):
+        d = Directory()
+        assert d.get(1) is None
+        e = d.entry(1)
+        assert d.get(1) is e
+        assert 1 in d
+        assert len(d) == 1
+
+    def test_remove(self):
+        d = Directory()
+        d.entry(1)
+        d.remove(1)
+        assert 1 not in d
+
+    def test_iteration(self):
+        d = Directory()
+        for w in (3, 1, 2):
+            d.entry(w)
+        assert sorted(d.words()) == [1, 2, 3]
+        assert len(list(d.entries())) == 3
+
+
+class TestMetrics:
+    def make_directory(self):
+        d = Directory()
+        e1 = d.entry(1)
+        e1.chunks.append(chunk(npostings=64, nblocks=1))
+        e2 = d.entry(2)
+        e2.chunks.append(chunk(npostings=100, nblocks=2))
+        e2.chunks.append(chunk(start=10, npostings=28, nblocks=1))
+        return d
+
+    def test_totals(self):
+        d = self.make_directory()
+        assert d.nwords == 2
+        assert d.total_chunks == 3
+        assert d.total_postings == 192
+        assert d.total_blocks == 4
+
+    def test_avg_reads_is_chunks_over_words(self):
+        d = self.make_directory()
+        assert d.avg_reads_per_list() == pytest.approx(1.5)
+
+    def test_avg_reads_empty_directory(self):
+        assert Directory().avg_reads_per_list() == 0.0
+
+    def test_utilization(self):
+        d = self.make_directory()
+        # 192 postings in 4 blocks of 64 → 0.75
+        assert d.utilization(64) == pytest.approx(0.75)
+
+    def test_utilization_empty_is_one(self):
+        # The paper's Figure 9 spikes to 1.0 before any long list exists.
+        assert Directory().utilization(64) == 1.0
+
+
+class TestFlushSizing:
+    def test_empty_directory_writes_one_block(self):
+        # Figure 6 shows the empty-directory write at trace start.
+        assert Directory().flush_blocks(4096) == 1
+
+    def test_grows_with_chunks(self):
+        d = Directory()
+        e = d.entry(1)
+        for i in range(600):
+            e.chunks.append(chunk(start=i * 2, npostings=1))
+        # 600 chunks × 16 B = 9600 B → 3 blocks of 4096.
+        assert d.flush_blocks(4096, entry_bytes=16) == 3

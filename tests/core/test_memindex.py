@@ -1,0 +1,63 @@
+"""Unit tests for the in-memory batching index."""
+
+import pytest
+
+from repro.core.memindex import InMemoryIndex
+from repro.core.postings import CountPostings, DocPostings
+
+
+class TestDocuments:
+    def test_add_document_dedupes_words(self):
+        idx = InMemoryIndex()
+        idx.add_document(0, [1, 2, 1, 3, 2])
+        assert len(idx) == 3
+        assert idx.npostings == 3
+        assert idx.get(1).doc_ids == [0]
+
+    def test_postings_accumulate_across_documents(self):
+        idx = InMemoryIndex()
+        idx.add_document(0, [1, 2])
+        idx.add_document(1, [2, 3])
+        assert idx.get(2).doc_ids == [0, 1]
+        assert idx.ndocs == 2
+        assert idx.npostings == 4
+
+    def test_size_units_counts_words_plus_postings(self):
+        idx = InMemoryIndex()
+        idx.add_document(0, [1, 2])
+        idx.add_document(1, [2])
+        assert idx.size_units == 2 + 3
+
+    def test_items_sorted_by_word(self):
+        idx = InMemoryIndex()
+        idx.add_document(0, [9, 1, 5])
+        assert [w for w, _ in idx.items()] == [1, 5, 9]
+
+    def test_clear(self):
+        idx = InMemoryIndex()
+        idx.add_document(0, [1])
+        idx.clear()
+        assert len(idx) == 0
+        assert idx.ndocs == 0
+        assert idx.npostings == 0
+
+
+class TestCounts:
+    def test_add_counts(self):
+        idx = InMemoryIndex()
+        idx.add_counts([(1, 5), (2, 3)])
+        idx.add_counts([(1, 2)])
+        assert isinstance(idx.get(1), CountPostings)
+        assert len(idx.get(1)) == 7
+        assert idx.npostings == 10
+
+    def test_nonpositive_count_rejected(self):
+        idx = InMemoryIndex()
+        with pytest.raises(ValueError):
+            idx.add_counts([(1, 0)])
+
+    def test_contains(self):
+        idx = InMemoryIndex()
+        idx.add_counts([(4, 1)])
+        assert 4 in idx
+        assert 5 not in idx

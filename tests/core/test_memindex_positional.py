@@ -1,0 +1,54 @@
+"""Unit tests for positional document ingestion in the memory index."""
+
+import pytest
+
+from repro.core.memindex import InMemoryIndex
+from repro.core.positional import PositionalPostings, Region
+
+
+def occ(word, position, region=Region.BODY):
+    return (word, position, region)
+
+
+class TestAddDocumentOccurrences:
+    def test_positions_collected_per_word(self):
+        idx = InMemoryIndex()
+        idx.add_document_occurrences(
+            0, [occ(1, 0), occ(2, 1), occ(1, 2)]
+        )
+        payload = idx.get(1)
+        assert isinstance(payload, PositionalPostings)
+        assert payload.entries[0].positions == (0, 2)
+        assert idx.npostings == 2  # one posting per distinct word
+
+    def test_region_flags_or_together(self):
+        idx = InMemoryIndex()
+        idx.add_document_occurrences(
+            0,
+            [occ(1, 0, Region.TITLE), occ(1, 5, Region.BODY)],
+        )
+        regions = idx.get(1).entries[0].regions
+        assert regions & Region.TITLE and regions & Region.BODY
+
+    def test_duplicate_positions_deduped(self):
+        idx = InMemoryIndex()
+        idx.add_document_occurrences(0, [occ(1, 3), occ(1, 3)])
+        assert idx.get(1).entries[0].positions == (3,)
+
+    def test_multiple_documents_accumulate(self):
+        idx = InMemoryIndex()
+        idx.add_document_occurrences(0, [occ(1, 0)])
+        idx.add_document_occurrences(1, [occ(1, 7)])
+        payload = idx.get(1)
+        assert payload.doc_ids == [0, 1]
+        assert payload.entries[1].positions == (7,)
+        assert idx.ndocs == 2
+
+    def test_size_units_match_plain_accounting(self):
+        positional = InMemoryIndex()
+        positional.add_document_occurrences(
+            0, [occ(1, 0), occ(2, 1), occ(1, 5)]
+        )
+        plain = InMemoryIndex()
+        plain.add_document(0, [1, 2, 1])
+        assert positional.size_units == plain.size_units

@@ -1,0 +1,124 @@
+"""Unit tests for the policy space (the paper's Table 2)."""
+
+import pytest
+
+from repro.core.policy import Alloc, Limit, Policy, Style, figure8_policies
+
+
+class TestValidation:
+    def test_limit_zero_forces_constant_zero(self):
+        # Paper §3.1: with Limit = 0 reserved space is never used.
+        Policy(style=Style.NEW, limit=Limit.ZERO)  # ok: constant k=0
+        with pytest.raises(ValueError):
+            Policy(
+                style=Style.NEW,
+                limit=Limit.ZERO,
+                alloc=Alloc.PROPORTIONAL,
+                k=1.5,
+            )
+        with pytest.raises(ValueError):
+            Policy(style=Style.NEW, limit=Limit.ZERO, k=100)
+
+    def test_proportional_requires_k_ge_1(self):
+        with pytest.raises(ValueError):
+            Policy(style=Style.NEW, alloc=Alloc.PROPORTIONAL, k=0.5)
+
+    def test_block_requires_integer_k_ge_1(self):
+        with pytest.raises(ValueError):
+            Policy(style=Style.NEW, alloc=Alloc.BLOCK, k=0)
+        with pytest.raises(ValueError):
+            Policy(style=Style.NEW, alloc=Alloc.BLOCK, k=2.5)
+
+    def test_constant_requires_nonnegative_k(self):
+        with pytest.raises(ValueError):
+            Policy(style=Style.NEW, alloc=Alloc.CONSTANT, k=-1)
+
+    def test_extent_blocks_positive(self):
+        with pytest.raises(ValueError):
+            Policy(style=Style.FILL, extent_blocks=0)
+
+
+class TestReservedSpace:
+    BP = 64  # postings per block
+
+    def test_constant_adds_k_postings(self):
+        p = Policy(style=Style.NEW, alloc=Alloc.CONSTANT, k=100)
+        # 50 + 100 = 150 postings → 3 blocks of 64
+        assert p.chunk_blocks(50, self.BP) == 3
+
+    def test_constant_zero_rounds_to_blocks(self):
+        p = Policy(style=Style.NEW, alloc=Alloc.CONSTANT, k=0)
+        assert p.chunk_blocks(1, self.BP) == 1
+        assert p.chunk_blocks(65, self.BP) == 2
+
+    def test_block_rounds_to_multiple(self):
+        p = Policy(style=Style.NEW, alloc=Alloc.BLOCK, k=4)
+        assert p.chunk_blocks(1, self.BP) == 4
+        assert p.chunk_blocks(64 * 4, self.BP) == 4
+        assert p.chunk_blocks(64 * 4 + 1, self.BP) == 8
+
+    def test_proportional_multiplies(self):
+        p = Policy(style=Style.NEW, alloc=Alloc.PROPORTIONAL, k=2.0)
+        # 2 × 100 = 200 postings → 4 blocks
+        assert p.chunk_blocks(100, self.BP) == 4
+
+    def test_proportional_never_shrinks(self):
+        p = Policy(style=Style.NEW, alloc=Alloc.PROPORTIONAL, k=1.0)
+        assert p.chunk_blocks(100, self.BP) == 2
+
+    def test_fill_always_extent_size(self):
+        p = Policy(style=Style.FILL, extent_blocks=4)
+        assert p.chunk_blocks(1, self.BP) == 4
+        assert p.chunk_blocks(10_000, self.BP) == 4
+
+
+class TestInPlaceLimit:
+    def test_zero_limit(self):
+        p = Policy(style=Style.NEW, limit=Limit.ZERO)
+        assert p.in_place_limit(500) == 0
+
+    def test_z_limit_is_slack(self):
+        p = Policy(style=Style.NEW, limit=Limit.Z)
+        assert p.in_place_limit(500) == 500
+
+
+class TestNamedPolicies:
+    def test_update_optimized(self):
+        p = Policy.update_optimized()
+        assert p.style is Style.NEW and p.limit is Limit.ZERO
+
+    def test_query_optimized(self):
+        p = Policy.query_optimized()
+        assert p.style is Style.WHOLE and p.limit is Limit.Z
+        assert p.alloc is Alloc.PROPORTIONAL
+
+    def test_balanced(self):
+        p = Policy.balanced()
+        assert p.style is Style.FILL and p.limit is Limit.Z
+
+    def test_recommended_constants(self):
+        assert Policy.recommended_new().k == 2.0
+        assert Policy.recommended_whole().k == 1.2
+
+
+class TestNaming:
+    def test_names_are_distinct(self):
+        names = [p.name for p in figure8_policies()]
+        assert len(names) == len(set(names))
+
+    def test_name_shapes(self):
+        assert Policy(style=Style.NEW, limit=Limit.ZERO).name == "new 0"
+        assert Policy(style=Style.FILL, limit=Limit.Z).name == "fill z e=4"
+        assert (
+            Policy.recommended_new().name == "new z prop-2"
+        )
+
+    def test_figure8_set(self):
+        styles = {(p.style, p.limit) for p in figure8_policies()}
+        assert len(styles) == 6  # all style × limit combinations
+
+
+class TestHashability:
+    def test_policies_usable_as_dict_keys(self):
+        d = {p: i for i, p in enumerate(figure8_policies())}
+        assert len(d) == 6

@@ -1,0 +1,133 @@
+"""Unit tests for positional/region postings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.positional import (
+    PositionalPosting,
+    PositionalPostings,
+    Region,
+)
+
+
+def posting(doc, positions=(0,), regions=Region.BODY):
+    return PositionalPosting(doc, tuple(positions), regions)
+
+
+class TestPosting:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PositionalPosting(-1, (0,))
+        with pytest.raises(ValueError):
+            PositionalPosting(0, ())
+        with pytest.raises(ValueError):
+            PositionalPosting(0, (3, 1))
+        with pytest.raises(ValueError):
+            PositionalPosting(0, (0,), Region(0))
+
+    def test_region_flags_combine(self):
+        p = posting(0, regions=Region.TITLE | Region.BODY)
+        assert p.regions & Region.TITLE
+        assert p.regions & Region.BODY
+        assert not p.regions & Region.AUTHOR
+
+
+class TestPayloadProtocol:
+    def test_len_counts_postings_not_positions(self):
+        payload = PositionalPostings(
+            [posting(0, (0, 5, 9)), posting(3, (1,))]
+        )
+        assert len(payload) == 2  # the accounting the policies rely on
+
+    def test_doc_ids(self):
+        payload = PositionalPostings([posting(0), posting(4)])
+        assert payload.doc_ids == [0, 4]
+
+    def test_extend_keeps_order(self):
+        a = PositionalPostings([posting(0)])
+        a.extend(PositionalPostings([posting(2)]))
+        assert a.doc_ids == [0, 2]
+        with pytest.raises(ValueError):
+            a.extend(PositionalPostings([posting(2)]))
+
+    def test_split_partitions(self):
+        payload = PositionalPostings([posting(d) for d in range(5)])
+        head, tail = payload.split(2)
+        assert head.doc_ids == [0, 1]
+        assert tail.doc_ids == [2, 3, 4]
+
+    def test_copy_independent(self):
+        a = PositionalPostings([posting(0)])
+        b = a.copy()
+        b.extend(PositionalPostings([posting(1)]))
+        assert len(a) == 1
+
+    def test_constructor_validates_order(self):
+        with pytest.raises(ValueError):
+            PositionalPostings([posting(2), posting(1)])
+
+    def test_cannot_mix_kinds(self):
+        from repro.core.postings import DocPostings
+
+        with pytest.raises(TypeError):
+            PositionalPostings().extend(DocPostings([1]))
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        payload = PositionalPostings(
+            [
+                posting(0, (0, 7, 100), Region.TITLE | Region.BODY),
+                posting(5, (3,), Region.AUTHOR),
+                posting(1000, (0, 1, 2), Region.ABSTRACT),
+            ]
+        )
+        assert PositionalPostings.decode(payload.encode()) == payload
+
+    def test_empty(self):
+        assert PositionalPostings.decode(b"") == PositionalPostings()
+
+    def test_dense_positions_compact(self):
+        payload = PositionalPostings(
+            [posting(0, tuple(range(100)))]
+        )
+        assert len(payload.encode()) < 120
+
+
+positions_strategy = st.lists(
+    st.integers(min_value=0, max_value=5000), min_size=1, max_size=20,
+    unique=True,
+).map(sorted)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10_000),
+            positions_strategy,
+            st.sampled_from(
+                [Region.BODY, Region.TITLE, Region.BODY | Region.AUTHOR]
+            ),
+        ),
+        max_size=30,
+        unique_by=lambda t: t[0],
+    )
+)
+def test_codec_roundtrip_property(entries):
+    entries.sort(key=lambda t: t[0])
+    payload = PositionalPostings(
+        [PositionalPosting(d, tuple(p), r) for d, p, r in entries]
+    )
+    assert PositionalPostings.decode(payload.encode()) == payload
+
+
+class TestPositionsFor:
+    def test_binary_search(self):
+        payload = PositionalPostings(
+            [posting(d, (d, d + 1)) for d in range(0, 20, 2)]
+        )
+        assert payload.positions_for(4) == (4, 5)
+        assert payload.positions_for(5) is None
+        assert payload.positions_for(18) == (18, 19)
+        assert payload.positions_for(99) is None

@@ -1,0 +1,146 @@
+"""Unit tests for posting payloads and the varint codec."""
+
+import pytest
+
+from repro.core.postings import (
+    CountPostings,
+    DocPostings,
+    decode_doc_ids,
+    decode_varint,
+    empty_like,
+    encode_doc_ids,
+    encode_varint,
+)
+
+
+class TestVarint:
+    def test_small_values_single_byte(self):
+        assert encode_varint(0) == b"\x00"
+        assert encode_varint(127) == b"\x7f"
+
+    def test_multibyte(self):
+        assert encode_varint(128) == b"\x80\x01"
+        assert encode_varint(300) == b"\xac\x02"
+
+    def test_roundtrip_boundaries(self):
+        for v in (0, 1, 127, 128, 16383, 16384, 2**32, 2**63):
+            value, offset = decode_varint(encode_varint(v))
+            assert value == v
+            assert offset == len(encode_varint(v))
+
+    def test_decode_at_offset(self):
+        data = encode_varint(5) + encode_varint(300)
+        v1, off = decode_varint(data, 0)
+        v2, end = decode_varint(data, off)
+        assert (v1, v2) == (5, 300)
+        assert end == len(data)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"\x80")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+
+class TestDocIdCodec:
+    def test_roundtrip(self):
+        ids = [0, 1, 5, 100, 101, 10_000]
+        assert decode_doc_ids(encode_doc_ids(ids)) == ids
+
+    def test_empty(self):
+        assert decode_doc_ids(encode_doc_ids([])) == []
+
+    def test_dense_ids_encode_to_one_byte_each(self):
+        data = encode_doc_ids(list(range(100)))
+        assert len(data) == 100
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValueError):
+            encode_doc_ids([3, 3])
+        with pytest.raises(ValueError):
+            encode_doc_ids([5, 2])
+
+
+class TestCountPostings:
+    def test_len_and_extend(self):
+        p = CountPostings(5)
+        p.extend(CountPostings(7))
+        assert len(p) == 12
+
+    def test_split(self):
+        head, tail = CountPostings(10).split(4)
+        assert (len(head), len(tail)) == (4, 6)
+
+    def test_split_beyond_length(self):
+        head, tail = CountPostings(3).split(10)
+        assert (len(head), len(tail)) == (3, 0)
+
+    def test_copy_is_independent(self):
+        p = CountPostings(5)
+        q = p.copy()
+        q.extend(CountPostings(1))
+        assert len(p) == 5
+
+    def test_cannot_mix_kinds(self):
+        with pytest.raises(TypeError):
+            CountPostings(1).extend(DocPostings([1]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CountPostings(-1)
+
+    def test_equality(self):
+        assert CountPostings(3) == CountPostings(3)
+        assert CountPostings(3) != CountPostings(4)
+
+
+class TestDocPostings:
+    def test_len_and_extend(self):
+        p = DocPostings([1, 2])
+        p.extend(DocPostings([5, 9]))
+        assert p.doc_ids == [1, 2, 5, 9]
+
+    def test_extend_must_keep_sorted(self):
+        p = DocPostings([5])
+        with pytest.raises(ValueError):
+            p.extend(DocPostings([5]))
+        with pytest.raises(ValueError):
+            p.extend(DocPostings([3]))
+
+    def test_extend_empty_is_noop(self):
+        p = DocPostings([1])
+        p.extend(DocPostings())
+        assert p.doc_ids == [1]
+
+    def test_split(self):
+        head, tail = DocPostings([1, 2, 3, 4]).split(3)
+        assert head.doc_ids == [1, 2, 3]
+        assert tail.doc_ids == [4]
+
+    def test_encode_decode_roundtrip(self):
+        p = DocPostings([0, 7, 8, 5000])
+        assert DocPostings.decode(p.encode()) == p
+
+    def test_constructor_validates_order(self):
+        with pytest.raises(ValueError):
+            DocPostings([2, 1])
+        with pytest.raises(ValueError):
+            DocPostings([-1, 3])
+
+    def test_cannot_mix_kinds(self):
+        with pytest.raises(TypeError):
+            DocPostings([1]).extend(CountPostings(1))
+
+
+class TestEmptyLike:
+    def test_count(self):
+        assert empty_like(CountPostings(5)) == CountPostings(0)
+
+    def test_doc(self):
+        assert empty_like(DocPostings([1])) == DocPostings()
+
+    def test_unknown_kind(self):
+        with pytest.raises(TypeError):
+            empty_like(object())

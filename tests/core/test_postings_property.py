@@ -1,0 +1,70 @@
+"""Property-based tests for payload codecs and split/extend algebra."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.postings import (
+    CountPostings,
+    DocPostings,
+    decode_doc_ids,
+    decode_varint,
+    encode_doc_ids,
+    encode_varint,
+)
+
+doc_id_lists = st.lists(
+    st.integers(min_value=0, max_value=2**40), max_size=200, unique=True
+).map(sorted)
+
+
+@given(st.integers(min_value=0, max_value=2**64))
+def test_varint_roundtrip(value):
+    decoded, offset = decode_varint(encode_varint(value))
+    assert decoded == value
+    assert offset == len(encode_varint(value))
+
+
+@given(doc_id_lists)
+def test_doc_id_codec_roundtrip(ids):
+    assert decode_doc_ids(encode_doc_ids(ids)) == ids
+
+
+@given(doc_id_lists)
+def test_doc_codec_size_bounded_by_gaps(ids):
+    """Delta coding: total bytes never exceed raw 8-byte-per-id encoding
+    and dense runs cost one byte per id."""
+    data = encode_doc_ids(ids)
+    assert len(data) <= 8 * max(1, len(ids))
+
+
+@given(doc_id_lists, st.integers(min_value=0, max_value=250))
+def test_doc_split_partitions(ids, at):
+    p = DocPostings(ids)
+    head, tail = p.split(at)
+    assert head.doc_ids + tail.doc_ids == ids
+    assert len(head) == min(at, len(ids))
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_count_split_conserves(total, at):
+    head, tail = CountPostings(total).split(at)
+    assert len(head) + len(tail) == total
+
+
+@given(doc_id_lists, st.integers(min_value=0, max_value=250))
+def test_split_then_extend_is_identity(ids, at):
+    p = DocPostings(ids)
+    head, tail = p.split(at)
+    head.extend(tail)
+    assert head.doc_ids == ids
+
+
+@given(st.lists(st.integers(min_value=0, max_value=500), max_size=20))
+def test_count_extend_is_addition(counts):
+    total = CountPostings(0)
+    for c in counts:
+        total.extend(CountPostings(c))
+    assert len(total) == sum(counts)

@@ -1,0 +1,148 @@
+"""Unit tests for dynamic bucket-space growth (paper §7)."""
+
+import pytest
+
+from repro.core.buckets import BucketManager
+from repro.core.index import DualStructureIndex, IndexConfig
+from repro.core.postings import CountPostings
+from repro.core.rebalance import BucketGrower, GrowthPolicy
+
+
+def fill_manager(manager, nwords, postings_each=3):
+    for word in range(1, nwords + 1):
+        manager.insert(word, CountPostings(postings_each))
+
+
+class TestGrowthPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GrowthPolicy(occupancy_threshold=0.0)
+        with pytest.raises(ValueError):
+            GrowthPolicy(occupancy_threshold=1.0)
+        with pytest.raises(ValueError):
+            GrowthPolicy(factor=1)
+        with pytest.raises(ValueError):
+            GrowthPolicy(max_buckets=-1)
+
+
+class TestTrigger:
+    def test_fires_above_threshold(self):
+        manager = BucketManager(4, 40)
+        grower = BucketGrower(GrowthPolicy(occupancy_threshold=0.5))
+        fill_manager(manager, 24)  # 24 words × 4 units = 96/160 = 0.6
+        assert grower.should_grow(manager)
+
+    def test_quiet_below_threshold(self):
+        manager = BucketManager(4, 40)
+        grower = BucketGrower(GrowthPolicy(occupancy_threshold=0.5))
+        fill_manager(manager, 8)  # 32/160 = 0.2
+        assert not grower.should_grow(manager)
+
+    def test_respects_ceiling(self):
+        manager = BucketManager(4, 40)
+        grower = BucketGrower(
+            GrowthPolicy(occupancy_threshold=0.1, max_buckets=4)
+        )
+        fill_manager(manager, 24)
+        assert not grower.should_grow(manager)
+
+
+class TestGrow:
+    def test_doubles_buckets_and_preserves_contents(self):
+        manager = BucketManager(4, 40)
+        fill_manager(manager, 24)
+        words_before = sorted(manager.words())
+        units_before = manager.total_units
+        grower = BucketGrower()
+        event = grower.grow(manager, batch=7)
+        assert manager.nbuckets == 8
+        assert sorted(manager.words()) == words_before
+        assert manager.total_units == units_before
+        assert event.old_nbuckets == 4 and event.new_nbuckets == 8
+        assert event.batch == 7
+        assert grower.events == [event]
+
+    def test_rehash_routes_by_new_modulus(self):
+        manager = BucketManager(4, 400)
+        manager.insert(5, CountPostings(1))  # bucket 1 of 4
+        manager.insert(7, CountPostings(1))  # bucket 3 of 4
+        BucketGrower().grow(manager)
+        assert manager.bucket_of(5) == 5
+        assert manager.bucket_of(7) == 7
+        assert manager.contains(5) and manager.contains(7)
+
+    def test_growth_halves_occupancy(self):
+        manager = BucketManager(4, 40)
+        fill_manager(manager, 24)
+        occupancy_before = manager.occupancy()
+        BucketGrower().grow(manager)
+        assert manager.occupancy() == pytest.approx(occupancy_before / 2)
+
+    def test_no_bucket_overflows_after_growth(self):
+        manager = BucketManager(2, 60)
+        fill_manager(manager, 20)
+        BucketGrower(GrowthPolicy(factor=4)).grow(manager)
+        for bucket in manager.buckets:
+            assert bucket.size <= bucket.capacity
+
+    def test_maybe_grow(self):
+        manager = BucketManager(4, 40)
+        grower = BucketGrower(GrowthPolicy(occupancy_threshold=0.5))
+        assert grower.maybe_grow(manager) is None
+        fill_manager(manager, 24)
+        assert grower.maybe_grow(manager) is not None
+
+
+class TestIndexIntegration:
+    def make_index(self, grow):
+        return DualStructureIndex(
+            IndexConfig(
+                nbuckets=2,
+                bucket_size=64,
+                block_postings=16,
+                ndisks=2,
+                nblocks_override=100_000,
+                grow_buckets=grow,
+                growth=GrowthPolicy(occupancy_threshold=0.5),
+            )
+        )
+
+    def load(self, index, batches=8):
+        word = 0
+        for _ in range(batches):
+            pairs = [(1 + (word + i) % 60, 2) for i in range(20)]
+            word += 20
+            merged = {}
+            for w, c in pairs:
+                merged[w] = merged.get(w, 0) + c
+            index.add_counts(sorted(merged.items()))
+            index.flush_batch()
+
+    def test_auto_growth_reduces_migrations(self):
+        fixed = self.make_index(grow=False)
+        growing = self.make_index(grow=True)
+        self.load(fixed)
+        self.load(growing)
+        assert growing.grower is not None
+        assert growing.grower.events, "growth never triggered"
+        assert growing.buckets.nbuckets > fixed.buckets.nbuckets
+        # Fewer words forced out into long lists.
+        assert (
+            growing.directory.nwords <= fixed.directory.nwords
+        )
+        # Postings conserved through growth.
+        assert (
+            growing.directory.total_postings
+            + growing.buckets.total_postings
+            == fixed.directory.total_postings + fixed.buckets.total_postings
+        )
+
+    def test_growth_enlarges_flush_region(self):
+        growing = self.make_index(grow=True)
+        self.load(growing)
+        # The bucket region that gets flushed grows with the bucket count
+        # ("expanded and written in a larger region of disk").
+        assert growing.buckets.nbuckets > 2
+        assert growing.buckets.flush_blocks(512, 4) > (
+            BucketManager(2, 64).flush_blocks(512, 4)
+        )

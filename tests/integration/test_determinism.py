@@ -1,0 +1,95 @@
+"""Determinism: the whole pipeline is reproducible bit-for-bit per seed."""
+
+from repro.core.policy import Limit, Policy, Style
+from repro.pipeline.experiment import Experiment, ExperimentConfig
+from repro.workload.synthetic import SyntheticNewsConfig
+
+
+def small_config(seed=3):
+    return ExperimentConfig(
+        workload=SyntheticNewsConfig(days=10, docs_per_day=40, seed=seed),
+        nbuckets=32,
+        bucket_size=256,
+    )
+
+
+def run_series(config, exercise=False):
+    experiment = Experiment(config)
+    run = experiment.run_policy(
+        Policy(style=Style.NEW, limit=Limit.Z), exercise=exercise
+    )
+    out = {
+        "io": run.disks.series.io_ops,
+        "util": run.disks.series.utilization,
+        "reads": run.disks.series.avg_reads,
+        "inplace": run.disks.series.in_place,
+    }
+    if exercise:
+        out["time"] = run.exercise.result.cumulative_s
+    return out
+
+
+class TestDeterminism:
+    def test_identical_configs_identical_results(self):
+        assert run_series(small_config()) == run_series(small_config())
+
+    def test_exercise_timings_deterministic(self):
+        a = run_series(small_config(), exercise=True)
+        b = run_series(small_config(), exercise=True)
+        assert a["time"] == b["time"]
+
+    def test_different_seed_different_results(self):
+        a = run_series(small_config(seed=3))
+        b = run_series(small_config(seed=4))
+        assert a != b
+
+    def test_trace_text_roundtrip_preserves_results(self):
+        """Serializing the long-list trace to its Figure-5 text format and
+        replaying the parsed copy gives identical disk-stage results —
+        the paper's stage decoupling is lossless."""
+        import io
+
+        from repro.pipeline.compute_buckets import LongListTrace
+        from repro.pipeline.compute_disks import (
+            ComputeDisksProcess,
+            DiskStageConfig,
+        )
+
+        experiment = Experiment(small_config())
+        original = experiment.bucket_stage().trace
+        buf = io.StringIO()
+        original.write_text(buf)
+        buf.seek(0)
+        parsed = LongListTrace.read_text(buf)
+
+        def run(trace):
+            return ComputeDisksProcess(
+                DiskStageConfig(
+                    policy=Policy(style=Style.NEW, limit=Limit.Z),
+                    bucket_flush_blocks=16,
+                )
+            ).run(trace)
+
+        a, b = run(original), run(parsed)
+        assert a.series.io_ops == b.series.io_ops
+        assert list(a.trace.ops()) == list(b.trace.ops())
+
+    def test_io_trace_text_roundtrip_preserves_timing(self):
+        """Same for the Figure-6 I/O trace: exercise(parse(print(t))) ==
+        exercise(t)."""
+        import io
+
+        from repro.pipeline.exercise import ExerciseConfig, ExerciseDisksProcess
+        from repro.storage.iotrace import IOTrace
+
+        experiment = Experiment(small_config())
+        run = experiment.run_policy(Policy(style=Style.NEW, limit=Limit.Z))
+        buf = io.StringIO()
+        run.disks.trace.write_text(buf)
+        buf.seek(0)
+        parsed = IOTrace.read_text(buf)
+        exerciser = ExerciseDisksProcess(ExerciseConfig())
+        assert (
+            exerciser.run(run.disks.trace).result.cumulative_s
+            == exerciser.run(parsed).result.cumulative_s
+        )

@@ -1,0 +1,133 @@
+"""Integration tests asserting the paper's qualitative results at reduced
+scale.  These are the same shape checks the benchmark harness prints; here
+they run on the shared small experiment so the ordinary test suite already
+guards the reproduction.
+"""
+
+import pytest
+
+from repro.analysis.metrics import increasing_slope
+from repro.core.policy import Limit, Policy, Style
+
+
+@pytest.fixture(scope="module")
+def runs(small_experiment):
+    policies = {
+        "new0": Policy(style=Style.NEW, limit=Limit.ZERO),
+        "newz": Policy(style=Style.NEW, limit=Limit.Z),
+        "fill0": Policy(style=Style.FILL, limit=Limit.ZERO),
+        "fillz": Policy(style=Style.FILL, limit=Limit.Z),
+        "whole0": Policy(style=Style.WHOLE, limit=Limit.ZERO),
+        "wholez": Policy(style=Style.WHOLE, limit=Limit.Z),
+    }
+    return {
+        name: small_experiment.run_policy(p) for name, p in policies.items()
+    }
+
+
+class TestFigure7Shapes:
+    def test_new_words_start_at_one_and_fall(self, small_experiment):
+        new, _, _ = small_experiment.bucket_stage().category_fraction_series
+        assert new[0] == 1.0
+        assert new[-1] < 0.6
+
+    def test_long_words_absent_then_rise(self, small_experiment):
+        _, _, long_ = small_experiment.bucket_stage().category_fraction_series
+        assert long_[0] == 0.0
+        assert long_[-1] > 0.05
+
+    def test_bucket_words_rise_then_decline(self, small_experiment):
+        _, bucket, _ = small_experiment.bucket_stage().category_fraction_series
+        peak = max(range(len(bucket)), key=bucket.__getitem__)
+        assert 0 < peak < len(bucket) - 1
+        assert bucket[-1] < bucket[peak]
+
+
+class TestFigure8Shapes:
+    def test_curves_have_increasing_slope(self, runs):
+        for name in ("new0", "newz", "wholez"):
+            assert increasing_slope(runs[name].disks.series.io_ops), name
+
+    def test_in_place_costs_more_ops(self, runs):
+        assert (
+            runs["newz"].disks.series.io_ops[-1]
+            > 1.3 * runs["new0"].disks.series.io_ops[-1]
+        )
+        assert (
+            runs["fillz"].disks.series.io_ops[-1]
+            > 1.3 * runs["fill0"].disks.series.io_ops[-1]
+        )
+
+    def test_whole_is_the_upper_bound(self, runs):
+        whole = runs["wholez"].disks.series.io_ops[-1]
+        for name in ("new0", "newz", "fill0", "fillz"):
+            assert runs[name].disks.series.io_ops[-1] <= whole
+
+    def test_whole_limits_coincide_in_ops(self, runs):
+        # "whole 0 & whole z" is a single curve in the paper's Figure 8.
+        assert (
+            runs["whole0"].disks.series.io_ops
+            == runs["wholez"].disks.series.io_ops
+        )
+
+
+class TestFigure9Shapes:
+    def test_whole_has_best_utilization(self, runs):
+        whole = runs["wholez"].disks.final_utilization
+        for name in ("new0", "newz", "fill0", "fillz"):
+            assert runs[name].disks.final_utilization <= whole + 1e-9
+
+    def test_no_in_place_collapses_utilization(self, runs):
+        assert (
+            runs["fill0"].disks.final_utilization
+            < 0.5 * runs["fillz"].disks.final_utilization
+        )
+        assert (
+            runs["new0"].disks.final_utilization
+            < runs["newz"].disks.final_utilization
+        )
+
+
+class TestFigure10Shapes:
+    def test_whole_reads_exactly_one(self, runs):
+        assert runs["wholez"].disks.final_avg_reads == 1.0
+        assert runs["whole0"].disks.final_avg_reads == 1.0
+
+    def test_in_place_needed_for_competitive_reads(self, runs):
+        assert (
+            runs["newz"].disks.final_avg_reads
+            < 0.7 * runs["new0"].disks.final_avg_reads
+        )
+
+    def test_ordering_whole_fill_new(self, runs):
+        assert (
+            runs["wholez"].disks.final_avg_reads
+            <= runs["fillz"].disks.final_avg_reads
+            <= runs["newz"].disks.final_avg_reads
+        )
+
+
+class TestTimingShapes:
+    def test_update_optimized_policy_is_fastest(self, small_experiment):
+        new0 = small_experiment.run_policy(
+            Policy(style=Style.NEW, limit=Limit.ZERO), exercise=True
+        )
+        whole0 = small_experiment.run_policy(
+            Policy(style=Style.WHOLE, limit=Limit.ZERO), exercise=True
+        )
+        assert new0.exercise.total_s < whole0.exercise.total_s
+
+    def test_time_ratio_exceeds_ops_ratio(self, small_experiment):
+        """Paper §5.3: times vary by ×8 where ops vary by ×2, because
+        sequential-only policies coalesce."""
+        new0 = small_experiment.run_policy(
+            Policy(style=Style.NEW, limit=Limit.ZERO), exercise=True
+        )
+        whole0 = small_experiment.run_policy(
+            Policy(style=Style.WHOLE, limit=Limit.ZERO), exercise=True
+        )
+        ops_ratio = (
+            whole0.disks.series.io_ops[-1] / new0.disks.series.io_ops[-1]
+        )
+        time_ratio = whole0.exercise.total_s / new0.exercise.total_s
+        assert time_ratio > ops_ratio

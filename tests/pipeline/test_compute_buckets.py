@@ -1,0 +1,124 @@
+"""Unit tests for the ComputeBuckets stage."""
+
+import io
+
+import pytest
+
+from repro.pipeline.compute_buckets import (
+    ComputeBucketsProcess,
+    LongListTrace,
+    LongListUpdate,
+)
+from repro.text.batchupdate import BatchUpdate
+
+
+def update(day, pairs):
+    return BatchUpdate(day=day, pairs=pairs)
+
+
+class TestCategories:
+    def test_first_update_all_new(self):
+        process = ComputeBucketsProcess(nbuckets=4, bucket_size=100)
+        _, counts = process.process_update(update(0, [(1, 2), (2, 3)]))
+        assert counts.new == 2
+        assert counts.bucket == 0 and counts.long == 0
+
+    def test_repeat_words_are_bucket_words(self):
+        process = ComputeBucketsProcess(nbuckets=4, bucket_size=100)
+        process.process_update(update(0, [(1, 2)]))
+        _, counts = process.process_update(update(1, [(1, 2), (9, 1)]))
+        assert counts.bucket == 1 and counts.new == 1
+
+    def test_migrated_words_are_long_words(self):
+        process = ComputeBucketsProcess(nbuckets=1, bucket_size=10)
+        events, _ = process.process_update(update(0, [(1, 20)]))
+        assert events == [LongListUpdate(1, 20)]
+        _, counts = process.process_update(update(1, [(1, 5)]))
+        assert counts.long == 1
+
+    def test_fractions_sum_to_one(self):
+        process = ComputeBucketsProcess(nbuckets=2, bucket_size=20)
+        pairs = [(w, 3) for w in range(1, 10)]
+        _, counts = process.process_update(update(0, pairs))
+        assert sum(counts.fractions()) == pytest.approx(1.0)
+
+
+class TestEvents:
+    def test_long_word_update_goes_straight_to_trace(self):
+        process = ComputeBucketsProcess(nbuckets=1, bucket_size=10)
+        process.process_update(update(0, [(1, 20)]))
+        events, _ = process.process_update(update(1, [(1, 7)]))
+        assert events == [LongListUpdate(1, 7)]
+
+    def test_migration_carries_bucket_postings(self):
+        # Word 1 accumulates postings in the bucket over two updates, then
+        # a big third update overflows: the migration carries them all.
+        process = ComputeBucketsProcess(nbuckets=1, bucket_size=20)
+        process.process_update(update(0, [(1, 5)]))
+        process.process_update(update(1, [(1, 5)]))
+        events, _ = process.process_update(update(2, [(1, 12)]))
+        assert events == [LongListUpdate(1, 22)]
+
+    def test_overflow_can_evict_other_word(self):
+        process = ComputeBucketsProcess(nbuckets=1, bucket_size=20)
+        process.process_update(update(0, [(1, 12)]))  # 13 units
+        events, _ = process.process_update(update(1, [(2, 8)]))  # 22 units
+        # Word 1 is longest → evicted, word 2 stays.
+        assert events == [LongListUpdate(1, 12)]
+
+
+class TestRun:
+    def test_run_collects_everything(self):
+        process = ComputeBucketsProcess(
+            nbuckets=2, bucket_size=16, watch_buckets=(0,)
+        )
+        updates = [
+            update(0, [(1, 8), (2, 8)]),
+            update(1, [(1, 8), (3, 2)]),
+        ]
+        result = process.run(updates)
+        assert result.trace.nbatches == 2
+        assert len(result.categories) == 2
+        assert 0 in result.animations
+        assert result.trace.npostings > 0
+
+    def test_conservation_of_postings(self):
+        """bucket contents + long-list trace postings == input postings."""
+        process = ComputeBucketsProcess(nbuckets=2, bucket_size=32)
+        updates = [
+            update(0, [(1, 10), (2, 4), (3, 1)]),
+            update(1, [(1, 10), (4, 2)]),
+            update(2, [(2, 9), (5, 6)]),
+        ]
+        result = process.run(updates)
+        total_in = sum(u.npostings for u in updates)
+        assert (
+            result.trace.npostings + result.manager.total_postings == total_in
+        )
+
+
+class TestTraceFormat:
+    def test_text_roundtrip(self):
+        trace = LongListTrace()
+        trace.batches.append([LongListUpdate(5, 10), LongListUpdate(9, 1)])
+        trace.batches.append([])
+        trace.batches.append([LongListUpdate(5, 2)])
+        buf = io.StringIO()
+        trace.write_text(buf)
+        buf.seek(0)
+        parsed = LongListTrace.read_text(buf)
+        assert parsed.batches == trace.batches
+        assert parsed.nupdates == 3
+
+    def test_figure5_shape(self):
+        trace = LongListTrace()
+        trace.batches.append([LongListUpdate(134416, 1034)])
+        buf = io.StringIO()
+        trace.write_text(buf)
+        assert buf.getvalue() == "134416 1034\n0 0\n"
+
+    def test_malformed_update_rejected(self):
+        with pytest.raises(ValueError):
+            LongListUpdate(0, 5)
+        with pytest.raises(ValueError):
+            LongListUpdate(1, 0)

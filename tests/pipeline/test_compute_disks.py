@@ -1,0 +1,89 @@
+"""Unit tests for the ComputeDisks stage."""
+
+import pytest
+
+from repro.core.policy import Limit, Policy, Style
+from repro.pipeline.compute_buckets import LongListTrace, LongListUpdate
+from repro.pipeline.compute_disks import ComputeDisksProcess, DiskStageConfig
+from repro.storage.iotrace import OpKind, Target
+
+
+def make_trace(batches):
+    trace = LongListTrace()
+    for batch in batches:
+        trace.batches.append([LongListUpdate(w, n) for w, n in batch])
+    return trace
+
+
+def run(policy, batches, **cfg):
+    config = DiskStageConfig(
+        policy=policy, bucket_flush_blocks=8, block_postings=64, **cfg
+    )
+    return ComputeDisksProcess(config).run(make_trace(batches))
+
+
+class TestSeries:
+    def test_one_sample_per_update(self):
+        result = run(
+            Policy(style=Style.NEW, limit=Limit.ZERO),
+            [[(1, 10)], [(1, 10)], [(2, 5)]],
+        )
+        assert result.series.nupdates == 3
+        assert result.series.io_ops == sorted(result.series.io_ops)
+
+    def test_io_ops_include_flush_writes(self):
+        result = run(Policy(style=Style.NEW, limit=Limit.ZERO), [[(1, 10)]])
+        trace = result.trace
+        assert trace.count_ops(Target.BUCKET) == 4  # striped over 4 disks
+        assert trace.count_ops(Target.DIRECTORY) == 1
+        assert trace.count_ops(Target.LONG_LIST) == 1
+        assert result.series.io_ops[-1] == 6
+
+    def test_utilization_tracks_directory(self):
+        result = run(
+            Policy(style=Style.WHOLE, limit=Limit.ZERO),
+            [[(1, 64)], [(1, 64)]],
+        )
+        assert result.series.utilization[-1] == pytest.approx(1.0)
+
+    def test_in_place_series_cumulative(self):
+        result = run(
+            Policy(style=Style.NEW, limit=Limit.Z),
+            [[(1, 10)], [(1, 10)], [(1, 10)]],
+        )
+        assert result.series.in_place == [0, 1, 2]
+
+    def test_long_words_series(self):
+        result = run(
+            Policy(style=Style.NEW, limit=Limit.ZERO),
+            [[(1, 10)], [(2, 10)]],
+        )
+        assert result.series.long_words == [1, 2]
+
+
+class TestBatchBoundaries:
+    def test_release_freed_at_batch_end(self):
+        result = run(
+            Policy(style=Style.WHOLE, limit=Limit.ZERO),
+            [[(1, 100)], [(1, 100)]],
+        )
+        assert result.manager.release == []
+
+    def test_trace_batches_match_input(self):
+        result = run(
+            Policy(style=Style.NEW, limit=Limit.ZERO),
+            [[(1, 10)], [], [(2, 5)]],
+        )
+        assert result.trace.nbatches == 3
+
+
+class TestEndState:
+    def test_final_metrics_accessible(self):
+        result = run(
+            Policy(style=Style.NEW, limit=Limit.ZERO),
+            [[(1, 10), (2, 10)], [(1, 10)]],
+        )
+        # Word 1 has two chunks (two new-style appends), word 2 has one.
+        assert result.final_avg_reads == pytest.approx(3 / 2)
+        assert 0 < result.final_utilization <= 1.0
+        assert result.counters.appends == 3

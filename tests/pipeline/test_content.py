@@ -1,0 +1,51 @@
+"""Unit tests for the content-mode experiment builder."""
+
+import pytest
+
+from repro.core.policy import Limit, Policy, Style
+from repro.pipeline.content import build_content_index
+from repro.workload.synthetic import SyntheticNews, SyntheticNewsConfig
+
+WORKLOAD = SyntheticNewsConfig(days=5, docs_per_day=25)
+
+
+@pytest.fixture(scope="module")
+def index():
+    return build_content_index(
+        WORKLOAD,
+        Policy(style=Style.NEW, limit=Limit.Z),
+        nbuckets=16,
+        bucket_size=256,
+        block_postings=16,
+    )
+
+
+class TestBuildContentIndex:
+    def test_one_batch_per_day(self, index):
+        assert index.stats().batches == WORKLOAD.days
+
+    def test_all_documents_ingested(self, index):
+        news = SyntheticNews(WORKLOAD)
+        expected = sum(news.docs_on_day(d) for d in range(WORKLOAD.days))
+        assert index.ndocs == expected
+
+    def test_postings_conserved(self, index):
+        news = SyntheticNews(WORKLOAD)
+        expected = sum(u.npostings for u in news.batches())
+        stats = index.stats()
+        assert stats.long_postings + stats.bucket_postings == expected
+
+    def test_hot_word_list_matches_workload(self, index):
+        news = SyntheticNews(WORKLOAD)
+        expected_docs = []
+        doc_id = 0
+        for day in range(WORKLOAD.days):
+            for words in news.day_documents(day):
+                if 1 in words:
+                    expected_docs.append(doc_id)
+                doc_id += 1
+        postings, _ = index.fetch(1)
+        assert postings.doc_ids == expected_docs
+
+    def test_trace_disabled_for_speed(self, index):
+        assert index.trace is None

@@ -1,0 +1,52 @@
+"""Unit tests for the ExerciseDisks wrapper."""
+
+import pytest
+
+from repro.pipeline.exercise import ExerciseConfig, ExerciseDisksProcess
+from repro.storage.iotrace import IOTrace, OpKind, Target, TraceOp
+from repro.storage.profiles import SEAGATE_SCSI_1994
+
+
+def trace_with(ops):
+    trace = IOTrace()
+    for disk, start, nblocks in ops:
+        trace.append(
+            TraceOp(OpKind.WRITE, Target.LONG_LIST, disk, start, nblocks,
+                    word=1, npostings=1)
+        )
+    trace.end_batch()
+    return trace
+
+
+class TestOutcome:
+    def test_feasible_trace(self):
+        process = ExerciseDisksProcess(
+            ExerciseConfig(profile=SEAGATE_SCSI_1994.with_capacity(1000),
+                           ndisks=2)
+        )
+        outcome = process.run(trace_with([(0, 0, 10), (1, 500, 10)]))
+        assert outcome.feasible
+        assert outcome.total_s > 0
+        assert len(outcome.result.batch_timings) == 1
+
+    def test_infeasible_trace_reported_not_raised(self):
+        process = ExerciseDisksProcess(
+            ExerciseConfig(profile=SEAGATE_SCSI_1994.with_capacity(100),
+                           ndisks=2)
+        )
+        outcome = process.run(trace_with([(0, 500, 10)]))
+        assert not outcome.feasible
+        assert "does not fit" in outcome.reason
+
+    def test_total_s_on_infeasible_raises(self):
+        process = ExerciseDisksProcess(
+            ExerciseConfig(profile=SEAGATE_SCSI_1994.with_capacity(100),
+                           ndisks=1)
+        )
+        outcome = process.run(trace_with([(0, 500, 10)]))
+        with pytest.raises(RuntimeError):
+            outcome.total_s
+
+    def test_default_config(self):
+        outcome = ExerciseDisksProcess().run(trace_with([(0, 0, 4)]))
+        assert outcome.feasible

@@ -1,0 +1,74 @@
+"""Unit tests for the experiment runner and its caching."""
+
+import pytest
+
+from repro.core.policy import Limit, Policy, Style
+from repro.pipeline.experiment import Experiment, ExperimentConfig
+from repro.workload.synthetic import SyntheticNewsConfig
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        workload=SyntheticNewsConfig(days=6, docs_per_day=30),
+        nbuckets=16,
+        bucket_size=128,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestCaching:
+    def test_updates_generated_once(self):
+        exp = Experiment(tiny_config())
+        assert exp.updates() is exp.updates()
+
+    def test_bucket_stage_cached(self):
+        exp = Experiment(tiny_config())
+        assert exp.bucket_stage() is exp.bucket_stage()
+
+    def test_policy_runs_cached(self):
+        exp = Experiment(tiny_config())
+        p = Policy(style=Style.NEW, limit=Limit.ZERO)
+        assert exp.run_policy(p) is exp.run_policy(p)
+
+    def test_exercised_run_reuses_disk_stage(self):
+        exp = Experiment(tiny_config())
+        p = Policy(style=Style.NEW, limit=Limit.ZERO)
+        base = exp.run_policy(p)
+        exercised = exp.run_policy(p, exercise=True)
+        assert exercised.disks is base.disks
+        assert exercised.exercise is not None
+
+
+class TestRuns:
+    def test_run_policies_keys_by_name(self):
+        exp = Experiment(tiny_config())
+        policies = [
+            Policy(style=Style.NEW, limit=Limit.ZERO),
+            Policy(style=Style.WHOLE, limit=Limit.ZERO),
+        ]
+        runs = exp.run_policies(policies)
+        assert set(runs) == {"new 0", "whole 0"}
+
+    def test_series_cover_all_updates(self):
+        exp = Experiment(tiny_config())
+        run = exp.run_policy(Policy(style=Style.NEW, limit=Limit.ZERO))
+        assert run.disks.series.nupdates == 6
+
+    def test_stats(self):
+        exp = Experiment(tiny_config())
+        stats = exp.stats(frequent_fraction=0.01)
+        assert stats.total_postings > 0
+        assert stats.frequent_postings_share > 0.1
+
+
+class TestConfig:
+    def test_bucket_flush_blocks(self):
+        cfg = tiny_config()
+        expected = -(-16 * 128 * 4 // 4096)
+        assert cfg.bucket_flush_blocks == expected
+
+    def test_scaled(self):
+        cfg = tiny_config().scaled(2.0)
+        assert cfg.workload.scale == 2.0
+        assert cfg.nbuckets == 16

@@ -1,0 +1,51 @@
+"""Unit tests for the InvertIndex process."""
+
+from repro.pipeline.invert import InvertIndexProcess
+from repro.text.documents import Document, DocumentBatch
+
+
+def batch(day, texts):
+    return DocumentBatch(
+        day=day,
+        documents=[Document(i, t) for i, t in enumerate(texts)],
+    )
+
+
+class TestInvertBatch:
+    def test_word_occurrence_counts(self):
+        process = InvertIndexProcess()
+        update = process.invert_batch(
+            batch(0, ["the cat", "the dog", "cat cat"])
+        )
+        counts = {
+            process.vocabulary.word_of(w - 1): c for w, c in update.pairs
+        }
+        assert counts == {"the": 2, "cat": 2, "dog": 1}
+        assert update.ndocs == 3
+
+    def test_word_ids_start_at_one(self):
+        process = InvertIndexProcess()
+        update = process.invert_batch(batch(0, ["alpha"]))
+        assert update.pairs[0][0] == 1
+
+    def test_vocabulary_shared_across_batches(self):
+        process = InvertIndexProcess()
+        first = process.invert_batch(batch(0, ["cat"]))
+        second = process.invert_batch(batch(1, ["cat dog"]))
+        cat_id = first.pairs[0][0]
+        assert cat_id in dict(second.pairs)
+
+    def test_headers_skipped(self):
+        process = InvertIndexProcess()
+        update = process.invert_batch(batch(0, ["Date: today\ncat"]))
+        words = {
+            process.vocabulary.word_of(w - 1) for w, _ in update.pairs
+        }
+        assert words == {"cat"}
+
+    def test_run_is_lazy_and_ordered(self):
+        process = InvertIndexProcess()
+        updates = list(
+            process.run([batch(0, ["a"]), batch(1, ["b"])])
+        )
+        assert [u.day for u in updates] == [0, 1]

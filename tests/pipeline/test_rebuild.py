@@ -1,0 +1,93 @@
+"""Unit tests for the periodic-rebuild baseline."""
+
+import pytest
+
+from repro.pipeline.rebuild import PeriodicRebuildBaseline
+from repro.storage.iotrace import OpKind
+from repro.text.batchupdate import BatchUpdate
+
+
+def updates(days=6, postings_per_day=10):
+    return [
+        BatchUpdate(
+            day=d,
+            pairs=[(1, postings_per_day - 2), (2 + d, 2)],
+            ndocs=postings_per_day,
+        )
+        for d in range(days)
+    ]
+
+
+class TestSchedule:
+    def test_rebuild_days(self):
+        result = PeriodicRebuildBaseline(period_days=2).run(updates(6))
+        assert result.rebuild_days == [1, 3, 5]
+        assert result.nrebuilds == 3
+
+    def test_daily_rebuild(self):
+        result = PeriodicRebuildBaseline(period_days=1).run(updates(4))
+        assert result.rebuild_days == [0, 1, 2, 3]
+
+    def test_trailing_days_never_indexed(self):
+        result = PeriodicRebuildBaseline(period_days=4).run(updates(6))
+        assert result.rebuild_days == [3]
+        # Days 4 and 5 never got a rebuild.
+        assert result.postings_never_indexed == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicRebuildBaseline(period_days=0)
+
+
+class TestCosts:
+    def test_rebuild_writes_grow_with_the_index(self):
+        result = PeriodicRebuildBaseline(period_days=2).run(updates(8))
+        assert result.blocks_per_rebuild == sorted(
+            result.blocks_per_rebuild
+        )
+        assert result.blocks_per_rebuild[-1] > (
+            result.blocks_per_rebuild[0]
+        )
+
+    def test_frequent_rebuilds_write_more_in_total(self):
+        daily = PeriodicRebuildBaseline(period_days=1).run(updates(8))
+        weekly = PeriodicRebuildBaseline(period_days=4).run(updates(8))
+        assert daily.total_blocks_written > weekly.total_blocks_written
+
+    def test_staleness_grows_with_period(self):
+        daily = PeriodicRebuildBaseline(period_days=1).run(updates(8))
+        slow = PeriodicRebuildBaseline(period_days=4).run(updates(8))
+        assert daily.mean_staleness_days == 0.0
+        assert slow.mean_staleness_days > 1.0
+
+    def test_staleness_is_posting_weighted_mean(self):
+        # Two days, rebuild on day 1: day-0 postings wait 1 day, day-1
+        # postings wait 0 → mean weighted by volume.
+        result = PeriodicRebuildBaseline(period_days=2).run(updates(2))
+        assert result.mean_staleness_days == pytest.approx(0.5)
+
+
+class TestTrace:
+    def test_one_packed_stream_per_disk_per_rebuild(self):
+        result = PeriodicRebuildBaseline(period_days=6, ndisks=2).run(
+            updates(6)
+        )
+        ops = list(result.trace.ops())
+        # One rebuild, two disks: at most one bulk write per disk, each
+        # starting at the head of its (replaced) index region.
+        assert 1 <= len(ops) <= 2
+        for op in ops:
+            assert op.kind is OpKind.WRITE
+            assert op.start == 0
+
+    def test_blocks_reflect_gapless_packing(self):
+        # 6 days × 10 postings = 60 postings pack into exactly
+        # ceil-per-disk blocks at 64 postings per block.
+        result = PeriodicRebuildBaseline(
+            period_days=6, ndisks=2, block_postings=64
+        ).run(updates(6))
+        assert result.total_blocks_written == 2  # ~30 postings per disk
+
+    def test_trace_batches_match_days(self):
+        result = PeriodicRebuildBaseline(period_days=2).run(updates(6))
+        assert result.trace.nbatches == 6

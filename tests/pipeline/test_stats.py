@@ -1,0 +1,52 @@
+"""Unit tests for corpus statistics (Table 1)."""
+
+import pytest
+
+from repro.pipeline.stats import corpus_stats
+from repro.text.batchupdate import BatchUpdate
+
+
+def updates():
+    return [
+        BatchUpdate(day=0, pairs=[(1, 90), (2, 5), (3, 1)], ndocs=90),
+        BatchUpdate(day=1, pairs=[(1, 80), (4, 2)], ndocs=80),
+    ]
+
+
+class TestCorpusStats:
+    def test_totals(self):
+        stats = corpus_stats(updates(), frequent_fraction=0.25)
+        assert stats.total_words == 4
+        assert stats.total_postings == 178
+        assert stats.documents == 170
+        assert stats.avg_postings_per_word == pytest.approx(178 / 4)
+
+    def test_frequent_share(self):
+        stats = corpus_stats(updates(), frequent_fraction=0.25)
+        assert stats.frequent_words == 1
+        assert stats.infrequent_words == 3
+        assert stats.frequent_postings_share == pytest.approx(170 / 178)
+        assert stats.infrequent_postings_share == pytest.approx(8 / 178)
+
+    def test_shares_sum_to_one(self):
+        stats = corpus_stats(updates(), frequent_fraction=0.5)
+        assert stats.frequent_postings_share + (
+            stats.infrequent_postings_share
+        ) == pytest.approx(1.0)
+
+    def test_as_table_renders(self):
+        table = corpus_stats(updates(), frequent_fraction=0.25).as_table()
+        assert "Total Postings" in table
+        assert "178" in table
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            corpus_stats([])
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            corpus_stats(updates(), frequent_fraction=0.0)
+
+    def test_at_least_one_frequent_word(self):
+        stats = corpus_stats(updates(), frequent_fraction=0.001)
+        assert stats.frequent_words == 1

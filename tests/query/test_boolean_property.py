@@ -1,0 +1,50 @@
+"""Property-based tests: merge algebra agrees with Python set algebra."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.query.boolean import difference, evaluate, intersect, union
+
+sorted_lists = st.lists(
+    st.integers(min_value=0, max_value=200), max_size=60, unique=True
+).map(sorted)
+
+
+@given(sorted_lists, sorted_lists)
+def test_intersect_matches_sets(a, b):
+    assert intersect(a, b) == sorted(set(a) & set(b))
+
+
+@given(sorted_lists, sorted_lists)
+def test_union_matches_sets(a, b):
+    assert union(a, b) == sorted(set(a) | set(b))
+
+
+@given(sorted_lists, sorted_lists)
+def test_difference_matches_sets(a, b):
+    assert difference(a, b) == sorted(set(a) - set(b))
+
+
+@given(sorted_lists, sorted_lists)
+def test_de_morgan(a, b):
+    """NOT (a OR b) == (NOT a) AND (NOT b) over a bounded universe."""
+    ndocs = 201
+    universe = list(range(ndocs))
+    lhs = difference(universe, union(a, b))
+    rhs = intersect(difference(universe, a), difference(universe, b))
+    assert lhs == rhs
+
+
+@given(sorted_lists, sorted_lists, sorted_lists)
+def test_distributivity(a, b, c):
+    """a AND (b OR c) == (a AND b) OR (a AND c)."""
+    assert intersect(a, union(b, c)) == union(intersect(a, b), intersect(a, c))
+
+
+@given(sorted_lists, sorted_lists)
+def test_evaluate_matches_set_semantics(a, b):
+    lists = {"x": a, "y": b}
+    result = evaluate(
+        "(x AND y) OR (x AND NOT y)", lists.__getitem__, ndocs=201
+    )
+    assert result == sorted(set(a))

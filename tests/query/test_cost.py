@@ -1,0 +1,91 @@
+"""Unit tests for the query-cost model (paper §5.2.1)."""
+
+import pytest
+
+from repro.core.directory import Directory
+from repro.query.cost import (
+    BooleanWorkload,
+    QueryCostModel,
+    VectorWorkload,
+)
+from repro.storage.block import Chunk
+
+
+def make_model(chunks_for_word=None, bucket_words=(), counts=None):
+    directory = Directory()
+    for word, nchunks in (chunks_for_word or {}).items():
+        entry = directory.entry(word)
+        for i in range(nchunks):
+            entry.chunks.append(
+                Chunk(disk=0, start=i * 10, nblocks=1, npostings=10)
+            )
+    return QueryCostModel(
+        directory, set(bucket_words), counts or {}
+    )
+
+
+class TestReadsForWord:
+    def test_long_word_costs_chunks(self):
+        model = make_model({7: 3}, counts={7: 100})
+        assert model.reads_for_word(7) == 3
+
+    def test_bucket_word_costs_one(self):
+        model = make_model(bucket_words=[5], counts={5: 2})
+        assert model.reads_for_word(5) == 1
+
+    def test_unknown_word_is_free(self):
+        model = make_model()
+        assert model.reads_for_word(99) == 0
+
+
+class TestVectorCost:
+    def test_frequency_weighting_prefers_long_words(self):
+        # One frequent long word (5 chunks) and many rare bucket words:
+        # the vector cost should be pulled toward the long word's cost.
+        counts = {1: 10_000}
+        counts.update({w: 1 for w in range(2, 50)})
+        model = make_model({1: 5}, bucket_words=range(2, 50), counts=counts)
+        cost = model.vector_cost(VectorWorkload(nqueries=20))
+        assert cost > 4.0
+
+    def test_empty_index(self):
+        assert make_model().vector_cost() == 0.0
+
+
+class TestBooleanCost:
+    def test_infrequent_words_mostly_buckets(self):
+        counts = {1: 10_000}
+        counts.update({w: 1 for w in range(2, 200)})
+        model = make_model({1: 5}, bucket_words=range(2, 200), counts=counts)
+        wl = BooleanWorkload(words_per_query=4, nqueries=50)
+        cost = model.boolean_cost(wl)
+        # 4 bucket reads per query expected; the long word is excluded by
+        # the frequent cutoff.
+        assert cost == pytest.approx(4.0, abs=0.5)
+
+    def test_boolean_cheaper_than_vector_on_skewed_index(self):
+        counts = {1: 10_000}
+        counts.update({w: 1 for w in range(2, 200)})
+        model = make_model({1: 8}, bucket_words=range(2, 200), counts=counts)
+        vector = model.vector_cost(VectorWorkload(nqueries=20))
+        boolean = model.boolean_cost(
+            BooleanWorkload(words_per_query=4, nqueries=50)
+        )
+        # Per *word*, boolean queries touch buckets; vector queries touch
+        # the long list.  (boolean_cost is per query of 4 words.)
+        assert boolean / 4 < vector
+
+    def test_empty_index(self):
+        assert make_model().boolean_cost() == 0.0
+
+
+class TestWorkloadValidation:
+    def test_boolean(self):
+        with pytest.raises(ValueError):
+            BooleanWorkload(words_per_query=0)
+        with pytest.raises(ValueError):
+            BooleanWorkload(frequent_cutoff=1.0)
+
+    def test_vector(self):
+        with pytest.raises(ValueError):
+            VectorWorkload(nqueries=0)

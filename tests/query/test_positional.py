@@ -1,0 +1,94 @@
+"""Unit tests for proximity, phrase, and region query conditions."""
+
+import pytest
+
+from repro.core.positional import (
+    PositionalPosting,
+    PositionalPostings,
+    Region,
+)
+from repro.query.positional import (
+    phrase_docs,
+    positions_within,
+    proximity_docs,
+    region_docs,
+)
+
+
+def payload(*entries):
+    return PositionalPostings(
+        [
+            PositionalPosting(doc, tuple(positions), regions)
+            for doc, positions, regions in entries
+        ]
+    )
+
+
+class TestPositionsWithin:
+    def test_hit(self):
+        assert positions_within([3, 10], [12, 40], 2)
+
+    def test_miss(self):
+        assert not positions_within([3, 10], [14, 40], 2)
+
+    def test_exact_adjacency(self):
+        assert positions_within([5], [6], 1)
+        assert not positions_within([5], [7], 1)
+
+    def test_zero_k_means_same_position(self):
+        assert positions_within([5], [5], 0)
+        assert not positions_within([5], [6], 0)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            positions_within([1], [2], -1)
+
+    def test_empty_lists(self):
+        assert not positions_within([], [1], 5)
+
+
+class TestProximity:
+    def test_within_k(self):
+        a = payload((0, [1, 50], Region.BODY), (2, [10], Region.BODY))
+        b = payload((0, [53], Region.BODY), (2, [100], Region.BODY))
+        assert proximity_docs(a, b, 3) == [0]
+        assert proximity_docs(a, b, 90) == [0, 2]
+
+    def test_requires_both_words(self):
+        a = payload((0, [1], Region.BODY))
+        b = payload((1, [1], Region.BODY))
+        assert proximity_docs(a, b, 100) == []
+
+
+class TestPhrase:
+    def test_consecutive_positions_match(self):
+        cat = payload((0, [4], Region.BODY), (1, [9], Region.BODY))
+        sat = payload((0, [5], Region.BODY), (1, [20], Region.BODY))
+        assert phrase_docs([cat, sat]) == [0]
+
+    def test_three_word_phrase(self):
+        a = payload((7, [10, 30], Region.BODY))
+        b = payload((7, [11], Region.BODY))
+        c = payload((7, [12], Region.BODY))
+        assert phrase_docs([a, b, c]) == [7]
+        assert phrase_docs([a, c, b]) == []
+
+    def test_single_word_degenerates(self):
+        a = payload((3, [0], Region.BODY), (9, [5], Region.BODY))
+        assert phrase_docs([a]) == [3, 9]
+
+    def test_empty(self):
+        assert phrase_docs([]) == []
+        assert phrase_docs([payload(), payload()]) == []
+
+
+class TestRegion:
+    def test_filters_by_flag(self):
+        p = payload(
+            (0, [0], Region.TITLE),
+            (1, [0], Region.BODY),
+            (2, [0], Region.TITLE | Region.BODY),
+        )
+        assert region_docs(p, Region.TITLE) == [0, 2]
+        assert region_docs(p, Region.BODY) == [1, 2]
+        assert region_docs(p, Region.AUTHOR) == []

@@ -1,0 +1,78 @@
+"""Unit tests for the vector-space query model."""
+
+import math
+
+import pytest
+
+from repro.query.vector import idf, query_from_document, rank
+
+LISTS = {
+    "common": list(range(100)),
+    "rare": [5, 42],
+    "medium": [1, 5, 9, 13, 42],
+}
+
+
+def fetch(word):
+    return LISTS.get(word, [])
+
+
+class TestIdf:
+    def test_rare_words_weigh_more(self):
+        assert idf(100, 2) > idf(100, 50)
+
+    def test_absent_word_is_zero(self):
+        assert idf(100, 0) == 0.0
+
+    def test_value(self):
+        assert idf(100, 10) == pytest.approx(math.log(11.0))
+
+
+class TestRank:
+    def test_doc_with_more_query_words_wins(self):
+        results = rank({"rare": 1.0, "medium": 1.0}, fetch, 100, top_k=3)
+        assert results[0].doc_id in (5, 42)  # contains both words
+        assert results[0].score > results[-1].score
+
+    def test_idf_downweights_common_words(self):
+        results = rank({"common": 1.0, "rare": 1.0}, fetch, 100, top_k=100)
+        by_doc = {r.doc_id: r.score for r in results}
+        # Doc 5 has rare+common+medium-free: beats docs with common only.
+        assert by_doc[5] > by_doc[0]
+
+    def test_weights_scale_scores(self):
+        light = rank({"rare": 1.0}, fetch, 100, top_k=1)[0].score
+        heavy = rank({"rare": 3.0}, fetch, 100, top_k=1)[0].score
+        assert heavy == pytest.approx(3 * light)
+
+    def test_top_k_bounds_results(self):
+        results = rank({"common": 1.0}, fetch, 100, top_k=7)
+        assert len(results) == 7
+
+    def test_scores_sorted_descending(self):
+        results = rank({"rare": 1.0, "medium": 0.5}, fetch, 100, top_k=10)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_zero_weight_words_skipped(self):
+        assert rank({"rare": 0.0}, fetch, 100, top_k=5) == []
+
+    def test_unknown_words_contribute_nothing(self):
+        assert rank({"zebra": 1.0}, fetch, 100, top_k=5) == []
+
+    def test_ties_break_to_lower_doc_id(self):
+        results = rank({"rare": 1.0}, fetch, 100, top_k=2)
+        assert [r.doc_id for r in results] == [5, 42]
+
+    def test_top_k_validated(self):
+        with pytest.raises(ValueError):
+            rank({"rare": 1.0}, fetch, 100, top_k=0)
+
+
+class TestQueryFromDocument:
+    def test_term_frequency_weights(self):
+        weights = query_from_document(["a", "b", "a", "a"])
+        assert weights == {"a": 3.0, "b": 1.0}
+
+    def test_empty_document(self):
+        assert query_from_document([]) == {}

@@ -1,0 +1,103 @@
+"""Unit tests for block-level primitives."""
+
+import pytest
+
+from repro.storage.block import BlockRange, Chunk, blocks_for_postings
+
+
+class TestBlocksForPostings:
+    def test_zero_postings_still_one_block(self):
+        assert blocks_for_postings(0, 256) == 1
+
+    def test_exact_fit(self):
+        assert blocks_for_postings(256, 256) == 1
+        assert blocks_for_postings(512, 256) == 2
+
+    def test_rounds_up(self):
+        assert blocks_for_postings(1, 256) == 1
+        assert blocks_for_postings(257, 256) == 2
+        assert blocks_for_postings(511, 256) == 2
+
+    def test_rejects_negative_postings(self):
+        with pytest.raises(ValueError):
+            blocks_for_postings(-1, 256)
+
+    def test_rejects_nonpositive_block_size(self):
+        with pytest.raises(ValueError):
+            blocks_for_postings(10, 0)
+
+
+class TestBlockRange:
+    def test_end(self):
+        assert BlockRange(0, 10, 5).end == 15
+
+    def test_adjacency(self):
+        a = BlockRange(0, 10, 5)
+        assert a.adjacent_to(BlockRange(0, 15, 3))
+        assert not a.adjacent_to(BlockRange(0, 16, 3))
+        assert not a.adjacent_to(BlockRange(1, 15, 3))  # different disk
+
+    def test_overlap(self):
+        a = BlockRange(0, 10, 5)
+        assert a.overlaps(BlockRange(0, 14, 1))
+        assert a.overlaps(BlockRange(0, 8, 3))
+        assert not a.overlaps(BlockRange(0, 15, 2))
+        assert not a.overlaps(BlockRange(2, 10, 5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockRange(0, 0, 0)
+        with pytest.raises(ValueError):
+            BlockRange(-1, 0, 1)
+        with pytest.raises(ValueError):
+            BlockRange(0, -1, 1)
+
+
+class TestChunk:
+    def test_capacity_and_slack(self):
+        chunk = Chunk(disk=0, start=0, nblocks=4, npostings=100)
+        assert chunk.capacity(64) == 256
+        assert chunk.slack(64) == 156
+
+    def test_full_chunk_has_zero_slack(self):
+        chunk = Chunk(disk=0, start=0, nblocks=2, npostings=128)
+        assert chunk.slack(64) == 0
+
+    def test_last_block(self):
+        chunk = Chunk(disk=1, start=10, nblocks=4)
+        assert chunk.last_block() == BlockRange(1, 13, 1)
+
+    def test_blocks_touched_by_append_within_partial_block(self):
+        # 10 postings in a 64-posting block: an append of 20 touches only
+        # the first block.
+        chunk = Chunk(disk=0, start=8, nblocks=4, npostings=10)
+        touched = chunk.blocks_touched_by_append(20, 64)
+        assert touched == BlockRange(0, 8, 1)
+
+    def test_blocks_touched_spanning_blocks(self):
+        # 60 postings; appending 60 fills block 0 and spills into block 1
+        # (postings 60..119 live in blocks 0 and 1).
+        chunk = Chunk(disk=0, start=8, nblocks=4, npostings=60)
+        touched = chunk.blocks_touched_by_append(60, 64)
+        assert touched == BlockRange(0, 8, 2)
+
+    def test_blocks_touched_spanning_three_blocks(self):
+        # Postings 60..129 live in blocks 0, 1 and 2.
+        chunk = Chunk(disk=0, start=8, nblocks=4, npostings=60)
+        touched = chunk.blocks_touched_by_append(70, 64)
+        assert touched == BlockRange(0, 8, 3)
+
+    def test_blocks_touched_starts_at_fresh_block_when_tail_full(self):
+        chunk = Chunk(disk=0, start=8, nblocks=4, npostings=64)
+        touched = chunk.blocks_touched_by_append(5, 64)
+        assert touched == BlockRange(0, 9, 1)
+
+    def test_append_beyond_slack_rejected(self):
+        chunk = Chunk(disk=0, start=0, nblocks=1, npostings=60)
+        with pytest.raises(ValueError):
+            chunk.blocks_touched_by_append(10, 64)
+
+    def test_append_of_zero_rejected(self):
+        chunk = Chunk(disk=0, start=0, nblocks=1, npostings=0)
+        with pytest.raises(ValueError):
+            chunk.blocks_touched_by_append(0, 64)

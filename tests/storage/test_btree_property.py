@@ -1,0 +1,87 @@
+"""Property-based tests: the B+tree behaves exactly like a dict."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.storage.btree import BTree, BTreeConfig
+
+keys = st.integers(min_value=0, max_value=10_000)
+
+
+@given(st.lists(st.tuples(keys, st.integers()), max_size=300))
+def test_matches_dict_after_inserts(pairs):
+    tree = BTree(BTreeConfig(order=4))
+    reference = {}
+    for key, value in pairs:
+        tree.insert(key, value)
+        reference[key] = value
+    assert dict(tree.items()) == reference
+    assert len(tree) == len(reference)
+    tree.check_invariants()
+
+
+@given(
+    st.lists(st.tuples(keys, st.integers()), max_size=200),
+    st.lists(keys, max_size=100),
+)
+def test_matches_dict_after_deletes(pairs, deletions):
+    tree = BTree(BTreeConfig(order=4))
+    reference = {}
+    for key, value in pairs:
+        tree.insert(key, value)
+        reference[key] = value
+    for key in deletions:
+        assert tree.delete(key) == (key in reference)
+        reference.pop(key, None)
+    tree.check_invariants()
+    assert dict(tree.items()) == reference
+
+
+@given(
+    st.lists(keys, max_size=200, unique=True),
+    keys,
+    keys,
+)
+def test_range_matches_filter(insert_keys, a, b):
+    lo, hi = min(a, b), max(a, b)
+    tree = BTree(BTreeConfig(order=5))
+    for key in insert_keys:
+        tree.insert(key, key)
+    expected = sorted(k for k in insert_keys if lo <= k <= hi)
+    assert [k for k, _ in tree.range(lo, hi)] == expected
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Interleaved operations preserve dict equivalence + invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BTree(BTreeConfig(order=3))  # minimal order: max churn
+        self.reference: dict[int, int] = {}
+
+    @rule(key=st.integers(min_value=0, max_value=50), value=st.integers())
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.reference[key] = value
+
+    @rule(key=st.integers(min_value=0, max_value=50))
+    def delete(self, key):
+        assert self.tree.delete(key) == (key in self.reference)
+        self.reference.pop(key, None)
+
+    @rule(key=st.integers(min_value=0, max_value=50))
+    def lookup(self, key):
+        assert self.tree.get(key) == self.reference.get(key)
+
+    @invariant()
+    def structure_sound(self):
+        self.tree.check_invariants()
+
+    @invariant()
+    def contents_match(self):
+        assert dict(self.tree.items()) == self.reference
+
+
+TestBTreeMachine = BTreeMachine.TestCase
+TestBTreeMachine.settings = settings(max_examples=30, stateful_step_count=40)

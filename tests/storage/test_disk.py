@@ -1,0 +1,107 @@
+"""Unit tests for the single-disk simulator."""
+
+import pytest
+
+from repro.storage.disk import DiskFullError, SimulatedDisk
+from repro.storage.profiles import SEAGATE_SCSI_1994
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(SEAGATE_SCSI_1994.with_capacity(10_000))
+
+
+class TestTiming:
+    def test_sequential_request_pays_transfer_only(self, disk):
+        disk.service(100, 10, is_write=True)
+        t = disk.service(110, 10, is_write=True)
+        assert t == pytest.approx(disk.profile.transfer_s(10, True))
+        assert disk.counters.sequential_hits == 1
+
+    def test_random_request_pays_seek_and_rotation(self, disk):
+        # The head starts at 0, so the first request streams for free and
+        # the second pays a distance-dependent seek plus rotation.
+        disk.service(0, 1, is_write=False)
+        t = disk.service(5000, 1, is_write=False)
+        expected = (
+            disk.profile.seek_s(5000 - 1)
+            + disk.profile.rotational_latency_s
+            + disk.profile.transfer_s(1, False)
+        )
+        assert t == pytest.approx(expected)
+        assert disk.counters.seeks == 1
+        assert disk.counters.sequential_hits == 1
+
+    def test_head_tracks_requests(self, disk):
+        disk.service(100, 10, is_write=False)
+        assert disk.head == 110
+
+    def test_counters_accumulate(self, disk):
+        disk.service(0, 5, is_write=True)
+        disk.service(5, 5, is_write=True)
+        disk.service(100, 2, is_write=False)
+        c = disk.counters
+        assert c.writes == 2 and c.reads == 1
+        assert c.blocks_written == 10 and c.blocks_read == 2
+        assert c.busy_s > 0
+
+    def test_request_beyond_capacity_fails(self, disk):
+        with pytest.raises(DiskFullError):
+            disk.service(9_995, 10, is_write=True)
+
+    def test_farther_seeks_take_longer(self, disk):
+        disk.service(0, 1, is_write=False)
+        near = disk.service(100, 1, is_write=False)
+        disk.service(0, 1, is_write=False)
+        far = disk.service(9_000, 1, is_write=False)
+        assert far > near
+
+
+class TestSpace:
+    def test_allocate_free_cycle(self, disk):
+        start = disk.allocate(100)
+        assert start == 0
+        assert disk.allocated_blocks == 100
+        disk.free(start, 100)
+        assert disk.allocated_blocks == 0
+
+    def test_allocate_exhaustion(self, disk):
+        assert disk.allocate(10_000) == 0
+        assert disk.allocate(1) is None
+
+
+class TestContents:
+    def test_roundtrip(self):
+        disk = SimulatedDisk(
+            SEAGATE_SCSI_1994.with_capacity(100), store_contents=True
+        )
+        disk.write_blocks(10, [b"alpha", b"beta"])
+        assert disk.read_blocks(10, 2) == [b"alpha", b"beta"]
+
+    def test_unwritten_blocks_read_empty(self):
+        disk = SimulatedDisk(
+            SEAGATE_SCSI_1994.with_capacity(100), store_contents=True
+        )
+        assert disk.read_blocks(0, 2) == [b"", b""]
+
+    def test_free_drops_contents(self):
+        disk = SimulatedDisk(
+            SEAGATE_SCSI_1994.with_capacity(100), store_contents=True
+        )
+        start = disk.allocate(2)
+        disk.write_blocks(start, [b"x", b"y"])
+        disk.free(start, 2)
+        assert disk.read_blocks(start, 2) == [b"", b""]
+
+    def test_oversized_payload_rejected(self):
+        disk = SimulatedDisk(
+            SEAGATE_SCSI_1994.with_capacity(100), store_contents=True
+        )
+        with pytest.raises(ValueError):
+            disk.write_blocks(0, [b"x" * 5000])
+
+    def test_contents_disabled_by_default(self):
+        disk = SimulatedDisk(SEAGATE_SCSI_1994.with_capacity(100))
+        disk.write_blocks(0, [b"ignored"])  # silently a no-op
+        with pytest.raises(RuntimeError):
+            disk.read_blocks(0, 1)

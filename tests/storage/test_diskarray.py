@@ -1,0 +1,93 @@
+"""Unit tests for the multi-disk array and round-robin placement."""
+
+import pytest
+
+from repro.storage.diskarray import DiskArray, DiskArrayConfig
+from repro.storage.disk import DiskFullError
+from repro.storage.profiles import SEAGATE_SCSI_1994
+
+
+def make_array(ndisks=4, nblocks=1000, **kw):
+    return DiskArray(
+        DiskArrayConfig(
+            ndisks=ndisks,
+            profile=SEAGATE_SCSI_1994,
+            nblocks_override=nblocks,
+            **kw,
+        )
+    )
+
+
+class TestRoundRobin:
+    def test_chunks_rotate_across_disks(self):
+        array = make_array()
+        disks = [array.allocate_chunk(10).disk for _ in range(8)]
+        assert disks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_paper_rule_i_plus_one_mod_n(self):
+        array = make_array(ndisks=3)
+        assert [array.next_disk() for _ in range(5)] == [0, 1, 2, 0, 1]
+
+    def test_full_disk_is_probed_past(self):
+        array = make_array(ndisks=2, nblocks=100)
+        # Fill disk 0 completely out of rotation.
+        assert array.disks[0].allocate(100) == 0
+        chunk = array.allocate_chunk(50)  # round-robin points at 0; falls to 1
+        assert chunk.disk == 1
+
+    def test_all_disks_full_raises(self):
+        array = make_array(ndisks=2, nblocks=10)
+        array.allocate_chunk(10)
+        array.allocate_chunk(10)
+        with pytest.raises(DiskFullError):
+            array.allocate_chunk(1)
+
+
+class TestAllocation:
+    def test_allocate_on_specific_disk(self):
+        array = make_array()
+        chunk = array.allocate_on(2, 10)
+        assert chunk.disk == 2 and chunk.start == 0
+
+    def test_allocate_on_full_disk_returns_none(self):
+        array = make_array(ndisks=2, nblocks=10)
+        array.allocate_on(0, 10)
+        assert array.allocate_on(0, 1) is None
+
+    def test_free_chunk_returns_space(self):
+        array = make_array()
+        chunk = array.allocate_chunk(10)
+        assert array.allocated_blocks == 10
+        array.free_chunk(chunk)
+        assert array.allocated_blocks == 0
+
+    def test_chunk_starts_empty(self):
+        array = make_array()
+        assert array.allocate_chunk(5).npostings == 0
+
+
+class TestStats:
+    def test_utilization(self):
+        array = make_array(ndisks=2, nblocks=100)
+        array.allocate_chunk(50)
+        assert array.utilization() == pytest.approx(0.25)
+
+    def test_per_disk_allocated(self):
+        array = make_array(ndisks=3, nblocks=100)
+        array.allocate_chunk(10)
+        array.allocate_chunk(20)
+        assert array.per_disk_allocated() == [10, 20, 0]
+
+    def test_capacity_override(self):
+        array = make_array(ndisks=2, nblocks=123)
+        assert array.total_blocks == 246
+
+
+class TestConfigValidation:
+    def test_bad_ndisks(self):
+        with pytest.raises(ValueError):
+            DiskArrayConfig(ndisks=0)
+
+    def test_bad_override(self):
+        with pytest.raises(ValueError):
+            DiskArrayConfig(ndisks=1, nblocks_override=0)

@@ -1,0 +1,113 @@
+"""Unit tests for the disk exerciser: coalescing, parallelism, feasibility."""
+
+import pytest
+
+from repro.storage.disk import DiskFullError
+from repro.storage.exerciser import DiskExerciser
+from repro.storage.iotrace import IOTrace, OpKind, Target, TraceOp
+from repro.storage.profiles import SEAGATE_SCSI_1994
+
+PROFILE = SEAGATE_SCSI_1994.with_capacity(10_000)
+
+
+def w(disk, start, nblocks, kind=OpKind.WRITE):
+    return TraceOp(kind, Target.LONG_LIST, disk, start, nblocks, word=1,
+                   npostings=1)
+
+
+def run(ops, ndisks=2, buffer_blocks=256):
+    trace = IOTrace()
+    for op in ops:
+        trace.append(op)
+    trace.end_batch()
+    return DiskExerciser(PROFILE, ndisks, buffer_blocks).run(trace)
+
+
+class TestCoalescing:
+    def test_adjacent_writes_coalesce(self):
+        result = run([w(0, 0, 4), w(0, 4, 4), w(0, 8, 4)])
+        timing = result.batch_timings[0]
+        assert timing.ops_issued == 3
+        assert timing.ops_after_coalescing == 1
+        assert timing.blocks_moved == 12
+
+    def test_noncontiguous_do_not_coalesce(self):
+        result = run([w(0, 0, 4), w(0, 100, 4)])
+        assert result.batch_timings[0].ops_after_coalescing == 2
+
+    def test_direction_change_breaks_coalescing(self):
+        result = run([w(0, 0, 4), w(0, 4, 4, kind=OpKind.READ)])
+        assert result.batch_timings[0].ops_after_coalescing == 2
+
+    def test_buffer_bound_limits_coalescing(self):
+        # 4 adjacent 4-block writes with an 8-block buffer → two requests.
+        result = run(
+            [w(0, i * 4, 4) for i in range(4)], buffer_blocks=8
+        )
+        assert result.batch_timings[0].ops_after_coalescing == 2
+
+    def test_no_reordering_across_interleaved_holes(self):
+        # [0,4) then [8,12) then [4,8): contiguity in trace order only —
+        # the middle op breaks the run even though addresses would merge.
+        result = run([w(0, 0, 4), w(0, 8, 4), w(0, 4, 4)])
+        assert result.batch_timings[0].ops_after_coalescing == 3
+
+    def test_coalescing_across_disks_is_independent(self):
+        result = run([w(0, 0, 4), w(1, 0, 4), w(0, 4, 4), w(1, 4, 4)])
+        # Per-disk streams each coalesce into one request.
+        assert result.batch_timings[0].ops_after_coalescing == 2
+
+
+class TestParallelism:
+    def test_batch_time_is_max_of_disk_streams(self):
+        result = run([w(0, 0, 100), w(1, 0, 100)])
+        timing = result.batch_timings[0]
+        assert timing.elapsed_s == pytest.approx(max(timing.per_disk_s))
+        assert timing.per_disk_s[0] > 0 and timing.per_disk_s[1] > 0
+
+    def test_spreading_work_across_disks_is_faster(self):
+        one_disk = run([w(0, i * 300, 4) for i in range(8)], ndisks=4)
+        four_disks = run(
+            [w(i % 4, (i // 4) * 300, 4) for i in range(8)], ndisks=4
+        )
+        assert four_disks.total_s < one_disk.total_s
+
+
+class TestBatches:
+    def test_cumulative_and_per_update_series(self):
+        trace = IOTrace()
+        trace.append(w(0, 0, 4))
+        trace.end_batch()
+        trace.append(w(0, 500, 4))
+        trace.end_batch()
+        result = DiskExerciser(PROFILE, 1).run(trace)
+        per = result.per_update_s
+        cum = result.cumulative_s
+        assert len(per) == 2
+        assert cum[0] == pytest.approx(per[0])
+        assert cum[1] == pytest.approx(per[0] + per[1])
+        assert result.total_s == pytest.approx(cum[-1])
+
+    def test_sequential_stream_is_much_faster_than_scattered(self):
+        n = 50
+        sequential = run([w(0, i * 4, 4) for i in range(n)], ndisks=1)
+        scattered = run(
+            [w(0, (i * 997) % 9000, 4) for i in range(n)], ndisks=1
+        )
+        assert scattered.total_s > 3 * sequential.total_s
+
+
+class TestFeasibility:
+    def test_address_beyond_capacity_raises(self):
+        with pytest.raises(DiskFullError):
+            run([w(0, 9_999, 4)])
+
+    def test_disk_id_beyond_array_rejected(self):
+        with pytest.raises(ValueError):
+            run([w(5, 0, 4)], ndisks=2)
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            DiskExerciser(PROFILE, 0)
+        with pytest.raises(ValueError):
+            DiskExerciser(PROFILE, 1, buffer_blocks=0)

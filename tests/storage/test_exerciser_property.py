@@ -1,0 +1,87 @@
+"""Property-based tests for the disk exerciser's conservation laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.exerciser import DiskExerciser
+from repro.storage.iotrace import IOTrace, OpKind, Target, TraceOp
+from repro.storage.profiles import SEAGATE_SCSI_1994
+
+PROFILE = SEAGATE_SCSI_1994.with_capacity(4096)
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),  # disk
+        st.integers(min_value=0, max_value=4000),  # start
+        st.integers(min_value=1, max_value=32),  # nblocks
+        st.booleans(),  # write?
+    ),
+    max_size=80,
+)
+
+
+def build_trace(raw_ops, batch_every=17):
+    trace = IOTrace()
+    for i, (disk, start, nblocks, is_write) in enumerate(raw_ops):
+        nblocks = min(nblocks, 4096 - start)
+        if nblocks <= 0:
+            continue
+        trace.append(
+            TraceOp(
+                OpKind.WRITE if is_write else OpKind.READ,
+                Target.LONG_LIST,
+                disk,
+                start,
+                nblocks,
+                word=1,
+                npostings=1,
+            )
+        )
+        if i % batch_every == batch_every - 1:
+            trace.end_batch()
+    trace.end_batch()
+    return trace
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_strategy)
+def test_coalescing_conserves_blocks(raw_ops):
+    """Coalescing never changes how many blocks move, only how many
+    requests move them."""
+    trace = build_trace(raw_ops)
+    result = DiskExerciser(PROFILE, 2, buffer_blocks=64).run(trace)
+    assert sum(b.blocks_moved for b in result.batch_timings) == (
+        trace.count_blocks()
+    )
+    assert result.total_ops_serviced <= result.total_ops_issued
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_strategy)
+def test_larger_buffer_never_hurts(raw_ops):
+    """A bigger coalescing buffer yields no more serviced requests and no
+    more elapsed time."""
+    trace = build_trace(raw_ops)
+    small = DiskExerciser(PROFILE, 2, buffer_blocks=8).run(trace)
+    large = DiskExerciser(PROFILE, 2, buffer_blocks=256).run(trace)
+    assert large.total_ops_serviced <= small.total_ops_serviced
+    assert large.total_s <= small.total_s + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_strategy)
+def test_batch_time_dominated_by_busiest_disk(raw_ops):
+    trace = build_trace(raw_ops)
+    result = DiskExerciser(PROFILE, 2).run(trace)
+    for timing in result.batch_timings:
+        assert timing.elapsed_s == max(timing.per_disk_s, default=0.0)
+        assert timing.elapsed_s <= sum(timing.per_disk_s) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops_strategy)
+def test_determinism(raw_ops):
+    trace = build_trace(raw_ops)
+    a = DiskExerciser(PROFILE, 2).run(trace)
+    b = DiskExerciser(PROFILE, 2).run(trace)
+    assert a.cumulative_s == b.cumulative_s

@@ -1,0 +1,120 @@
+"""Property-based tests: allocator invariants under random workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.storage.freelist import (
+    BestFitFreeList,
+    BuddyFreeList,
+    FirstFitFreeList,
+)
+
+DISK_BLOCKS = 256
+
+
+class _FitAllocatorMachine(RuleBasedStateMachine):
+    """Random allocate/free sequences preserve the interval invariants and
+    never hand out overlapping space."""
+
+    freelist_cls = FirstFitFreeList
+
+    def __init__(self):
+        super().__init__()
+        self.fl = self.freelist_cls(DISK_BLOCKS)
+        self.live: list[tuple[int, int]] = []
+
+    @rule(n=st.integers(min_value=1, max_value=40))
+    def allocate(self, n):
+        start = self.fl.allocate(n)
+        if start is not None:
+            for s, length in self.live:
+                assert not (start < s + length and s < start + n), (
+                    "allocator handed out overlapping space"
+                )
+            self.live.append((start, n))
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free_one(self, data):
+        idx = data.draw(st.integers(min_value=0, max_value=len(self.live) - 1))
+        start, n = self.live.pop(idx)
+        self.fl.free(start, n)
+
+    @invariant()
+    def intervals_consistent(self):
+        self.fl.check_invariants()
+
+    @invariant()
+    def accounting_balances(self):
+        allocated = sum(n for _, n in self.live)
+        assert self.fl.free_blocks == DISK_BLOCKS - allocated
+
+
+class TestFirstFitMachine(_FitAllocatorMachine.TestCase):
+    pass
+
+
+class _BestFitMachine(_FitAllocatorMachine):
+    freelist_cls = BestFitFreeList
+
+
+class TestBestFitMachine(_BestFitMachine.TestCase):
+    pass
+
+
+@given(
+    ops=st.lists(
+        st.integers(min_value=1, max_value=16), min_size=1, max_size=60
+    )
+)
+def test_allocate_free_roundtrip_restores_full_disk(ops):
+    """Allocating any sequence then freeing everything restores one run."""
+    fl = FirstFitFreeList(1024)
+    live = []
+    for n in ops:
+        start = fl.allocate(n)
+        if start is not None:
+            live.append((start, n))
+    for start, n in reversed(live):
+        fl.free(start, n)
+    assert fl.free_blocks == 1024
+    assert fl.largest_free_run == 1024
+
+
+@given(
+    ops=st.lists(
+        st.integers(min_value=1, max_value=16), min_size=1, max_size=40
+    )
+)
+def test_buddy_roundtrip_restores_capacity(ops):
+    fl = BuddyFreeList(256)
+    live = []
+    for n in ops:
+        start = fl.allocate(n)
+        if start is not None:
+            live.append((start, n))
+    for start, n in live:
+        fl.free(start, n)
+    assert fl.free_blocks == fl.capacity
+    assert fl.largest_free_run == fl.capacity
+
+
+@given(
+    ops=st.lists(
+        st.integers(min_value=1, max_value=32), min_size=1, max_size=60
+    )
+)
+def test_buddy_never_overlaps(ops):
+    fl = BuddyFreeList(256)
+    live = []
+    for n in ops:
+        start = fl.allocate(n)
+        if start is None:
+            continue
+        size = 1 << max(0, (n - 1).bit_length())
+        for s, sz in live:
+            assert not (start < s + sz and s < start + size)
+        live.append((start, size))
+        fl.check_invariants()

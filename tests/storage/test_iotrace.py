@@ -1,0 +1,99 @@
+"""Unit tests for I/O trace records and the Figure-6 text format."""
+
+import io
+
+import pytest
+
+from repro.storage.iotrace import IOTrace, OpKind, Target, TraceOp
+
+
+def list_op(word=7, postings=100, disk=0, start=10, nblocks=2, kind=OpKind.WRITE):
+    return TraceOp(
+        kind=kind,
+        target=Target.LONG_LIST,
+        disk=disk,
+        start=start,
+        nblocks=nblocks,
+        word=word,
+        npostings=postings,
+    )
+
+
+class TestTraceOp:
+    def test_long_list_line_roundtrip(self):
+        op = list_op()
+        assert TraceOp.from_line(op.to_line()) == op
+
+    def test_bucket_line_roundtrip(self):
+        op = TraceOp(OpKind.WRITE, Target.BUCKET, disk=1, start=0, nblocks=64)
+        assert TraceOp.from_line(op.to_line()) == op
+
+    def test_directory_line_roundtrip(self):
+        op = TraceOp(OpKind.WRITE, Target.DIRECTORY, disk=2, start=5, nblocks=1)
+        assert TraceOp.from_line(op.to_line()) == op
+
+    def test_line_format_matches_paper_shape(self):
+        line = list_op(word=134416, postings=1034, disk=0, start=4576,
+                       nblocks=7).to_line()
+        assert line == (
+            "write list word 134416 postings 1034 disk 0 start 4576 size 7"
+        )
+
+    def test_malformed_lines_rejected(self):
+        for bad in (
+            "",
+            "frobnicate bucket disk 0 start 0 size 1",
+            "write list word x postings 1 disk 0 start 0 size 1",
+            "write bucket disk 0 start 0",
+        ):
+            with pytest.raises(ValueError):
+                TraceOp.from_line(bad)
+
+    def test_malformed_op_rejected(self):
+        with pytest.raises(ValueError):
+            TraceOp(OpKind.READ, Target.BUCKET, disk=0, start=0, nblocks=0)
+
+
+class TestIOTrace:
+    def make_trace(self):
+        trace = IOTrace()
+        trace.append(TraceOp(OpKind.WRITE, Target.BUCKET, 0, 0, 64))
+        trace.append(list_op(word=1))
+        trace.end_batch()
+        trace.append(list_op(word=2, kind=OpKind.READ))
+        trace.append(list_op(word=2, start=40))
+        trace.end_batch()
+        return trace
+
+    def test_batch_structure(self):
+        trace = self.make_trace()
+        batches = list(trace.batches())
+        assert [len(b) for b in batches] == [2, 2]
+        assert trace.nbatches == 2
+        assert trace.nops == 4
+
+    def test_unclosed_batch_still_visible(self):
+        trace = self.make_trace()
+        trace.append(list_op(word=3))
+        assert [len(b) for b in trace.batches()] == [2, 2, 1]
+
+    def test_text_roundtrip(self):
+        trace = self.make_trace()
+        buf = io.StringIO()
+        trace.write_text(buf)
+        buf.seek(0)
+        parsed = IOTrace.read_text(buf)
+        assert list(parsed.ops()) == list(trace.ops())
+        assert parsed.nbatches == trace.nbatches
+
+    def test_count_ops_by_target(self):
+        trace = self.make_trace()
+        assert trace.count_ops(Target.BUCKET) == 1
+        assert trace.count_ops(Target.LONG_LIST) == 3
+        assert trace.count_ops() == 4
+
+    def test_count_blocks_by_kind(self):
+        trace = self.make_trace()
+        assert trace.count_blocks(OpKind.READ) == 2
+        assert trace.count_blocks(OpKind.WRITE) == 64 + 2 + 2
+        assert trace.count_blocks() == 70

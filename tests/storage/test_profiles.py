@@ -1,0 +1,115 @@
+"""Unit tests for disk performance profiles."""
+
+import pytest
+
+from repro.storage.profiles import (
+    FAST_SCSI_1996,
+    MODERN_HDD,
+    OPTICAL_1994,
+    PROFILES,
+    SEAGATE_SCSI_1994,
+    DiskProfile,
+)
+
+
+class TestSeekModel:
+    def test_zero_distance_is_free(self):
+        assert SEAGATE_SCSI_1994.seek_s(0) == 0.0
+
+    def test_seek_is_monotonic(self):
+        p = SEAGATE_SCSI_1994
+        distances = [1, 10, 1000, 100_000, p.nblocks]
+        times = [p.seek_s(d) for d in distances]
+        assert times == sorted(times)
+
+    def test_short_seek_near_track_to_track(self):
+        p = SEAGATE_SCSI_1994
+        assert p.seek_s(1) == pytest.approx(p.track_to_track_ms / 1000, rel=0.1)
+
+    def test_third_stroke_is_average_seek(self):
+        p = SEAGATE_SCSI_1994
+        assert p.seek_s(p.nblocks // 3) == pytest.approx(
+            p.avg_seek_ms / 1000, rel=0.01
+        )
+
+    def test_capped_at_max_seek(self):
+        p = SEAGATE_SCSI_1994
+        assert p.seek_s(p.nblocks * 10) == p.max_seek_ms / 1000
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            SEAGATE_SCSI_1994.seek_s(-1)
+
+
+class TestTransfer:
+    def test_block_transfer_time(self):
+        p = SEAGATE_SCSI_1994
+        assert p.block_transfer_s == pytest.approx(4096 / 3_000_000)
+
+    def test_transfer_scales_with_blocks(self):
+        p = SEAGATE_SCSI_1994
+        assert p.transfer_s(10, False) == pytest.approx(
+            10 * p.block_transfer_s
+        )
+
+    def test_write_penalty(self):
+        p = OPTICAL_1994
+        assert p.transfer_s(4, True) == pytest.approx(
+            2.0 * p.transfer_s(4, False)
+        )
+
+    def test_rotational_latency(self):
+        assert SEAGATE_SCSI_1994.rotational_latency_s == pytest.approx(
+            0.5 * 60 / 5400
+        )
+
+
+class TestScaling:
+    def test_scaled_profile_is_faster(self):
+        fast = SEAGATE_SCSI_1994.scaled(2.0)
+        assert fast.avg_seek_ms == SEAGATE_SCSI_1994.avg_seek_ms / 2
+        assert fast.transfer_mb_s == SEAGATE_SCSI_1994.transfer_mb_s * 2
+        assert fast.rpm == SEAGATE_SCSI_1994.rpm * 2
+
+    def test_fast_scsi_is_the_2x_profile(self):
+        assert FAST_SCSI_1996.avg_seek_ms == pytest.approx(
+            SEAGATE_SCSI_1994.avg_seek_ms / 2
+        )
+
+    def test_with_capacity(self):
+        small = SEAGATE_SCSI_1994.with_capacity(1000)
+        assert small.nblocks == 1000
+        assert small.avg_seek_ms == SEAGATE_SCSI_1994.avg_seek_ms
+
+    def test_invalid_speedup(self):
+        with pytest.raises(ValueError):
+            SEAGATE_SCSI_1994.scaled(0)
+
+
+class TestRegistryAndValidation:
+    def test_registry_contains_all(self):
+        assert set(PROFILES) == {
+            "seagate-scsi-1994",
+            "fast-scsi-1996",
+            "modern-hdd",
+            "optical-1994",
+        }
+
+    def test_optical_is_much_slower_at_seeking(self):
+        assert OPTICAL_1994.avg_seek_ms > 5 * SEAGATE_SCSI_1994.avg_seek_ms
+
+    def test_modern_is_much_faster_at_transfer(self):
+        assert MODERN_HDD.transfer_mb_s > 10 * SEAGATE_SCSI_1994.transfer_mb_s
+
+    def test_seek_ordering_validated(self):
+        with pytest.raises(ValueError):
+            DiskProfile(
+                name="bad",
+                nblocks=100,
+                block_size=4096,
+                track_to_track_ms=5.0,
+                avg_seek_ms=2.0,
+                max_seek_ms=10.0,
+                rpm=5400,
+                transfer_mb_s=3.0,
+            )

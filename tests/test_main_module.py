@@ -1,0 +1,27 @@
+"""``python -m repro`` dispatches to the CLI."""
+
+import subprocess
+import sys
+
+
+def test_python_dash_m_repro_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "stats", "--days", "4", "--scale",
+         "0.2"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "Total Postings" in proc.stdout
+
+
+def test_python_dash_m_repro_usage_on_no_args():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode != 0
+    assert "usage" in proc.stderr.lower()

@@ -1,0 +1,85 @@
+"""Tests for single-file TextDocumentIndex snapshots."""
+
+import io
+
+import pytest
+
+from repro.core.index import IndexConfig
+from repro.core.positional import Region
+from repro.textindex import TextDocumentIndex
+
+
+def make_index(positional=False):
+    index = TextDocumentIndex(
+        IndexConfig(
+            nbuckets=16,
+            bucket_size=128,
+            block_postings=16,
+            ndisks=2,
+            nblocks_override=100_000,
+            store_contents=True,
+            positional=positional,
+        )
+    )
+    index.add_document("Subject: cats\n\nthe cat sat with the dog")
+    index.add_document("a mouse ran past the dog")
+    index.flush_batch()
+    return index
+
+
+def roundtrip(index):
+    buf = io.BytesIO()
+    index.save(buf)
+    buf.seek(0)
+    return TextDocumentIndex.load(buf)
+
+
+class TestSnapshot:
+    def test_queries_survive(self):
+        restored = roundtrip(make_index())
+        assert restored.search_boolean("cat AND dog").doc_ids == [0]
+        assert restored.search_boolean("mouse OR cat").doc_ids == [0, 1]
+
+    def test_vocabulary_survives(self):
+        original = make_index()
+        restored = roundtrip(original)
+        assert list(restored.vocabulary.words()) == list(
+            original.vocabulary.words()
+        )
+
+    def test_positional_queries_survive(self):
+        restored = roundtrip(make_index(positional=True))
+        assert restored.search_phrase("cat sat").doc_ids == [0]
+        assert restored.search_region("cats", Region.TITLE).doc_ids == [0]
+
+    def test_deletion_filter_survives(self):
+        index = make_index()
+        index.delete_document(0)
+        restored = roundtrip(index)
+        assert restored.deletions.deleted == {0}
+        assert restored.search_boolean("cat").doc_ids == []
+
+    def test_ingestion_continues_after_load(self):
+        restored = roundtrip(make_index())
+        restored.add_document("another cat appears")
+        restored.flush_batch()
+        assert restored.search_boolean("cat").doc_ids == [0, 2]
+
+    def test_file_path_roundtrip(self, tmp_path):
+        index = make_index()
+        path = tmp_path / "snapshot.dstx"
+        index.save(path)
+        restored = TextDocumentIndex.load(path)
+        assert restored.ndocs == index.ndocs
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="not a text-index snapshot"):
+            TextDocumentIndex.load(io.BytesIO(b"XXXX"))
+
+    def test_save_requires_flushed_batch(self):
+        index = make_index()
+        index.add_document("unflushed")
+        from repro.core.checkpoint import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            index.save(io.BytesIO())

@@ -1,0 +1,80 @@
+"""Unit tests for batch updates and the Figure-5 text format."""
+
+import io
+
+import pytest
+
+from repro.text.batchupdate import (
+    BatchUpdate,
+    build_batch_update,
+    read_updates,
+    write_updates,
+)
+
+
+class TestBatchUpdate:
+    def test_aggregates(self):
+        u = BatchUpdate(day=0, pairs=[(1, 5), (3, 2)], ndocs=4)
+        assert u.nwords == 2
+        assert u.npostings == 7
+        assert list(u) == [(1, 5), (3, 2)]
+
+    def test_pairs_must_be_sorted_strictly(self):
+        with pytest.raises(ValueError):
+            BatchUpdate(day=0, pairs=[(3, 1), (1, 1)])
+        with pytest.raises(ValueError):
+            BatchUpdate(day=0, pairs=[(1, 1), (1, 1)])
+
+    def test_word_zero_reserved(self):
+        with pytest.raises(ValueError):
+            BatchUpdate(day=0, pairs=[(0, 1)])
+
+    def test_counts_positive(self):
+        with pytest.raises(ValueError):
+            BatchUpdate(day=0, pairs=[(1, 0)])
+
+
+class TestBuild:
+    def test_counts_documents_containing_word(self):
+        update = build_batch_update(
+            2, [[1, 2, 2], [2, 3], [1]]
+        )
+        assert update.day == 2
+        assert update.pairs == [(1, 2), (2, 2), (3, 1)]
+        assert update.ndocs == 3
+
+    def test_duplicates_within_doc_count_once(self):
+        update = build_batch_update(0, [[5, 5, 5]])
+        assert update.pairs == [(5, 1)]
+
+    def test_empty_batch(self):
+        update = build_batch_update(0, [])
+        assert update.pairs == [] and update.ndocs == 0
+
+
+class TestTextFormat:
+    def test_roundtrip(self):
+        updates = [
+            BatchUpdate(day=0, pairs=[(1, 5), (2, 1)]),
+            BatchUpdate(day=1, pairs=[(2, 3)]),
+            BatchUpdate(day=2, pairs=[]),
+        ]
+        buf = io.StringIO()
+        write_updates(updates, buf)
+        buf.seek(0)
+        parsed = list(read_updates(buf))
+        assert [u.pairs for u in parsed] == [u.pairs for u in updates]
+        assert [u.day for u in parsed] == [0, 1, 2]
+
+    def test_figure5_shape(self):
+        buf = io.StringIO()
+        write_updates([BatchUpdate(day=0, pairs=[(134416, 1034)])], buf)
+        assert buf.getvalue() == "134416 1034\n0 0\n"
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            list(read_updates(io.StringIO("1 2 3\n")))
+
+    def test_trailing_batch_without_marker(self):
+        parsed = list(read_updates(io.StringIO("5 2\n")))
+        assert parsed[0].pairs == [(5, 2)]

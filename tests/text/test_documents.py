@@ -1,0 +1,71 @@
+"""Unit tests for document filters (paper §4.1)."""
+
+import pytest
+
+from repro.text.documents import (
+    Document,
+    FilterConfig,
+    admit,
+    filter_batch,
+    text_fraction,
+)
+
+PROSE = "The quick brown fox jumps over the lazy dog. " * 40  # ~1800 chars
+BINARY = "M;5</W@\\`#!(0X'9$#\"1%=S*7^[]{}|" * 60
+
+
+class TestTextFraction:
+    def test_prose_is_texty(self):
+        assert text_fraction(PROSE) > 0.95
+
+    def test_uuencoded_blob_is_not(self):
+        assert text_fraction(BINARY) < 0.5
+
+    def test_empty(self):
+        assert text_fraction("") == 0.0
+
+
+class TestAdmit:
+    def test_long_prose_admitted(self):
+        assert admit(Document(0, PROSE))
+
+    def test_short_document_rejected(self):
+        assert not admit(Document(0, "short"))
+
+    def test_binary_rejected(self):
+        assert not admit(Document(0, BINARY))
+
+    def test_threshold_configurable(self):
+        cfg = FilterConfig(min_length=3, min_text_fraction=0.0)
+        assert admit(Document(0, "tiny"), cfg)
+
+    def test_boundary_length(self):
+        cfg = FilterConfig(min_length=10, min_text_fraction=0.0)
+        assert admit(Document(0, "a" * 10), cfg)
+        assert not admit(Document(0, "a" * 9), cfg)
+
+
+class TestFilterBatch:
+    def test_keeps_only_admissible(self):
+        docs = [
+            Document(0, PROSE),
+            Document(1, "too short"),
+            Document(2, BINARY),
+            Document(3, PROSE),
+        ]
+        batch = filter_batch(5, docs)
+        assert batch.day == 5
+        assert [d.doc_id for d in batch] == [0, 3]
+        assert batch.ndocs == 2
+
+
+class TestValidation:
+    def test_negative_doc_id(self):
+        with pytest.raises(ValueError):
+            Document(-1, "x")
+
+    def test_bad_filter_config(self):
+        with pytest.raises(ValueError):
+            FilterConfig(min_length=-1)
+        with pytest.raises(ValueError):
+            FilterConfig(min_text_fraction=1.5)

@@ -1,0 +1,75 @@
+"""Unit tests for occurrence-level tokenization with regions."""
+
+from repro.core.positional import Region
+from repro.text.occurrences import (
+    Occurrence,
+    RegionRules,
+    tokenize_occurrences,
+)
+from repro.text.tokenizer import TokenizerConfig
+
+ARTICLE = """Path: ignored!host
+Subject: cats and dogs
+From: alice
+Date: ignored
+
+the cat sat
+"""
+
+
+class TestRegions:
+    def test_subject_line_is_title(self):
+        occs = list(tokenize_occurrences(ARTICLE))
+        titles = [o.word for o in occs if o.region is Region.TITLE]
+        assert titles == ["cats", "and", "dogs"]
+
+    def test_from_line_is_author(self):
+        occs = list(tokenize_occurrences(ARTICLE))
+        authors = [o.word for o in occs if o.region is Region.AUTHOR]
+        assert authors == ["alice"]
+
+    def test_body_is_default(self):
+        occs = list(tokenize_occurrences(ARTICLE))
+        body = [o.word for o in occs if o.region is Region.BODY]
+        assert body == ["the", "cat", "sat"]
+
+    def test_header_tag_word_stripped(self):
+        words = [o.word for o in tokenize_occurrences(ARTICLE)]
+        assert "subject" not in words
+        assert "from" not in words
+
+    def test_ignored_lines_stay_ignored(self):
+        words = [o.word for o in tokenize_occurrences(ARTICLE)]
+        assert "ignored" not in words
+
+    def test_custom_rules(self):
+        rules = RegionRules(prefixes={"headline:": Region.TITLE})
+        occs = list(
+            tokenize_occurrences("Headline: big news\nbody", rules=rules)
+        )
+        assert [o.region for o in occs] == [
+            Region.TITLE, Region.TITLE, Region.BODY,
+        ]
+
+
+class TestPositions:
+    def test_positions_are_consecutive_over_kept_tokens(self):
+        occs = list(tokenize_occurrences(ARTICLE))
+        assert [o.position for o in occs] == list(range(len(occs)))
+
+    def test_skipped_lines_do_not_advance_positions(self):
+        occs = list(tokenize_occurrences("Date: zap\none two"))
+        assert [(o.word, o.position) for o in occs] == [
+            ("one", 0), ("two", 1),
+        ]
+
+    def test_repeated_word_gets_both_positions(self):
+        occs = list(tokenize_occurrences("cat dog cat"))
+        cat_positions = [o.position for o in occs if o.word == "cat"]
+        assert cat_positions == [0, 2]
+
+    def test_tokenizer_config_respected(self):
+        cfg = TokenizerConfig(max_token_length=3)
+        occs = list(tokenize_occurrences("cat elephant dog", cfg))
+        assert [o.word for o in occs] == ["cat", "dog"]
+        assert [o.position for o in occs] == [0, 1]

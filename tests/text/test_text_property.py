@@ -1,0 +1,92 @@
+"""Property-based tests for the text substrate."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.batchupdate import BatchUpdate, build_batch_update
+from repro.text.tokenizer import (
+    TokenizerConfig,
+    tokenize,
+    tokenize_document,
+    tokenize_line,
+)
+from repro.text.vocabulary import Vocabulary, alphabetical_ids
+
+texts = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=300,
+)
+
+
+@given(texts)
+def test_tokens_are_lowercase_alnum_runs(text):
+    for token in tokenize_line(text):
+        assert token == token.lower()
+        assert token.isalpha() or token.isdigit()
+        assert 1 <= len(token) <= 64
+
+
+@given(texts)
+def test_tokenization_is_idempotent(text):
+    """Re-tokenizing the joined token stream reproduces it exactly."""
+    first = list(tokenize_line(text))
+    second = list(tokenize_line(" ".join(first)))
+    assert second == first
+
+
+@given(texts)
+def test_document_dedup_preserves_set_and_first_order(text):
+    # Compare against the line-aware tokenizer so header skipping applies
+    # identically on both sides.
+    tokens = list(tokenize(text))
+    deduped = tokenize_document(text)
+    assert set(deduped) == set(tokens)
+    assert len(deduped) == len(set(deduped))
+    # First-appearance order.
+    seen = set()
+    expected = [t for t in tokens if not (t in seen or seen.add(t))]
+    assert deduped == expected
+
+
+words_strategy = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+        min_size=1,
+        max_size=8,
+    ),
+    max_size=60,
+)
+
+
+@given(words_strategy)
+def test_vocabulary_is_a_bijection(words):
+    vocab = Vocabulary()
+    ids = vocab.ids_of(words)
+    for word, word_id in zip(words, ids):
+        assert vocab.word_of(word_id) == word
+        assert vocab.id_of(word) == word_id
+    assert len(vocab) == len(set(words))
+
+
+@given(words_strategy)
+def test_alphabetical_ids_order_isomorphic(words):
+    mapping = alphabetical_ids(words)
+    items = sorted(mapping.items(), key=lambda kv: kv[1])
+    assert [w for w, _ in items] == sorted(set(words))
+    assert all(i >= 1 for i in mapping.values())
+
+
+doc_sets = st.lists(
+    st.sets(st.integers(min_value=1, max_value=40), max_size=10),
+    max_size=20,
+)
+
+
+@given(doc_sets)
+def test_batch_update_conserves_postings(docs):
+    update = build_batch_update(0, docs)
+    assert update.npostings == sum(len(d) for d in docs)
+    assert update.ndocs == len(docs)
+    counts = dict(update.pairs)
+    for word in set().union(*docs) if docs else set():
+        assert counts[word] == sum(1 for d in docs if word in d)

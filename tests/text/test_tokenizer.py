@@ -1,0 +1,97 @@
+"""Unit tests for the §4.2 lexical analyzer."""
+
+import pytest
+
+from repro.text.tokenizer import (
+    TokenizerConfig,
+    tokenize,
+    tokenize_document,
+    tokenize_line,
+)
+
+
+class TestTokenizeLine:
+    def test_letter_runs(self):
+        assert list(tokenize_line("the cat")) == ["the", "cat"]
+
+    def test_digit_runs(self):
+        assert list(tokenize_line("call 555 1234")) == ["call", "555", "1234"]
+
+    def test_mixed_run_splits_letters_and_digits(self):
+        # "abc123" is a letter run followed by a digit run.
+        assert list(tokenize_line("abc123def")) == ["abc", "123", "def"]
+
+    def test_punctuation_ignored(self):
+        assert list(tokenize_line("it's a total flop!")) == [
+            "it", "s", "a", "total", "flop",
+        ]
+
+    def test_lowercasing(self):
+        assert list(tokenize_line("The CAT")) == ["the", "cat"]
+
+    def test_lowercase_disabled(self):
+        cfg = TokenizerConfig(lowercase=False)
+        assert list(tokenize_line("The CAT", cfg)) == ["The", "CAT"]
+
+    def test_non_ascii_letters_ignored(self):
+        assert list(tokenize_line("café au lait")) == [
+            "caf", "au", "lait",
+        ]
+
+    def test_overlong_tokens_dropped(self):
+        cfg = TokenizerConfig(max_token_length=5)
+        assert list(tokenize_line("short verylongtoken", cfg)) == ["short"]
+
+    def test_empty_line(self):
+        assert list(tokenize_line("")) == []
+
+
+class TestTokenize:
+    def test_date_lines_skipped(self):
+        text = "Date: Mon Nov 15 1993\nthe cat\n"
+        assert list(tokenize(text)) == ["the", "cat"]
+
+    def test_other_headers_skipped(self):
+        text = (
+            "Path: news!host\n"
+            "Message-ID: <1@x>\n"
+            "References: <0@x>\n"
+            "body words\n"
+        )
+        assert list(tokenize(text)) == ["body", "words"]
+
+    def test_header_match_is_case_insensitive(self):
+        assert list(tokenize("DATE: now\nword\n")) == ["word"]
+
+    def test_header_like_mid_body_lines_also_skipped(self):
+        # The lexer is line-oriented; any line starting with an ignored
+        # prefix contributes nothing, wherever it appears.
+        assert list(tokenize("word\ndate: whenever\nmore\n")) == [
+            "word", "more",
+        ]
+
+    def test_custom_prefixes(self):
+        cfg = TokenizerConfig(ignored_prefixes=("subject:",))
+        text = "Subject: hi\nDate: now\nbody\n"
+        assert list(tokenize(text, cfg)) == ["date", "now", "body"]
+
+
+class TestTokenizeDocument:
+    def test_dedupes_preserving_first_appearance(self):
+        text = "the cat and the dog and the mouse"
+        assert tokenize_document(text) == [
+            "the", "cat", "and", "dog", "mouse",
+        ]
+
+    def test_paper_figure4_fragment(self):
+        # Figure 4 of the paper: the fragment's distinct sorted tokens.
+        text = (
+            "for years. And it was a total flop. in all the years it was "
+            "available\nvery few people ever took advantage of it so it "
+            "was dropped.\n"
+        )
+        expected = sorted(
+            "a advantage all and available dropped ever few flop for in it "
+            "of people so the took total very was years".split()
+        )
+        assert sorted(tokenize_document(text)) == expected

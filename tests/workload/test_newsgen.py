@@ -1,0 +1,73 @@
+"""Unit tests for the text renderer of synthetic documents."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenizer import tokenize_document
+from repro.workload.newsgen import (
+    generate_articles,
+    id_for_word,
+    render_article,
+    word_for_id,
+)
+from repro.workload.synthetic import SyntheticNews, SyntheticNewsConfig
+
+
+class TestWordMapping:
+    def test_small_ids(self):
+        assert word_for_id(1) == "ba"
+        assert word_for_id(2) == "be"
+
+    def test_bijective(self):
+        words = [word_for_id(i) for i in range(1, 500)]
+        assert len(set(words)) == len(words)
+
+    def test_inverse(self):
+        for i in (1, 5, 99, 100, 101, 10_000, 123_456_789):
+            assert id_for_word(word_for_id(i)) == i
+
+    def test_words_are_lowercase_alpha(self):
+        for i in (1, 100, 12345):
+            word = word_for_id(i)
+            assert word.isalpha() and word == word.lower()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            word_for_id(0)
+        with pytest.raises(ValueError):
+            id_for_word("xyz1")
+        with pytest.raises(ValueError):
+            id_for_word("")
+
+
+@given(st.integers(min_value=1, max_value=10**12))
+def test_word_mapping_roundtrip_property(word_id):
+    assert id_for_word(word_for_id(word_id)) == word_id
+
+
+class TestRenderArticle:
+    def test_tokenizing_recovers_word_set(self):
+        ids = [1, 2, 50, 999]
+        article = render_article(7, ids, day=3)
+        tokens = tokenize_document(article)
+        assert sorted(id_for_word(t) for t in tokens) == sorted(ids)
+
+    def test_headers_present_but_skipped(self):
+        article = render_article(7, [1], day=3)
+        assert "Date:" in article
+        assert "Message-ID:" in article
+        assert tokenize_document(article) == ["ba"]
+
+
+class TestGenerateArticles:
+    def test_articles_match_day_documents(self):
+        news = SyntheticNews(SyntheticNewsConfig(days=3, docs_per_day=10))
+        docs = news.day_documents(1)
+        articles = list(generate_articles(news, 1, first_doc_id=100))
+        assert len(articles) == len(docs)
+        assert articles[0].doc_id == 100
+        recovered = sorted(
+            id_for_word(t) for t in tokenize_document(articles[0].text)
+        )
+        assert recovered == sorted(docs[0].tolist())

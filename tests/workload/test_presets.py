@@ -1,0 +1,59 @@
+"""Unit tests for the named workload presets."""
+
+import numpy as np
+import pytest
+
+from repro.workload.presets import email, news, preset, stock
+from repro.workload.synthetic import SyntheticNews
+from repro.workload.zipf import concentration
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert preset("news") == news()
+        assert preset("email") == email()
+        assert preset("stock") == stock()
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown workload preset"):
+            preset("usenet")
+
+    def test_days_and_scale_forwarded(self):
+        cfg = preset("email", days=10, scale=0.5)
+        assert cfg.days == 10
+        assert cfg.scale == 0.5
+
+
+class TestCharacter:
+    def counts(self, cfg):
+        return np.array(
+            list(SyntheticNews(cfg).word_counts().values())
+        )
+
+    def test_stock_is_most_concentrated(self):
+        stock_share = concentration(
+            self.counts(stock(days=10, scale=0.5)), 0.01
+        )
+        email_share = concentration(
+            self.counts(email(days=10, scale=0.5)), 0.01
+        )
+        assert stock_share > email_share
+
+    def test_stock_documents_are_terse(self):
+        stock_docs = SyntheticNews(stock(days=3, scale=0.5)).day_documents(2)
+        news_docs = SyntheticNews(news(days=3, scale=0.5)).day_documents(2)
+        stock_len = np.mean([len(d) for d in stock_docs])
+        news_len = np.mean([len(d) for d in news_docs])
+        assert stock_len < 0.4 * news_len
+
+    def test_email_volume_exceeds_news(self):
+        assert SyntheticNews(email()).docs_on_day(3) > (
+            SyntheticNews(news()).docs_on_day(3)
+        )
+
+    def test_all_presets_generate_valid_batches(self):
+        for name in ("news", "email", "stock"):
+            cfg = preset(name, days=3, scale=0.3)
+            update = SyntheticNews(cfg).batch_update(1)
+            assert update.npostings > 0
+            assert update.pairs == sorted(update.pairs)

@@ -1,0 +1,133 @@
+"""Unit tests for the synthetic News workload."""
+
+import numpy as np
+import pytest
+
+from repro.workload.synthetic import SyntheticNews, SyntheticNewsConfig
+from repro.workload.zipf import concentration, fit_zipf_exponent
+
+
+@pytest.fixture(scope="module")
+def news():
+    return SyntheticNews(SyntheticNewsConfig(days=21, docs_per_day=50))
+
+
+class TestSizing:
+    def test_weekly_profile(self, news):
+        # Day 0 is Saturday (smallest); midweek days are larger.
+        assert news.docs_on_day(0) < news.docs_on_day(3)
+        assert news.docs_on_day(7) == news.docs_on_day(0)
+
+    def test_interrupted_day_is_tiny(self):
+        cfg = SyntheticNewsConfig(days=40, docs_per_day=100, interrupted_day=31)
+        news = SyntheticNews(cfg)
+        assert news.docs_on_day(31) < news.docs_on_day(30) / 5
+
+    def test_scale_multiplies(self):
+        big = SyntheticNews(SyntheticNewsConfig(days=7, scale=2.0))
+        small = SyntheticNews(SyntheticNewsConfig(days=7, scale=1.0))
+        assert big.docs_on_day(3) == pytest.approx(
+            2 * small.docs_on_day(3), rel=0.02
+        )
+
+    def test_day_out_of_range(self, news):
+        with pytest.raises(ValueError):
+            news.docs_on_day(21)
+
+
+class TestDeterminism:
+    def test_same_seed_same_batches(self):
+        cfg = SyntheticNewsConfig(days=3, docs_per_day=30)
+        a = SyntheticNews(cfg).batch_update(2)
+        b = SyntheticNews(cfg).batch_update(2)
+        assert a.pairs == b.pairs
+
+    def test_different_seed_differs(self):
+        a = SyntheticNews(SyntheticNewsConfig(days=3, seed=1)).batch_update(1)
+        b = SyntheticNews(SyntheticNewsConfig(days=3, seed=2)).batch_update(1)
+        assert a.pairs != b.pairs
+
+    def test_days_are_independent(self):
+        # Generating day 5 directly equals generating it after day 4.
+        cfg = SyntheticNewsConfig(days=7, docs_per_day=20)
+        direct = SyntheticNews(cfg).batch_update(5)
+        news = SyntheticNews(cfg)
+        news.batch_update(4)
+        assert news.batch_update(5).pairs == direct.pairs
+
+
+class TestDocuments:
+    def test_documents_are_distinct_word_sets(self, news):
+        for doc in news.day_documents(3)[:20]:
+            assert len(np.unique(doc)) == len(doc)
+            assert doc.min() >= 1
+
+    def test_batch_counts_documents_containing_word(self, news):
+        docs = news.day_documents(2)
+        update = news.batch_update(2)
+        # Word 1 (the most frequent rank) should appear in nearly all docs.
+        count_1 = dict(update.pairs)[1]
+        manual = sum(1 for d in docs if 1 in d)
+        assert count_1 == manual
+
+    def test_batch_update_metadata(self, news):
+        update = news.batch_update(4)
+        assert update.day == 4
+        assert update.ndocs == news.docs_on_day(4)
+        assert update.npostings == sum(len(d) for d in news.day_documents(4))
+
+
+class TestDistribution:
+    def test_corpus_is_zipf_shaped(self):
+        news = SyntheticNews(SyntheticNewsConfig(days=14, docs_per_day=80))
+        counts = np.array(list(news.word_counts().values()))
+        s = fit_zipf_exponent(counts)
+        assert 1.0 < s < 2.0
+
+    def test_frequent_words_carry_most_postings(self):
+        news = SyntheticNews(SyntheticNewsConfig(days=14, docs_per_day=80))
+        counts = np.array(list(news.word_counts().values()))
+        assert concentration(counts, 0.01) > 0.5
+
+    def test_new_words_keep_arriving(self):
+        """Heaps-like growth: late batches still introduce unseen words."""
+        news = SyntheticNews(SyntheticNewsConfig(days=14, docs_per_day=80))
+        seen: set[int] = set()
+        new_fractions = []
+        for update in news.batches():
+            words = {w for w, _ in update.pairs}
+            new_fractions.append(len(words - seen) / len(words))
+            seen |= words
+        assert new_fractions[0] == 1.0
+        assert new_fractions[-1] > 0.1
+
+
+class TestUpdateSizeStability:
+    def test_frequent_words_have_similar_update_sizes(self):
+        """Paper §5.2.2 grounds the k=2 cusp in "multiple updates to the
+        same word have approximately the same length"; the workload must
+        exhibit that (weekly modulation aside)."""
+        news = SyntheticNews(SyntheticNewsConfig(days=21, docs_per_day=80))
+        per_word: dict[int, list[int]] = {}
+        for update in news.batches():
+            for word, count in update.pairs:
+                per_word.setdefault(word, []).append(count)
+        # The 20 most frequent words: coefficient of variation of their
+        # per-update sizes stays moderate.
+        frequent = sorted(
+            per_word, key=lambda w: -sum(per_word[w])
+        )[:20]
+        for word in frequent:
+            sizes = np.array(per_word[word], dtype=float)
+            cv = sizes.std() / sizes.mean()
+            assert cv < 0.6, f"word {word} update sizes too erratic"
+
+
+class TestValidation:
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            SyntheticNewsConfig(days=0)
+        with pytest.raises(ValueError):
+            SyntheticNewsConfig(zipf_s=1.0)
+        with pytest.raises(ValueError):
+            SyntheticNewsConfig(scale=0)

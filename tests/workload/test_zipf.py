@@ -1,0 +1,90 @@
+"""Unit tests for Zipf sampling and fitting."""
+
+import numpy as np
+import pytest
+
+from repro.workload.zipf import (
+    bounded_zipf_probabilities,
+    concentration,
+    fit_zipf_exponent,
+    sample_bounded_zipf,
+    sample_unbounded_zipf,
+)
+
+
+class TestBoundedZipf:
+    def test_probabilities_sum_to_one(self):
+        probs = bounded_zipf_probabilities(1.2, 1000)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_probabilities_decrease_with_rank(self):
+        probs = bounded_zipf_probabilities(1.2, 100)
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_rank_one_dominates(self):
+        probs = bounded_zipf_probabilities(1.5, 10_000)
+        assert probs[0] > 0.3
+
+    def test_sampling_range(self):
+        rng = np.random.default_rng(0)
+        samples = sample_bounded_zipf(rng, 1.2, 50, 1000)
+        assert samples.min() >= 1 and samples.max() <= 50
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            bounded_zipf_probabilities(0, 10)
+        with pytest.raises(ValueError):
+            bounded_zipf_probabilities(1.0, 0)
+
+
+class TestUnboundedZipf:
+    def test_requires_s_above_one(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_unbounded_zipf(rng, 1.0, 10)
+
+    def test_samples_start_at_one(self):
+        rng = np.random.default_rng(0)
+        samples = sample_unbounded_zipf(rng, 1.3, 10_000)
+        assert samples.min() == 1
+
+    def test_tail_produces_rare_large_ranks(self):
+        rng = np.random.default_rng(0)
+        samples = sample_unbounded_zipf(rng, 1.3, 100_000)
+        assert samples.max() > 10_000  # heavy tail reaches deep ranks
+
+
+class TestFit:
+    def test_recovers_exponent_roughly(self):
+        rng = np.random.default_rng(42)
+        s_true = 1.4
+        samples = sample_unbounded_zipf(rng, s_true, 500_000)
+        _, counts = np.unique(samples, return_counts=True)
+        s_hat = fit_zipf_exponent(counts)
+        assert s_hat == pytest.approx(s_true, abs=0.35)
+
+    def test_needs_enough_counts(self):
+        with pytest.raises(ValueError):
+            fit_zipf_exponent(np.array([5, 3]))
+
+
+class TestConcentration:
+    def test_uniform_counts(self):
+        counts = np.ones(100)
+        assert concentration(counts, 0.1) == pytest.approx(0.1)
+
+    def test_skewed_counts(self):
+        counts = np.array([1000] + [1] * 99)
+        assert concentration(counts, 0.01) == pytest.approx(1000 / 1099)
+
+    def test_zipf_concentrates(self):
+        rng = np.random.default_rng(1)
+        samples = sample_unbounded_zipf(rng, 1.3, 200_000)
+        _, counts = np.unique(samples, return_counts=True)
+        # A tiny fraction of words carries most postings — the Table-1
+        # property the dual structure exploits.
+        assert concentration(counts, 0.01) > 0.5
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            concentration(np.ones(10), 0.0)
