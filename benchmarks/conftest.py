@@ -5,4 +5,14 @@ stages (as the paper's staged design intends)."""
 import sys
 from pathlib import Path
 
+import pytest
+
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_collection_modifyitems(items):
+    # Everything under benchmarks/ is benchmark-scale; CI runs
+    # ``pytest -m "not slow"`` so these stay out of the tier-1 gate even
+    # when benchmarks/ is collected explicitly.
+    for item in items:
+        item.add_marker(pytest.mark.slow)

@@ -12,8 +12,15 @@ Five subcommands cover the library's main entry points::
         query; prints matching doc ids (= ingest order) and the I/O cost.
 
     repro experiment [--policy SPEC] [--days N] [--scale S] [--exercise]
+                     [--inject-faults] [--fault-rate R] [--fault-seed S]
         Run the paper's pipeline on the synthetic News workload for one
-        policy and print the evaluation metrics.
+        policy and print the evaluation metrics.  ``--inject-faults``
+        exercises the disks with transient I/O faults injected and
+        reports the retry counts.
+
+    repro check INDEX.ckpt
+        Load a checkpointed index and verify the dual-structure
+        invariants (exit status 1 on violation).
 
     repro figure {table1,fig1,fig7,...,fig14}
         Regenerate one of the paper's tables/figures and print it.
@@ -37,6 +44,7 @@ import sys
 from .core.index import IndexConfig
 from .core.policy import Alloc, Limit, Policy, Style
 from .pipeline.experiment import Experiment, ExperimentConfig
+from .storage.faults import FaultPlan
 from .textindex import TextDocumentIndex
 from .workload.synthetic import SyntheticNewsConfig
 
@@ -132,11 +140,18 @@ def cmd_query(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    fault_plan = None
+    if args.inject_faults:
+        fault_plan = FaultPlan(
+            seed=args.fault_seed, transient_rate=args.fault_rate
+        )
     config = ExperimentConfig(
-        workload=SyntheticNewsConfig(days=args.days, scale=args.scale)
+        workload=SyntheticNewsConfig(days=args.days, scale=args.scale),
+        fault_plan=fault_plan,
     )
     experiment = Experiment(config)
-    run = experiment.run_policy(args.policy, exercise=args.exercise)
+    exercise = args.exercise or args.inject_faults
+    run = experiment.run_policy(args.policy, exercise=exercise)
     disks = run.disks
     print(f"policy:               {args.policy.name}")
     print(f"updates:              {disks.series.nupdates}")
@@ -148,12 +163,28 @@ def cmd_experiment(args) -> int:
         f"{disks.counters.in_place_updates:,} "
         f"({disks.counters.in_place_fraction:.0%} of possible)"
     )
-    if args.exercise:
+    if exercise:
         if run.exercise.feasible:
             print(f"simulated build time: {run.exercise.total_s:.1f} s")
+            if fault_plan is not None:
+                print(
+                    "fault injection:      "
+                    f"{fault_plan.transients_injected} transient faults, "
+                    f"{run.exercise.result.total_retries} retries "
+                    f"(rate {args.fault_rate}, seed {args.fault_seed})"
+                )
         else:
             print(f"exercise: INFEASIBLE ({run.exercise.reason})")
     return 0
+
+
+def cmd_check(args) -> int:
+    from .core.invariants import check_index
+
+    index = _load_index(args.index)
+    report = check_index(index.index)
+    print(f"invariant check of {args.index}: {report}")
+    return 0 if report.ok else 1
 
 
 def cmd_figure(args) -> int:
@@ -212,7 +243,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--days", type=int, default=73)
     p_exp.add_argument("--scale", type=float, default=1.0)
     p_exp.add_argument("--exercise", action="store_true")
+    p_exp.add_argument(
+        "--inject-faults",
+        action="store_true",
+        help="inject transient I/O faults into the exerciser "
+        "(implies --exercise)",
+    )
+    p_exp.add_argument("--fault-rate", type=float, default=0.05)
+    p_exp.add_argument("--fault-seed", type=int, default=0)
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_check = sub.add_parser(
+        "check", help="verify the invariants of a checkpointed index"
+    )
+    p_check.add_argument("index")
+    p_check.set_defaults(func=cmd_check)
 
     p_fig = sub.add_parser(
         "figure",

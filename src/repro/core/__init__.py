@@ -20,6 +20,12 @@ from .index import (
     IndexStats,
     WordCategory,
 )
+from .invariants import (
+    InvariantError,
+    InvariantReport,
+    Violation,
+    check_index,
+)
 from .longlists import LongListCounters, LongListManager
 from .memindex import InMemoryIndex
 from .policy import Alloc, Limit, Policy, Style, figure8_policies
@@ -56,6 +62,8 @@ __all__ = [
     "GrowthEvent",
     "GrowthPolicy",
     "InMemoryIndex",
+    "InvariantError",
+    "InvariantReport",
     "Limit",
     "LongListCounters",
     "LongListEntry",
@@ -67,8 +75,10 @@ __all__ = [
     "Region",
     "Style",
     "SweepStats",
+    "Violation",
     "WordCategory",
     "bytes_per_posting",
+    "check_index",
     "decode_doc_ids",
     "delta_decode",
     "delta_encode",

@@ -23,6 +23,7 @@ import io
 import struct
 from typing import BinaryIO
 
+from ..storage import faults
 from ..storage.block import Chunk
 from ..storage.freelist import BuddyFreeList
 from ..storage.profiles import PROFILES, SEAGATE_SCSI_1994
@@ -33,6 +34,17 @@ from .postings import CountPostings, DocPostings
 
 _MAGIC = b"DSIX"
 _VERSION = 1
+
+CP_BEGIN_SAVE = faults.register_crash_point(
+    "checkpoint.begin-save", "checkpoint save started, header not written"
+)
+CP_MID_SAVE = faults.register_crash_point(
+    "checkpoint.mid-save",
+    "directory section written, buckets and free lists not yet",
+)
+CP_END_SAVE = faults.register_crash_point(
+    "checkpoint.end-save", "all sections written, save about to return"
+)
 
 
 class CheckpointError(Exception):
@@ -175,6 +187,7 @@ def save(index: DualStructureIndex, target) -> None:
 
 def _save(index: DualStructureIndex, fp: BinaryIO) -> None:
     cfg = index.config
+    faults.crash_point(CP_BEGIN_SAVE)
     fp.write(_MAGIC)
     fp.write(bytes([_VERSION]))
     # configuration
@@ -207,6 +220,7 @@ def _save(index: DualStructureIndex, fp: BinaryIO) -> None:
         _w_u32(fp, len(entry.chunks))
         for chunk in entry.chunks:
             _w_chunk(fp, chunk)
+    faults.crash_point(CP_MID_SAVE)
     # buckets
     nonempty = [
         (i, b) for i, b in enumerate(index.buckets.buckets) if b.lists
@@ -263,6 +277,7 @@ def _save(index: DualStructureIndex, fp: BinaryIO) -> None:
     for word, estimate in sizes.items():
         _w_u64(fp, word)
         _w_f64(fp, estimate)
+    faults.crash_point(CP_END_SAVE)
 
 
 # -- load -----------------------------------------------------------------------

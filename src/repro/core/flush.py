@@ -21,11 +21,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..storage import faults
 from ..storage.block import Chunk
 from ..storage.diskarray import DiskArray
 from ..storage.disk import DiskFullError
 from ..storage.iotrace import IOTrace, OpKind, Target, TraceOp
 from .directory import Directory
+
+CP_BEGIN = faults.register_crash_point(
+    "flush.begin", "entry of FlushManager.flush, nothing allocated yet"
+)
+CP_AFTER_BUCKET_WRITES = faults.register_crash_point(
+    "flush.after-bucket-writes",
+    "new bucket regions allocated and written; directory not yet",
+)
+CP_AFTER_DIRECTORY_WRITE = faults.register_crash_point(
+    "flush.after-directory-write",
+    "new regions fully written; previous regions not yet freed",
+)
+CP_MID_FREE = faults.register_crash_point(
+    "flush.mid-free",
+    "previous bucket regions freed; previous directory region not yet",
+)
 
 
 @dataclass
@@ -92,11 +109,13 @@ class FlushManager:
     def flush(self, bucket_blocks: int, directory: Directory) -> None:
         """Write the bucket region (``bucket_blocks`` blocks, striped) and
         the directory to fresh regions; free the old ones."""
+        faults.crash_point(CP_BEGIN)
         new_bucket_regions = self._allocate_striped(bucket_blocks)
         for chunk in new_bucket_regions:
             self._record(Target.BUCKET, chunk)
             self.counters.bucket_writes += 1
             self.counters.bucket_blocks += chunk.nblocks
+        faults.crash_point(CP_AFTER_BUCKET_WRITES)
 
         dir_blocks = directory.flush_blocks(
             self.array.profile.block_size, self.directory_entry_bytes
@@ -108,8 +127,10 @@ class FlushManager:
 
         # Shadow rule: free the previous regions only after the new ones
         # are written.
+        faults.crash_point(CP_AFTER_DIRECTORY_WRITE)
         for chunk in self._bucket_regions:
             self.array.free_chunk(chunk)
+        faults.crash_point(CP_MID_FREE)
         if self._directory_region is not None:
             self.array.free_chunk(self._directory_region)
         self._bucket_regions = new_bucket_regions

@@ -18,9 +18,12 @@ layers tokenization and a vocabulary on top for text documents.
 from __future__ import annotations
 
 import enum
+import io
 from dataclasses import dataclass, field
 
+from ..storage import faults
 from ..storage.diskarray import DiskArray, DiskArrayConfig
+from ..storage.faults import FaultPlan, FaultyDiskArray
 from ..storage.iotrace import IOTrace
 from ..storage.profiles import SEAGATE_SCSI_1994, DiskProfile
 from .buckets import BucketManager
@@ -31,6 +34,31 @@ from .policy import Policy
 from .positional import PositionalPostings
 from .rebalance import BucketGrower, GrowthPolicy
 from .postings import DocPostings
+
+CP_FLUSH_BEGIN = faults.register_crash_point(
+    "index.flush-begin",
+    "flush_batch entered; no disk structure touched yet",
+)
+CP_BEFORE_WORD = faults.register_crash_point(
+    "index.before-word-append",
+    "mid-batch, before moving one in-memory list to disk",
+)
+CP_BEFORE_SHADOW_FLUSH = faults.register_crash_point(
+    "index.before-shadow-flush",
+    "all lists moved to disk; buckets/directory not yet shadow-flushed",
+)
+CP_BEFORE_RELEASE = faults.register_crash_point(
+    "index.before-release",
+    "shadow flush done; RELEASE list not yet freed",
+)
+CP_BEFORE_CLEAR = faults.register_crash_point(
+    "index.before-clear",
+    "batch fully on disk; in-memory batch not yet cleared",
+)
+CP_BEFORE_RECOVERY_POINT = faults.register_crash_point(
+    "index.before-recovery-point",
+    "batch complete; durable recovery point not yet updated",
+)
 
 
 class WordCategory(enum.Enum):
@@ -68,6 +96,12 @@ class IndexConfig:
     #: growth policy's threshold (paper §7's rebalancing strategy).
     grow_buckets: bool = False
     growth: GrowthPolicy = field(default_factory=GrowthPolicy)
+    #: Keep a durable recovery point after every completed batch so
+    #: :meth:`DualStructureIndex.recover` can roll back an aborted update
+    #: (the paper's §1 restartability claim, made operational).
+    crash_safe: bool = False
+    #: Inject failures from this plan into every disk operation (testing).
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.nbuckets <= 0 or self.bucket_size <= 0:
@@ -138,7 +172,12 @@ class DualStructureIndex:
     def __init__(self, config: IndexConfig | None = None) -> None:
         self.config = config or IndexConfig()
         self.trace = IOTrace() if self.config.trace_enabled else None
-        self.array = DiskArray(self.config.array_config())
+        if self.config.fault_plan is not None:
+            self.array = FaultyDiskArray(
+                self.config.array_config(), self.config.fault_plan
+            )
+        else:
+            self.array = DiskArray(self.config.array_config())
         self.buckets = BucketManager(
             self.config.nbuckets, self.config.bucket_size
         )
@@ -164,6 +203,11 @@ class DualStructureIndex:
         ) else None
         self._batches = 0
         self._next_doc_id = 0
+        self._last_recovery_point: bytes | None = None
+        self._aborted_batch: tuple | None = None
+        self._aborted_next_doc_id = 0
+        if self.config.crash_safe:
+            self._save_recovery_point()
 
     # -- ingest -----------------------------------------------------------
 
@@ -225,6 +269,12 @@ class DualStructureIndex:
 
     def flush_batch(self) -> BatchResult:
         """Write the in-memory index to disk as one batch update."""
+        if self.config.crash_safe:
+            # Capture the batch before any disk structure is touched so an
+            # aborted update can be re-applied after rollback.
+            self._aborted_batch = self.memory.snapshot()
+            self._aborted_next_doc_id = self._next_doc_id
+        faults.crash_point(CP_FLUSH_BEGIN)
         counts = {c: 0 for c in WordCategory}
         npostings = 0
         migrations = 0
@@ -233,6 +283,7 @@ class DualStructureIndex:
         nwords = len(self.memory)
 
         for word, payload in self.memory.items():
+            faults.crash_point(CP_BEFORE_WORD)
             category = self.classify(word)
             counts[category] += 1
             npostings += len(payload)
@@ -247,6 +298,7 @@ class DualStructureIndex:
             # Rebalance before the flush so the enlarged region is what
             # gets written ("expanded and written in a larger region").
             self.grower.maybe_grow(self.buckets, batch=self._batches)
+        faults.crash_point(CP_BEFORE_SHADOW_FLUSH)
         profile = self.array.profile
         self.flusher.flush(
             self.buckets.flush_blocks(
@@ -254,11 +306,17 @@ class DualStructureIndex:
             ),
             self.longlists.directory,
         )
+        faults.crash_point(CP_BEFORE_RELEASE)
         self.longlists.end_batch()
         if self.trace is not None:
             self.trace.end_batch()
+        faults.crash_point(CP_BEFORE_CLEAR)
         self.memory.clear()
         self._batches += 1
+        if self.config.crash_safe:
+            faults.crash_point(CP_BEFORE_RECOVERY_POINT)
+            self._save_recovery_point()
+            self._aborted_batch = None
         return BatchResult(
             batch=self._batches - 1,
             nwords=nwords,
@@ -272,6 +330,58 @@ class DualStructureIndex:
                 self.longlists.counters.in_place_updates - in_place_before
             ),
         )
+
+    # -- crash recovery ----------------------------------------------------
+
+    def _save_recovery_point(self) -> None:
+        """Snapshot the whole index to an in-memory durable checkpoint.
+
+        Written to a fresh buffer and swapped in only on success, so a
+        crash *during* the save leaves the previous recovery point intact
+        (the atomic-rename discipline a file-backed deployment would use).
+        """
+        from . import checkpoint
+
+        buf = io.BytesIO()
+        checkpoint.save(self, buf)
+        self._last_recovery_point = buf.getvalue()
+
+    def recover(self, replay: bool = True) -> BatchResult | None:
+        """Roll back to the last completed shadow flush and resume.
+
+        The paper's §1 restartability claim, as a driver: restore every
+        structure (directory, buckets, free lists, flush regions, disk
+        contents, counters) from the recovery point taken at the previous
+        batch boundary, then — when ``replay`` is true and an aborted batch
+        was captured — re-apply that batch and flush it again, returning
+        the replayed :class:`BatchResult`.
+
+        Requires ``crash_safe=True``.  The restored disk array is a plain
+        one: any fault plan wired into the old array does not survive
+        recovery (named crash points, being global, still fire).
+        """
+        if not self.config.crash_safe:
+            raise RuntimeError(
+                "recover() requires IndexConfig(crash_safe=True)"
+            )
+        from . import checkpoint
+
+        assert self._last_recovery_point is not None
+        restored = checkpoint.load(io.BytesIO(self._last_recovery_point))
+        self.array = restored.array
+        self.buckets = restored.buckets
+        self.longlists = restored.longlists
+        self.flusher = restored.flusher
+        self.memory = restored.memory
+        self.trace = restored.trace
+        self._batches = restored._batches
+        self._next_doc_id = restored._next_doc_id
+        if replay and self._aborted_batch is not None:
+            self.memory.restore(self._aborted_batch)
+            self._next_doc_id = self._aborted_next_doc_id
+            return self.flush_batch()
+        self._aborted_batch = None
+        return None
 
     # -- retrieval ---------------------------------------------------------
 

@@ -36,12 +36,39 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..storage import faults
 from ..storage.block import Chunk, blocks_for_postings
 from ..storage.diskarray import DiskArray
 from ..storage.iotrace import IOTrace, OpKind, Target, TraceOp
 from .directory import Directory, LongListEntry
 from .policy import Policy, Style
 from .postings import CountPostings, DocPostings, PostingPayload, empty_like
+
+CP_BEFORE_INPLACE_WRITE = faults.register_crash_point(
+    "longlists.before-inplace-write",
+    "UPDATE(M): tail block read, in-place write not yet applied",
+)
+CP_AFTER_WHOLE_READ = faults.register_crash_point(
+    "longlists.after-whole-read",
+    "whole style: old chunks read and retired to RELEASE, new chunk not "
+    "yet written",
+)
+CP_AFTER_CHUNK_ALLOC = faults.register_crash_point(
+    "longlists.after-chunk-alloc",
+    "WRITE_RESERVED: chunk allocated, not yet entered in the directory",
+)
+CP_FILL_EXTENT = faults.register_crash_point(
+    "longlists.fill-extent",
+    "fill style: between extent writes of one update",
+)
+CP_BEFORE_RELEASE_FREE = faults.register_crash_point(
+    "longlists.before-release-free",
+    "batch boundary reached, RELEASE list not yet freed",
+)
+CP_MID_RELEASE_FREE = faults.register_crash_point(
+    "longlists.mid-release-free",
+    "some RELEASE chunks freed, the rest still allocated",
+)
 
 
 @dataclass
@@ -237,6 +264,7 @@ class LongListManager:
         self._record(
             OpKind.READ, chunk.disk, read_block, 1, entry.word, chunk.npostings
         )
+        faults.crash_point(CP_BEFORE_INPLACE_WRITE)
         touched = chunk.blocks_touched_by_append(y, self.block_postings)
         if self._content:
             # Rewrite the partial tail block plus any newly filled blocks.
@@ -287,6 +315,7 @@ class LongListManager:
             self.release.append(chunk)
         if entry.chunks:
             self.counters.whole_moves += 1
+            faults.crash_point(CP_AFTER_WHOLE_READ)
         combined.extend(payload)
         entry.chunks = []
         self._write_reserved(entry, combined)
@@ -306,6 +335,7 @@ class LongListManager:
             predicted_update=self._current_prediction,
         )
         chunk = self.array.allocate_chunk(nblocks)
+        faults.crash_point(CP_AFTER_CHUNK_ALLOC)
         chunk.npostings = x
         chunk.reserved = nblocks * self.block_postings - x
         entry.chunks.append(chunk)
@@ -322,6 +352,7 @@ class LongListManager:
         extent_capacity = self.policy.extent_blocks * self.block_postings
         remaining = payload
         while len(remaining) > 0:
+            faults.crash_point(CP_FILL_EXTENT)
             head, remaining = remaining.split(extent_capacity)
             chunk = self.array.allocate_chunk(self.policy.extent_blocks)
             chunk.npostings = len(head)
@@ -374,6 +405,8 @@ class LongListManager:
     def end_batch(self) -> None:
         """Free the RELEASE list (paper §3: old whole-style chunks are only
         returned to free space when the buckets and directory flush)."""
+        faults.crash_point(CP_BEFORE_RELEASE_FREE)
         for chunk in self.release:
             self.array.free_chunk(chunk)
+            faults.crash_point(CP_MID_RELEASE_FREE)
         self.release.clear()

@@ -148,6 +148,25 @@ class InMemoryIndex:
         for bucket_id in sorted(groups):
             yield bucket_id, groups[bucket_id]
 
+    def snapshot(self) -> tuple:
+        """An independent copy of the batch contents (crash recovery).
+
+        Taken by the index before a flush starts mutating disk structures,
+        so an aborted batch can be re-applied after rollback.
+        """
+        return (
+            [(word, payload.copy()) for word, payload in self._lists.items()],
+            self._ndocs,
+            self._npostings,
+        )
+
+    def restore(self, snapshot: tuple) -> None:
+        """Replace the batch contents with a :meth:`snapshot` copy."""
+        lists, ndocs, npostings = snapshot
+        self._lists = {word: payload.copy() for word, payload in lists}
+        self._ndocs = ndocs
+        self._npostings = npostings
+
     def clear(self) -> None:
         """Reset after the batch has been written to disk."""
         self._lists.clear()

@@ -14,17 +14,27 @@ from dataclasses import dataclass
 
 from ..storage.disk import DiskFullError
 from ..storage.exerciser import DiskExerciser, ExerciseResult
+from ..storage.faults import FaultPlan
 from ..storage.iotrace import IOTrace
 from ..storage.profiles import SEAGATE_SCSI_1994, DiskProfile
 
 
 @dataclass(frozen=True)
 class ExerciseConfig:
-    """Physical execution parameters (paper Table 4: Disks, BufferBlock)."""
+    """Physical execution parameters (paper Table 4: Disks, BufferBlock).
+
+    A ``fault_plan`` injects transient I/O failures into the exercised
+    disks; each failed request is retried up to ``max_retries`` times with
+    linear backoff (``retry_backoff_s``, ``2×``, ``3×``, ...) charged to
+    the failing disk's stream time.
+    """
 
     profile: DiskProfile | None = None
     ndisks: int = 4
     buffer_blocks: int = 256
+    fault_plan: FaultPlan | None = None
+    max_retries: int = 4
+    retry_backoff_s: float = 0.002
 
 
 @dataclass
@@ -51,7 +61,12 @@ class ExerciseDisksProcess:
     def run(self, trace: IOTrace) -> ExerciseOutcome:
         profile = self.config.profile or SEAGATE_SCSI_1994
         exerciser = DiskExerciser(
-            profile, self.config.ndisks, self.config.buffer_blocks
+            profile,
+            self.config.ndisks,
+            self.config.buffer_blocks,
+            fault_plan=self.config.fault_plan,
+            max_retries=self.config.max_retries,
+            retry_backoff_s=self.config.retry_backoff_s,
         )
         try:
             result = exerciser.run(trace)

@@ -15,6 +15,7 @@ import os
 from dataclasses import dataclass, field, replace
 
 from ..core.policy import Policy
+from ..storage.faults import FaultPlan
 from ..storage.profiles import SEAGATE_SCSI_1994, DiskProfile
 from ..text.batchupdate import BatchUpdate
 from ..workload.synthetic import SyntheticNews, SyntheticNewsConfig
@@ -45,6 +46,11 @@ class ExperimentConfig:
     profile: DiskProfile | None = None
     buffer_blocks: int = 256
     watch_buckets: tuple[int, ...] = ()
+    #: Inject transient I/O faults into the ExerciseDisks stage; failed
+    #: requests are retried with backoff (the ``--inject-faults`` knob).
+    fault_plan: FaultPlan | None = None
+    io_max_retries: int = 4
+    io_retry_backoff_s: float = 0.002
 
     @property
     def bucket_flush_blocks(self) -> int:
@@ -143,6 +149,9 @@ class Experiment:
                     profile=self.config.profile or SEAGATE_SCSI_1994,
                     ndisks=self.config.ndisks,
                     buffer_blocks=self.config.buffer_blocks,
+                    fault_plan=self.config.fault_plan,
+                    max_retries=self.config.io_max_retries,
+                    retry_backoff_s=self.config.io_retry_backoff_s,
                 )
             )
             outcome = exerciser.run(disks.trace)

@@ -10,6 +10,19 @@ from .btree import BTree, BTreeConfig
 from .disk import DiskCounters, DiskFullError, SimulatedDisk
 from .diskarray import DiskArray, DiskArrayConfig
 from .exerciser import BatchTiming, DiskExerciser, ExerciseResult
+from .faults import (
+    FaultPlan,
+    FaultyDisk,
+    FaultyDiskArray,
+    InjectedCrash,
+    TransientIOError,
+    crash_point,
+    injected,
+    install,
+    register_crash_point,
+    registered_crash_points,
+    uninstall,
+)
 from .freelist import (
     ALLOCATORS,
     BestFitFreeList,
@@ -45,9 +58,13 @@ __all__ = [
     "DiskProfile",
     "ExerciseResult",
     "FAST_SCSI_1996",
+    "FaultPlan",
+    "FaultyDisk",
+    "FaultyDiskArray",
     "FirstFitFreeList",
     "FreeListError",
     "IOTrace",
+    "InjectedCrash",
     "MODERN_HDD",
     "OPTICAL_1994",
     "OpKind",
@@ -56,6 +73,13 @@ __all__ = [
     "SimulatedDisk",
     "Target",
     "TraceOp",
+    "TransientIOError",
     "blocks_for_postings",
+    "crash_point",
+    "injected",
+    "install",
     "make_freelist",
+    "register_crash_point",
+    "registered_crash_points",
+    "uninstall",
 ]

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .disk import DiskFullError, SimulatedDisk
+from .faults import FaultPlan, FaultyDisk, TransientIOError
 from .iotrace import IOTrace, OpKind, TraceOp
 from .profiles import DiskProfile
 
@@ -39,6 +40,8 @@ class BatchTiming:
     ops_issued: int
     ops_after_coalescing: int
     blocks_moved: int
+    #: Transient I/O failures retried during this batch (fault injection).
+    retries: int = 0
 
 
 @dataclass
@@ -74,6 +77,10 @@ class ExerciseResult:
     def total_ops_serviced(self) -> int:
         return sum(b.ops_after_coalescing for b in self.batch_timings)
 
+    @property
+    def total_retries(self) -> int:
+        return sum(b.retries for b in self.batch_timings)
+
 
 @dataclass
 class _PendingRequest:
@@ -104,19 +111,35 @@ class DiskExerciser:
         profile: DiskProfile,
         ndisks: int,
         buffer_blocks: int = 256,
+        fault_plan: FaultPlan | None = None,
+        max_retries: int = 4,
+        retry_backoff_s: float = 0.002,
     ) -> None:
         if ndisks <= 0:
             raise ValueError("ndisks must be > 0")
         if buffer_blocks <= 0:
             raise ValueError("buffer_blocks must be > 0")
+        if max_retries < 0 or retry_backoff_s < 0:
+            raise ValueError("max_retries and retry_backoff_s must be >= 0")
         self.profile = profile
         self.ndisks = ndisks
         self.buffer_blocks = buffer_blocks
+        self.fault_plan = fault_plan
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+
+    def _make_disks(self) -> list[SimulatedDisk]:
+        if self.fault_plan is None:
+            return [SimulatedDisk(self.profile) for _ in range(self.ndisks)]
+        return [
+            FaultyDisk(self.profile, plan=self.fault_plan, fault_id=i)
+            for i in range(self.ndisks)
+        ]
 
     def run(self, trace: IOTrace) -> ExerciseResult:
         """Execute the trace; raises :class:`DiskFullError` when any traced
         address lies outside the physical disks."""
-        disks = [SimulatedDisk(self.profile) for _ in range(self.ndisks)]
+        disks = self._make_disks()
         result = ExerciseResult()
         for batch_no, ops in enumerate(trace.batches()):
             result.batch_timings.append(
@@ -131,6 +154,24 @@ class DiskExerciser:
         pending: list[_PendingRequest | None] = [None] * self.ndisks
         serviced = 0
         blocks = 0
+        retries = 0
+
+        def service_with_retry(disk_id: int, req: _PendingRequest) -> float:
+            """One request, with bounded retry + linear backoff on
+            transient failures (the recovery a real driver performs)."""
+            nonlocal retries
+            elapsed = 0.0
+            for attempt in range(self.max_retries + 1):
+                try:
+                    return elapsed + disks[disk_id].service(
+                        req.start, req.nblocks, req.kind is OpKind.WRITE
+                    )
+                except TransientIOError:
+                    if attempt == self.max_retries:
+                        raise
+                    retries += 1
+                    elapsed += self.retry_backoff_s * (attempt + 1)
+            raise AssertionError("unreachable")
 
         def flush(disk_id: int) -> None:
             nonlocal serviced, blocks
@@ -143,9 +184,7 @@ class DiskExerciser:
                     f"capacity {disks[disk_id].profile.nblocks} "
                     f"(policy does not fit the physical disks)"
                 )
-            per_disk_s[disk_id] += disks[disk_id].service(
-                req.start, req.nblocks, req.kind is OpKind.WRITE
-            )
+            per_disk_s[disk_id] += service_with_retry(disk_id, req)
             serviced += 1
             blocks += req.nblocks
             pending[disk_id] = None
@@ -172,4 +211,5 @@ class DiskExerciser:
             ops_issued=len(ops),
             ops_after_coalescing=serviced,
             blocks_moved=blocks,
+            retries=retries,
         )

@@ -1,0 +1,67 @@
+"""Torn checkpoints: a truncated image must fail loudly, never load.
+
+A crash during checkpointing leaves a prefix of the image on disk.  The
+DSIX format's framed readers (``_r_u32`` .. ``_r_chunk``) must reject any
+short read with :class:`CheckpointError` — a checkpoint that silently
+loads from a prefix would resurrect a corrupt index, which is worse than
+the crash it was meant to survive.  Truncation is swept at every 1/8
+boundary of the image (plus the empty and off-by-one-byte cases) so tears
+land inside every section of the format, not just at its tail.
+"""
+
+import io
+import random
+
+import pytest
+
+from repro.core import checkpoint
+from repro.core.checkpoint import CheckpointError
+from repro.core.index import DualStructureIndex, IndexConfig
+from repro.core.policy import Limit, Policy, Style
+
+
+def checkpointed_index_bytes():
+    index = DualStructureIndex(
+        IndexConfig(
+            policy=Policy(style=Style.NEW, limit=Limit.Z),
+            store_contents=True,
+            nbuckets=4,
+            bucket_size=16,
+        )
+    )
+    rng = random.Random(42)
+    for _ in range(4):
+        for _ in range(10):
+            index.add_document(
+                [rng.randrange(12) for _ in range(rng.randrange(5, 25))]
+            )
+        index.flush_batch()
+    buf = io.BytesIO()
+    checkpoint.save(index, buf)
+    return index, buf.getvalue()
+
+
+INDEX, IMAGE = checkpointed_index_bytes()
+
+
+def test_full_image_round_trips():
+    restored = checkpoint.load(io.BytesIO(IMAGE))
+    assert restored.stats() == INDEX.stats()
+
+
+@pytest.mark.parametrize("eighths", range(8))
+def test_truncation_at_every_eighth_boundary(eighths):
+    cut = len(IMAGE) * eighths // 8
+    with pytest.raises(CheckpointError):
+        checkpoint.load(io.BytesIO(IMAGE[:cut]))
+
+
+def test_truncation_one_byte_short():
+    with pytest.raises(CheckpointError):
+        checkpoint.load(io.BytesIO(IMAGE[:-1]))
+
+
+@pytest.mark.parametrize("cut", [1, 2, 3, 5, 7, 11])
+def test_truncation_inside_header(cut):
+    with pytest.raises(CheckpointError):
+        checkpoint.load(io.BytesIO(IMAGE[:cut]))

@@ -1,0 +1,103 @@
+"""Cross-mode consistency: count mode must mirror content mode exactly.
+
+The evaluation pipeline runs the index in count mode (``CountPostings``
+via ``add_counts``) while retrieval runs it in content mode
+(``DocPostings`` via ``add_document``).  The paper's figures are computed
+from the count-mode runs, so the two modes must agree not just on final
+state but *per batch*: same :class:`BatchResult` numbers, same directory
+list sizes, and the same I/O trace length for every batch.  A divergence
+would mean the reported update costs do not describe the index users
+actually query.
+"""
+
+import random
+
+import pytest
+
+from repro.core.index import DualStructureIndex, IndexConfig
+from repro.core.invariants import check_index
+from repro.core.policy import Limit, Policy, Style
+
+POLICIES = [
+    ("new", Policy(style=Style.NEW, limit=Limit.Z)),
+    ("whole", Policy(style=Style.WHOLE, limit=Limit.Z)),
+    ("fill", Policy(style=Style.FILL, limit=Limit.Z)),
+]
+
+
+def seeded_batches(nbatches=8, seed=271):
+    rng = random.Random(seed)
+    return [
+        [
+            [rng.randrange(16) for _ in range(rng.randrange(4, 28))]
+            for _ in range(12)
+        ]
+        for _ in range(nbatches)
+    ]
+
+
+def counts_for(batch):
+    """The count-mode image of a document batch: one posting per distinct
+    word per document, exactly what ``InMemoryIndex.add_document`` keeps."""
+    totals: dict[int, int] = {}
+    for doc in batch:
+        for word in set(doc):
+            totals[word] = totals.get(word, 0) + 1
+    return sorted(totals.items())
+
+
+def make_index(policy, store_contents):
+    return DualStructureIndex(
+        IndexConfig(
+            policy=policy,
+            store_contents=store_contents,
+            nbuckets=4,
+            bucket_size=24,
+        )
+    )
+
+
+@pytest.mark.parametrize("pname,policy", POLICIES, ids=[p[0] for p in POLICIES])
+def test_count_and_doc_modes_agree_per_batch(pname, policy):
+    batches = seeded_batches()
+    content = make_index(policy, store_contents=True)
+    counts = make_index(policy, store_contents=False)
+
+    for batch_no, batch in enumerate(batches):
+        for doc in batch:
+            content.add_document(doc)
+        counts.add_counts(counts_for(batch))
+
+        content_result = content.flush_batch()
+        counts_result = counts.flush_batch()
+        assert content_result == counts_result, (
+            f"{pname}: batch {batch_no} BatchResult diverges between modes"
+        )
+
+        # Same long-list shape, word by word.
+        content_dir = {
+            e.word: (e.npostings, e.nchunks)
+            for e in content.directory.entries()
+        }
+        counts_dir = {
+            e.word: (e.npostings, e.nchunks)
+            for e in counts.directory.entries()
+        }
+        assert content_dir == counts_dir, f"{pname}: batch {batch_no}"
+
+        check_index(content).raise_if_failed()
+        check_index(counts).raise_if_failed()
+
+    # Identical per-batch I/O trace lengths (and identical ops: count mode
+    # must schedule exactly the writes content mode performs).
+    content_batches = list(content.trace.batches())
+    counts_batches = list(counts.trace.batches())
+    assert len(content_batches) == len(counts_batches)
+    for batch_no, (a, b) in enumerate(zip(content_batches, counts_batches)):
+        assert len(a) == len(b), (
+            f"{pname}: batch {batch_no} trace lengths differ "
+            f"({len(a)} vs {len(b)})"
+        )
+        assert a == b, f"{pname}: batch {batch_no} trace ops differ"
+
+    assert content.stats() == counts.stats()

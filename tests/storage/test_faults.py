@@ -1,0 +1,214 @@
+"""Unit tests for the fault-injection substrate itself.
+
+The crash-recovery sweep (``tests/core/test_crash_recovery.py``) trusts
+this machinery; these tests pin down its contract: deterministic Nth-op
+crashes, torn writes that persist only a prefix, bounded transient
+failures the exerciser retries through, and a crash-point registry that
+is idempotent and strict.
+"""
+
+import pytest
+
+from repro.storage import faults
+from repro.storage.diskarray import DiskArrayConfig
+from repro.storage.exerciser import DiskExerciser
+from repro.storage.faults import (
+    FaultPlan,
+    FaultyDisk,
+    FaultyDiskArray,
+    InjectedCrash,
+    TransientIOError,
+)
+from repro.storage.iotrace import IOTrace, OpKind, Target, TraceOp
+from repro.storage.profiles import SEAGATE_SCSI_1994
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    yield
+    faults.uninstall()
+
+
+def make_disk(plan, store_contents=True):
+    return FaultyDisk(
+        SEAGATE_SCSI_1994, store_contents=store_contents, plan=plan
+    )
+
+
+class TestNthOpCrashes:
+    def test_crash_on_nth_write(self):
+        plan = FaultPlan(crash_on_write=3)
+        disk = make_disk(plan)
+        disk.allocate(4)
+        disk.write_blocks(0, [b"a"])
+        disk.write_blocks(1, [b"b"])
+        with pytest.raises(InjectedCrash):
+            disk.write_blocks(2, [b"c"])
+        assert plan.fired == "write #3"
+        assert plan.writes == 3
+
+    def test_crash_on_nth_read(self):
+        plan = FaultPlan(crash_on_read=2)
+        disk = make_disk(plan)
+        disk.allocate(4)
+        disk.write_blocks(0, [b"a", b"b"])
+        disk.read_blocks(0, 1)
+        with pytest.raises(InjectedCrash):
+            disk.read_blocks(1, 1)
+
+    def test_crash_on_nth_alloc_and_free(self):
+        plan = FaultPlan(crash_on_alloc=2)
+        disk = make_disk(plan)
+        disk.allocate(4)
+        with pytest.raises(InjectedCrash):
+            disk.allocate(4)
+
+        plan = FaultPlan(crash_on_free=1)
+        disk = make_disk(plan)
+        start = disk.allocate(4)
+        with pytest.raises(InjectedCrash):
+            disk.free(start, 4)
+
+    def test_no_triggers_behaves_identically(self):
+        plan = FaultPlan()
+        disk = make_disk(plan)
+        start = disk.allocate(8)
+        disk.write_blocks(start, [b"x"] * 8)
+        assert disk.read_blocks(start, 8) == [b"x"] * 8
+        assert (plan.reads, plan.writes, plan.allocs) == (1, 1, 1)
+
+
+class TestTornWrites:
+    def test_torn_write_persists_only_a_prefix(self):
+        payloads = [bytes([i]) for i in range(6)]
+        plan = FaultPlan(seed=5, crash_on_write=2, torn_writes=True)
+        disk = make_disk(plan)
+        disk.allocate(12)
+        disk.write_blocks(0, [b"ok"] * 2)
+        with pytest.raises(InjectedCrash):
+            disk.write_blocks(4, payloads)
+        persisted = [b for b in range(4, 10) if b in disk._blocks]
+        # Whatever reached the platter is a contiguous prefix.
+        assert persisted == list(range(4, 4 + len(persisted)))
+        assert len(persisted) < len(payloads)
+        for i, block in enumerate(persisted):
+            assert disk._blocks[block] == payloads[i]
+
+    def test_untorn_crash_persists_nothing(self):
+        plan = FaultPlan(crash_on_write=1, torn_writes=False)
+        disk = make_disk(plan)
+        disk.allocate(4)
+        with pytest.raises(InjectedCrash):
+            disk.write_blocks(0, [b"a", b"b"])
+        assert 0 not in disk._blocks and 1 not in disk._blocks
+
+    def test_torn_prefix_is_deterministic_per_seed(self):
+        a = [FaultPlan(seed=9, torn_writes=True).torn_prefix(10)
+             for _ in range(1)][0]
+        b = FaultPlan(seed=9, torn_writes=True).torn_prefix(10)
+        assert a == b
+
+
+class TestTransients:
+    def test_transient_failures_are_capped_per_op(self):
+        plan = FaultPlan(transient_rate=1.0, max_transient_per_op=2)
+        disk = make_disk(plan, store_contents=False)
+        # The same op (stable key) fails twice, then succeeds.
+        with pytest.raises(TransientIOError):
+            disk.service(0, 1, False)
+        with pytest.raises(TransientIOError):
+            disk.service(0, 1, False)
+        assert disk.service(0, 1, False) > 0.0
+        assert plan.transients_injected == 2
+
+    def test_exerciser_retries_through_transients(self):
+        plan = FaultPlan(seed=3, transient_rate=0.4)
+        exerciser = DiskExerciser(
+            SEAGATE_SCSI_1994, ndisks=2, fault_plan=plan, max_retries=4
+        )
+        trace = IOTrace()
+        for i in range(40):
+            trace.append(
+                TraceOp(
+                    OpKind.WRITE if i % 2 else OpKind.READ,
+                    Target.LONG_LIST,
+                    disk=i % 2,
+                    start=i * 7,
+                    nblocks=1,
+                )
+            )
+        trace.end_batch()
+        result = exerciser.run(trace)
+        assert result.total_retries == plan.transients_injected > 0
+        # Backoff time is charged to the stream clock.
+        assert result.total_s > 0.0
+
+    def test_exerciser_exhausts_retries(self):
+        # More consecutive failures per op than the retry budget.
+        plan = FaultPlan(transient_rate=1.0, max_transient_per_op=3)
+        exerciser = DiskExerciser(
+            SEAGATE_SCSI_1994, ndisks=1, fault_plan=plan, max_retries=1
+        )
+        trace = IOTrace()
+        trace.append(
+            TraceOp(OpKind.READ, Target.LONG_LIST, disk=0, start=0, nblocks=1)
+        )
+        trace.end_batch()
+        with pytest.raises(TransientIOError):
+            exerciser.run(trace)
+
+
+class TestCrashPoints:
+    def test_registry_is_idempotent_but_strict(self):
+        name = faults.register_crash_point("test.point-x", "a test point")
+        assert name == "test.point-x"
+        try:
+            faults.register_crash_point("test.point-x", "a test point")
+            with pytest.raises(ValueError):
+                faults.register_crash_point("test.point-x", "different")
+        finally:
+            del faults.CRASH_POINTS["test.point-x"]
+
+    def test_unknown_crash_at_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash_at="no.such.point")
+
+    def test_crash_point_noop_without_plan(self):
+        faults.uninstall()
+        faults.crash_point("flush.begin")  # must not raise
+
+    def test_injected_context_manager(self):
+        point = faults.registered_crash_points()[0]
+        with faults.injected(FaultPlan(crash_at=point)) as plan:
+            with pytest.raises(InjectedCrash):
+                faults.crash_point(point)
+            assert plan.fired is not None
+        # Uninstalled on exit.
+        faults.crash_point(point)
+
+    def test_crash_at_hit_counts_arrivals(self):
+        point = faults.registered_crash_points()[0]
+        plan = FaultPlan(crash_at=point, crash_at_hit=3)
+        with faults.injected(plan):
+            faults.crash_point(point)
+            faults.crash_point(point)
+            with pytest.raises(InjectedCrash):
+                faults.crash_point(point)
+        assert plan.point_hits[point] == 3
+
+    def test_transient_rate_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(transient_rate=1.5)
+
+
+class TestFaultyDiskArray:
+    def test_member_disks_share_the_plan(self):
+        plan = FaultPlan(crash_on_alloc=3)
+        array = FaultyDiskArray(
+            DiskArrayConfig(ndisks=2, nblocks_override=1024), plan
+        )
+        assert all(isinstance(d, FaultyDisk) for d in array.disks)
+        array.disks[0].allocate(2)
+        array.disks[1].allocate(2)
+        with pytest.raises(InjectedCrash):
+            array.disks[0].allocate(2)
