@@ -14,17 +14,24 @@ DESIGN.md §4 for the index).  The pattern is:
   reproduction fails the bench.
 
 Set ``REPRO_SCALE`` to shrink or grow the workload (default 1.0 ≈ 1/20 of
-the paper's corpus; see DESIGN.md "Substitutions").
+the paper's corpus; see DESIGN.md "Substitutions").  Set ``REPRO_JOBS`` to
+fan policy sweeps out over worker processes, and ``REPRO_CACHE_DIR`` to
+persist the policy-independent stages across benchmark invocations (both
+picked up automatically by :func:`base_experiment`).
 """
 
 from __future__ import annotations
 
 import functools
-import os
 import pathlib
 
 from repro.core.policy import Limit, Policy, Style
-from repro.pipeline.experiment import Experiment, ExperimentConfig, default_scale
+from repro.pipeline.experiment import (
+    Experiment,
+    ExperimentConfig,
+    default_jobs,
+    default_scale,
+)
 from repro.storage.profiles import SEAGATE_SCSI_1994
 from repro.workload.synthetic import SyntheticNewsConfig
 
@@ -39,10 +46,6 @@ def physical_blocks() -> int:
     on the paper's hardware — at any ``REPRO_SCALE``.
     """
     return max(1024, int(8192 * default_scale()))
-
-
-#: Backwards-compatible alias at the default scale.
-PHYSICAL_BLOCKS = 8192
 
 
 @functools.lru_cache(maxsize=None)

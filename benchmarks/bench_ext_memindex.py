@@ -1,0 +1,126 @@
+"""Micro-benchmark — the InMemoryIndex posting-append fast path.
+
+Profiling the sweep showed :meth:`InMemoryIndex.add_document` allocating a
+throwaway single-element ``DocPostings([doc_id])`` (plus its validation
+loop) for *every posting* just to feed ``extend``.  The fast path appends
+into the existing payload directly (``append_doc`` / ``add_count``) with
+the same ordering checks.  This bench pits the optimized index against the
+legacy per-posting-allocation loop on an identical word stream and asserts
+the contents come out identical and the fast path is not slower.
+"""
+
+import random
+import time
+
+from _common import report
+from repro.core.memindex import InMemoryIndex
+from repro.core.postings import CountPostings, DocPostings
+
+NDOCS = 2_000
+WORDS_PER_DOC = 120
+VOCAB = 20_000
+
+
+def _word_stream():
+    rng = random.Random(1994)
+    return [
+        [rng.randrange(VOCAB) for _ in range(WORDS_PER_DOC)]
+        for _ in range(NDOCS)
+    ]
+
+
+def _fill_fast(docs):
+    index = InMemoryIndex()
+    for doc_id, words in enumerate(docs):
+        index.add_document(doc_id, words)
+    return index
+
+
+def _fill_legacy(docs):
+    """The pre-optimization loop: one payload allocation per posting."""
+    index = InMemoryIndex()
+    lists = index._lists
+    for doc_id, words in enumerate(docs):
+        seen = set()
+        for word in words:
+            if word in seen:
+                continue
+            seen.add(word)
+            payload = lists.get(word)
+            if payload is None:
+                lists[word] = DocPostings([doc_id])
+            else:
+                payload.extend(DocPostings([doc_id]))
+            index._npostings += 1
+        index._ndocs += 1
+    return index
+
+
+def _time(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def test_ext_memindex_append_fast_path(benchmark, capfd):
+    docs = _word_stream()
+    legacy, legacy_s = _time(_fill_legacy, docs)
+    fast, fast_s = benchmark.pedantic(
+        lambda: _time(_fill_fast, docs), rounds=1, iterations=1
+    )
+
+    # The fast path must be a pure optimization: identical index contents.
+    assert fast._lists.keys() == legacy._lists.keys()
+    for word, payload in fast._lists.items():
+        assert payload == legacy._lists[word], word
+    assert (fast.ndocs, fast.npostings) == (legacy.ndocs, legacy.npostings)
+
+    # Same comparison for the evaluation pipeline's count payloads.
+    rng = random.Random(7)
+    pairs = [(rng.randrange(VOCAB), rng.randrange(1, 9)) for _ in range(200_000)]
+    fast_counts, fast_counts_s = _time(
+        lambda: _fill_counts_fast(pairs),
+    )
+    legacy_counts, legacy_counts_s = _time(lambda: _fill_counts_legacy(pairs))
+    assert fast_counts._lists.keys() == legacy_counts._lists.keys()
+    for word, payload in fast_counts._lists.items():
+        assert payload == legacy_counts._lists[word], word
+    assert fast_counts.npostings == legacy_counts.npostings
+
+    report(
+        "ext_memindex",
+        "\n".join(
+            [
+                f"{'path':<28} {'seconds':>9}",
+                f"{'add_document (legacy)':<28} {legacy_s:>9.3f}",
+                f"{'add_document (fast)':<28} {fast_s:>9.3f}",
+                f"{'add_counts (legacy)':<28} {legacy_counts_s:>9.3f}",
+                f"{'add_counts (fast)':<28} {fast_counts_s:>9.3f}",
+                f"doc speedup: {legacy_s / fast_s:.2f}x; "
+                f"count speedup: {legacy_counts_s / fast_counts_s:.2f}x",
+            ]
+        ),
+        capfd,
+    )
+
+    # Not-slower bound with generous noise headroom.
+    assert fast_s <= legacy_s * 1.10, (fast_s, legacy_s)
+
+
+def _fill_counts_fast(pairs):
+    index = InMemoryIndex()
+    index.add_counts(pairs)
+    return index
+
+
+def _fill_counts_legacy(pairs):
+    index = InMemoryIndex()
+    lists = index._lists
+    for word, count in pairs:
+        payload = lists.get(word)
+        if payload is None:
+            lists[word] = CountPostings(count)
+        else:
+            payload.extend(CountPostings(count))
+        index._npostings += count
+    return index

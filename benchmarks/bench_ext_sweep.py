@@ -1,0 +1,103 @@
+"""Extension X-sweep — the parallel policy-sweep engine + artifact cache.
+
+The acceptance claim of the sweep work: a full Table-2 policy sweep at the
+default ``REPRO_SCALE`` runs ≥ 2× faster with ``jobs=4`` and a warm
+artifact cache than the plain serial cold path, while producing *identical*
+results (asserted here per-policy on the metric series).  The speedup has
+two independent sources: the cache skips workload generation +
+ComputeBuckets (the policy-independent ~40% of the cold wall-clock), and
+the pool divides the remaining policy-dependent work across cores.  On a
+single-CPU host the pool degrades to serial — by design — so only the
+cache half of the win is available there; the hard assertion floor scales
+with ``os.cpu_count()`` accordingly (2× needs ≥ 4 usable cores, exactly
+the ``jobs=4`` the acceptance criterion names) and the measured speedup
+plus the CPU topology are always recorded.
+
+The measured comparison is archived as ``benchmarks/results/BENCH_sweep.json``
+(the CI sweep-smoke job uploads it as a workflow artifact).
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from _common import RESULTS_DIR, base_config, default_jobs, report
+from repro.core.policy import figure8_policies
+from repro.pipeline import Experiment, PolicySweep
+from repro.pipeline.artifacts import ArtifactCache
+
+POLICIES = figure8_policies()
+
+
+def _cold_serial():
+    """The pre-sweep baseline: fresh experiment, no cache, one job."""
+    experiment = Experiment(base_config(), cache=None)
+    start = time.perf_counter()
+    sweep = PolicySweep(experiment, POLICIES, jobs=1, exercise=True)
+    rep = sweep.run()
+    return rep, time.perf_counter() - start
+
+
+def _warm_parallel(cache_dir, jobs):
+    experiment = Experiment(base_config(), cache=ArtifactCache(cache_dir))
+    start = time.perf_counter()
+    sweep = PolicySweep(experiment, POLICIES, jobs=jobs, exercise=True)
+    rep = sweep.run()
+    return rep, time.perf_counter() - start
+
+
+def test_ext_sweep_speedup(benchmark, capfd):
+    jobs = max(4, default_jobs())
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # Populate the artifact cache (untimed: the point of a persistent
+        # cache is that this cost is paid once across invocations).
+        Experiment(base_config(), cache=ArtifactCache(cache_dir)).bucket_stage()
+
+        cold_report, cold_s = _cold_serial()
+        warm_report, warm_s = benchmark.pedantic(
+            _warm_parallel, args=(cache_dir, jobs), rounds=1, iterations=1
+        )
+
+    # Identical results: the sweep must not trade correctness for speed.
+    cold_by_name = cold_report.by_name()
+    for row in warm_report.reports:
+        base = cold_by_name[row.name]
+        assert row.run.disks.series.io_ops == base.run.disks.series.io_ops
+        assert row.run.disks.trace.nops == base.run.disks.trace.nops
+        assert row.run.exercise.feasible == base.run.exercise.feasible
+
+    assert warm_report.cache_events.get("buckets") == "hit"
+    speedup = cold_s / warm_s
+    cpus = os.cpu_count() or 1
+
+    doc = warm_report.as_dict()
+    doc["comparison"] = {
+        "serial_cold_seconds": round(cold_s, 6),
+        "warm_seconds": round(warm_s, 6),
+        "jobs": jobs,
+        "cpus": cpus,
+        "speedup": round(speedup, 3),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sweep.json").write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        f"{'path':<22} {'seconds':>9}",
+        f"{'serial, cold cache':<22} {cold_s:>9.3f}",
+        f"{'jobs=' + str(jobs) + ', warm cache':<22} {warm_s:>9.3f}",
+        f"speedup: {speedup:.2f}x "
+        f"(mode: {warm_report.mode}, {cpus} cpu(s))",
+    ]
+    report("BENCH_sweep", "\n".join(lines), capfd)
+
+    # Headline target is >= 2x with four workers actually running in
+    # parallel; with fewer usable cores only the artifact-cache half of the
+    # win exists, so the hard floor drops accordingly.  Each floor keeps
+    # headroom for timer noise on loaded machines.
+    floor = 2.0 if cpus >= 4 else 1.5 if cpus >= 2 else 1.2
+    assert speedup >= floor, (
+        f"sweep speedup {speedup:.2f}x below {floor}x floor ({cpus} cpus)"
+    )

@@ -11,12 +11,26 @@ Five subcommands cover the library's main entry points::
         Load a checkpointed index and run a boolean / phrase / proximity
         query; prints matching doc ids (= ingest order) and the I/O cost.
 
-    repro experiment [--policy SPEC] [--days N] [--scale S] [--exercise]
+    repro experiment [--policy SPEC ...] [--days N] [--scale S] [--exercise]
+                     [--jobs N] [--cache-dir DIR]
                      [--inject-faults] [--fault-rate R] [--fault-seed S]
-        Run the paper's pipeline on the synthetic News workload for one
-        policy and print the evaluation metrics.  ``--inject-faults``
-        exercises the disks with transient I/O faults injected and
-        reports the retry counts.
+        Run the paper's pipeline on the synthetic News workload and print
+        the evaluation metrics.  ``--policy`` may repeat; with several
+        policies and ``--jobs N`` the policy-dependent stages fan out over
+        a process pool.  ``--inject-faults`` exercises the disks with
+        transient I/O faults injected and reports the retry counts (with
+        ``--jobs > 1`` each policy gets a deterministically re-seeded
+        plan — faults are never dropped).
+
+    repro sweep [--policy SPEC ...] [--jobs N] [--exercise] [--days N]
+                [--scale S] [--json PATH] [--cache-dir DIR] [--print-key]
+        Sweep the Table-2 policy space (default: the six Figure-8
+        policies) through the pipeline, optionally in parallel, and print
+        the per-policy metrics.  ``--json`` dumps the machine-readable
+        BENCH_sweep-style report; ``--cache-dir`` (or ``REPRO_CACHE_DIR``)
+        persists the policy-independent stages across invocations;
+        ``--print-key`` prints the config fingerprint (for CI cache keys)
+        and exits.
 
     repro check INDEX.ckpt
         Load a checkpointed index and verify the dual-structure
@@ -139,21 +153,23 @@ def cmd_query(args) -> int:
     return 0
 
 
-def cmd_experiment(args) -> int:
-    fault_plan = None
-    if args.inject_faults:
-        fault_plan = FaultPlan(
-            seed=args.fault_seed, transient_rate=args.fault_rate
-        )
-    config = ExperimentConfig(
-        workload=SyntheticNewsConfig(days=args.days, scale=args.scale),
-        fault_plan=fault_plan,
-    )
-    experiment = Experiment(config)
-    exercise = args.exercise or args.inject_faults
-    run = experiment.run_policy(args.policy, exercise=exercise)
+def _cache_from_args(args):
+    from .pipeline.artifacts import ArtifactCache
+
+    if getattr(args, "cache_dir", None):
+        return ArtifactCache(args.cache_dir)
+    return ArtifactCache.from_env()
+
+
+def _fault_plan_from_args(args) -> FaultPlan | None:
+    if not args.inject_faults:
+        return None
+    return FaultPlan(seed=args.fault_seed, transient_rate=args.fault_rate)
+
+
+def _print_run(policy: Policy, run, fault_plan, args, exercise: bool) -> None:
     disks = run.disks
-    print(f"policy:               {args.policy.name}")
+    print(f"policy:               {policy.name}")
     print(f"updates:              {disks.series.nupdates}")
     print(f"long-list I/O ops:    {disks.series.io_ops[-1]:,}")
     print(f"avg reads per list:   {disks.final_avg_reads:.2f}")
@@ -166,15 +182,89 @@ def cmd_experiment(args) -> int:
     if exercise:
         if run.exercise.feasible:
             print(f"simulated build time: {run.exercise.total_s:.1f} s")
-            if fault_plan is not None:
+            if fault_plan is not None and run.exercise.result is not None:
                 print(
                     "fault injection:      "
-                    f"{fault_plan.transients_injected} transient faults, "
                     f"{run.exercise.result.total_retries} retries "
                     f"(rate {args.fault_rate}, seed {args.fault_seed})"
                 )
         else:
             print(f"exercise: INFEASIBLE ({run.exercise.reason})")
+
+
+def cmd_experiment(args) -> int:
+    fault_plan = _fault_plan_from_args(args)
+    policies = args.policy or [Policy.recommended_new()]
+    config = ExperimentConfig(
+        workload=SyntheticNewsConfig(days=args.days, scale=args.scale),
+        fault_plan=fault_plan,
+    )
+    experiment = Experiment(config, cache=_cache_from_args(args))
+    exercise = args.exercise or args.inject_faults
+    if fault_plan is not None and args.jobs > 1:
+        print(
+            "note: --inject-faults with --jobs > 1 re-seeds one fault plan "
+            "per policy deterministically (identical under any job count)",
+            file=sys.stderr,
+        )
+    runs = experiment.run_policies(policies, exercise=exercise, jobs=args.jobs)
+    for i, policy in enumerate(policies):
+        if i:
+            print()
+        _print_run(policy, runs[policy.name], fault_plan, args, exercise)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from .core.policy import figure8_policies
+    from .pipeline.artifacts import bucket_fingerprint
+    from .pipeline.sweep import PolicySweep
+
+    fault_plan = _fault_plan_from_args(args)
+    policies = args.policy or figure8_policies()
+    config = ExperimentConfig(
+        workload=SyntheticNewsConfig(days=args.days, scale=args.scale),
+        fault_plan=fault_plan,
+    )
+    if args.print_key:
+        print(bucket_fingerprint(config))
+        return 0
+    experiment = Experiment(config, cache=_cache_from_args(args))
+    exercise = args.exercise or args.inject_faults
+    sweep = PolicySweep(
+        experiment, policies, jobs=args.jobs, exercise=exercise
+    )
+    report = sweep.run()
+    header = f"{'policy':<14} {'io ops':>9} {'util':>7} {'reads':>6} {'disks s':>8}"
+    if exercise:
+        header += f" {'exercise':>9}"
+    print(header)
+    for row in report.reports:
+        d = row.as_dict()
+        line = (
+            f"{d['policy']:<14} {d['io_ops']:>9,} "
+            f"{d['utilization']:>7.1%} {d['avg_reads_per_list']:>6.2f} "
+            f"{d['disks_seconds']:>8.3f}"
+        )
+        if exercise:
+            if d.get("feasible"):
+                line += f" {d['build_seconds_simulated']:>8.1f}s"
+            else:
+                line += f" {'INFEAS':>9}"
+        print(line)
+    print(
+        f"mode: {report.mode} (jobs {report.jobs_effective}/"
+        f"{report.jobs_requested}); shared stages "
+        + ", ".join(
+            f"{k} {v:.2f}s" for k, v in sorted(report.shared_seconds.items())
+        )
+        + (f"; cache {report.cache_events}" if report.cache_events else "")
+    )
+    for warning in report.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.json:
+        report.write_json(args.json)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -234,24 +324,73 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--near", type=int, default=None, metavar="K")
     p_query.set_defaults(func=cmd_query)
 
+    def add_fault_args(p):
+        p.add_argument(
+            "--inject-faults",
+            action="store_true",
+            help="inject transient I/O faults into the exerciser "
+            "(implies --exercise)",
+        )
+        p.add_argument("--fault-rate", type=float, default=0.05)
+        p.add_argument("--fault-seed", type=int, default=0)
+
     p_exp = sub.add_parser(
-        "experiment", help="run the evaluation pipeline for one policy"
+        "experiment", help="run the evaluation pipeline for one or more policies"
     )
     p_exp.add_argument(
-        "--policy", type=parse_policy, default=Policy.recommended_new()
+        "--policy",
+        type=parse_policy,
+        action="append",
+        help="may repeat; default: recommended-new",
     )
     p_exp.add_argument("--days", type=int, default=73)
     p_exp.add_argument("--scale", type=float, default=1.0)
     p_exp.add_argument("--exercise", action="store_true")
     p_exp.add_argument(
-        "--inject-faults",
-        action="store_true",
-        help="inject transient I/O faults into the exerciser "
-        "(implies --exercise)",
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan policy-dependent stages out over N worker processes",
     )
-    p_exp.add_argument("--fault-rate", type=float, default=0.05)
-    p_exp.add_argument("--fault-seed", type=int, default=0)
+    p_exp.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist policy-independent artifacts here "
+        "(default: $REPRO_CACHE_DIR if set)",
+    )
+    add_fault_args(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep the Table-2 policy space, optionally in parallel"
+    )
+    p_sweep.add_argument(
+        "--policy",
+        type=parse_policy,
+        action="append",
+        help="may repeat; default: the six Figure-8 policies",
+    )
+    p_sweep.add_argument("--jobs", type=int, default=1)
+    p_sweep.add_argument("--exercise", action="store_true")
+    p_sweep.add_argument("--days", type=int, default=73)
+    p_sweep.add_argument("--scale", type=float, default=1.0)
+    p_sweep.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable sweep report here",
+    )
+    p_sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist policy-independent artifacts here "
+        "(default: $REPRO_CACHE_DIR if set)",
+    )
+    p_sweep.add_argument(
+        "--print-key",
+        action="store_true",
+        help="print the config fingerprint (CI cache key) and exit",
+    )
+    add_fault_args(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_check = sub.add_parser(
         "check", help="verify the invariants of a checkpointed index"

@@ -55,17 +55,24 @@ class InMemoryIndex:
         lexical analysis does (§4.2).  Documents must arrive in increasing
         id order so posting lists stay sorted.
         """
+        lists = self._lists
         seen: set[int] = set()
+        npostings = 0
         for word in words:
             if word in seen:
                 continue
             seen.add(word)
-            payload = self._lists.get(word)
+            payload = lists.get(word)
             if payload is None:
-                self._lists[word] = DocPostings([doc_id])
+                lists[word] = DocPostings((doc_id,))
+            elif type(payload) is DocPostings:
+                # Hot path: append into the existing list instead of
+                # allocating a throwaway single-element payload per posting.
+                payload.append_doc(doc_id)
             else:
                 payload.extend(DocPostings([doc_id]))
-            self._npostings += 1
+            npostings += 1
+        self._npostings += npostings
         self._ndocs += 1
 
     def add_document_occurrences(
@@ -100,17 +107,22 @@ class InMemoryIndex:
 
     def add_counts(self, pairs: Iterable[tuple[int, int]]) -> None:
         """Load a batch of word-occurrence pairs (evaluation mode)."""
+        lists = self._lists
+        npostings = 0
         for word, count in pairs:
             if count <= 0:
                 raise ValueError(
                     f"word {word} has non-positive count {count}"
                 )
-            payload = self._lists.get(word)
+            payload = lists.get(word)
             if payload is None:
-                self._lists[word] = CountPostings(count)
+                lists[word] = CountPostings(count)
+            elif type(payload) is CountPostings:
+                payload.add_count(count)
             else:
                 payload.extend(CountPostings(count))
-            self._npostings += count
+            npostings += count
+        self._npostings += npostings
 
     def get(self, word: int) -> PostingPayload | None:
         """The in-memory list for a word, or None."""

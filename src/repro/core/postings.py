@@ -134,6 +134,16 @@ class CountPostings:
             raise TypeError("cannot mix payload kinds in one index")
         self.count += other.count
 
+    def add_count(self, count: int) -> None:
+        """Fold ``count`` postings in without building a temporary payload.
+
+        Fast path for the batch-loading hot loop; equivalent to
+        ``extend(CountPostings(count))``.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.count += count
+
     def split(self, npostings: int) -> tuple["CountPostings", "CountPostings"]:
         if npostings < 0:
             raise ValueError("split point must be >= 0")
@@ -179,6 +189,23 @@ class DocPostings:
                     f"({other.doc_ids[0]} after {self.doc_ids[-1]})"
                 )
             self.doc_ids.extend(other.doc_ids)
+
+    def append_doc(self, doc_id: int) -> None:
+        """Append one posting without building a temporary payload.
+
+        Fast path for the per-posting indexing hot loop; equivalent to
+        ``extend(DocPostings([doc_id]))`` including the ordering check.
+        """
+        ids = self.doc_ids
+        if ids:
+            if doc_id <= ids[-1]:
+                raise ValueError(
+                    "appended postings must have larger doc ids "
+                    f"({doc_id} after {ids[-1]})"
+                )
+        elif doc_id < 0:
+            raise ValueError("doc ids must be >= 0")
+        ids.append(doc_id)
 
     def split(self, npostings: int) -> tuple["DocPostings", "DocPostings"]:
         if npostings < 0:

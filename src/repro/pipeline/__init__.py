@@ -1,5 +1,6 @@
 """The Figure-3 experiment pipeline: invert → buckets → disks → exercise."""
 
+from .artifacts import ArtifactCache
 from .compute_buckets import (
     BucketStageResult,
     ComputeBucketsProcess,
@@ -11,10 +12,13 @@ from .content import build_content_index
 from .exercise import ExerciseConfig, ExerciseDisksProcess, ExerciseOutcome
 from .experiment import Experiment, ExperimentConfig, PolicyRun, default_scale
 from .invert import InvertIndexProcess
+from .profiling import StageTimings
 from .rebuild import PeriodicRebuildBaseline, RebuildResult
 from .stats import CorpusStats, corpus_stats
+from .sweep import PolicySweep, SweepPolicyReport, SweepReport
 
 __all__ = [
+    "ArtifactCache",
     "BucketStageResult",
     "ComputeBucketsProcess",
     "ComputeDisksProcess",
@@ -31,7 +35,11 @@ __all__ = [
     "LongListUpdate",
     "PeriodicRebuildBaseline",
     "PolicyRun",
+    "PolicySweep",
     "RebuildResult",
+    "StageTimings",
+    "SweepPolicyReport",
+    "SweepReport",
     "build_content_index",
     "corpus_stats",
     "default_scale",

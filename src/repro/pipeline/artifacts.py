@@ -1,0 +1,349 @@
+"""Content-addressed on-disk cache for policy-independent stage artifacts.
+
+The paper's staged pipeline exists so that expensive, policy-independent
+work — generating the News workload and running ComputeBuckets — is done
+*once* and its output replayed against every policy.  The in-process
+:class:`~repro.pipeline.experiment.Experiment` already memoizes those
+stages for one Python process; this module extends the economy across
+processes and invocations, the way the paper's own trace *files* did.
+
+Artifacts are keyed by a stable fingerprint of the producing configuration
+plus a cache-format version, so any config change is a cache miss and a
+format change invalidates everything at once.  Two artifact kinds exist:
+
+* ``updates`` — the generated batch updates, stored in the paper's
+  Figure-5 integer text format plus per-batch document counts;
+* ``buckets`` — the ComputeBuckets output: the long-list trace (Figure-5
+  text), the Figure-7 category tallies, the final bucket contents, and
+  any Figure-1 animation histories.
+
+Artifacts are plain JSON (never pickle), written with atomic renames so
+concurrent workers can share one cache directory without torn files, and
+validated on load — fingerprint, SHA-256 payload checksum, and structural
+invariants — so a corrupted artifact is treated as a miss and regenerated,
+never trusted blindly.
+
+The cache is **off by default**; set ``REPRO_CACHE_DIR`` (or pass an
+:class:`ArtifactCache` explicitly) to enable it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import os
+import pathlib
+import secrets
+from typing import Any, Mapping
+
+from ..core.buckets import BucketManager, BucketSample
+from ..core.postings import CountPostings
+from ..text.batchupdate import BatchUpdate, read_updates, write_updates
+from ..workload.synthetic import SyntheticNewsConfig
+from .compute_buckets import BucketStageResult, LongListTrace
+
+#: Bump when the artifact layout or the meaning of a fingerprinted field
+#: changes; every existing artifact becomes a miss.
+CACHE_FORMAT = 1
+
+ENV_VAR = "REPRO_CACHE_DIR"
+
+
+# -- fingerprints --------------------------------------------------------------
+
+
+def _fingerprint(fields: Mapping[str, Any]) -> str:
+    """SHA-256 over a canonical JSON encoding of ``fields``."""
+    canonical = json.dumps(
+        dict(fields), sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+def updates_fingerprint(workload: SyntheticNewsConfig) -> str:
+    """Cache key of the generated batch updates (workload config only)."""
+    fields = dataclasses.asdict(workload)
+    fields["__format__"] = CACHE_FORMAT
+    fields["__kind__"] = "updates"
+    return _fingerprint(fields)
+
+
+def bucket_fingerprint(config) -> str:
+    """Cache key of the ComputeBuckets output.
+
+    Only the fields that influence the bucket stage participate: the
+    workload plus the bucket geometry and the watch list.  Disk-side
+    parameters (policies, allocator, profile) deliberately do not — the
+    whole point of the staged pipeline is that they cannot change this
+    stage's output.
+    """
+    fields: dict[str, Any] = dataclasses.asdict(config.workload)
+    fields["nbuckets"] = config.nbuckets
+    fields["bucket_size"] = config.bucket_size
+    fields["watch_buckets"] = list(config.watch_buckets)
+    fields["__format__"] = CACHE_FORMAT
+    fields["__kind__"] = "buckets"
+    return _fingerprint(fields)
+
+
+def _payload_sha(payload: Mapping[str, Any]) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+    ).hexdigest()
+
+
+# -- cached bucket stage -------------------------------------------------------
+
+
+class CachedBucketStage:
+    """A :class:`BucketStageResult` reloaded from the artifact cache.
+
+    Duck-typed rather than subclassed: the trace and categories (what the
+    sweep and Figure 7 need) are materialized eagerly; the bucket manager —
+    only consulted by a few extension benches — is rebuilt lazily from the
+    stored bucket contents on first access.
+    """
+
+    def __init__(
+        self,
+        trace: LongListTrace,
+        categories,
+        manager_payload: Mapping[str, Any],
+        animations: dict[int, list[BucketSample]],
+    ) -> None:
+        self.trace = trace
+        self.categories = categories
+        self.animations = animations
+        self.growth_events: list = []
+        self._manager_payload = manager_payload
+        self._manager: BucketManager | None = None
+
+    @property
+    def manager(self) -> BucketManager:
+        if self._manager is None:
+            payload = self._manager_payload
+            manager = BucketManager(
+                int(payload["nbuckets"]), int(payload["bucket_size"])
+            )
+            for bucket_id, lists in payload["buckets"]:
+                bucket = manager.buckets[int(bucket_id)]
+                for word, count in lists:
+                    bucket.lists[int(word)] = CountPostings(int(count))
+                    bucket.npostings += int(count)
+            manager._step = int(payload["step"])
+            for bucket_id, samples in self.animations.items():
+                manager._watched[bucket_id] = samples
+            self._manager = manager
+        return self._manager
+
+    @property
+    def category_fraction_series(self):
+        """(new, bucket, long) fraction series — mirrors the live result."""
+        return BucketStageResult.category_fraction_series.fget(self)  # type: ignore[attr-defined]
+
+
+# -- the cache -----------------------------------------------------------------
+
+
+class ArtifactCache:
+    """A shared, concurrency-safe directory of stage artifacts."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None):
+        """The cache named by ``REPRO_CACHE_DIR``, or None (cache off)."""
+        env = os.environ if environ is None else environ
+        directory = env.get(ENV_VAR, "").strip()
+        return cls(directory) if directory else None
+
+    # -- low-level document I/O -------------------------------------------
+
+    def _path(self, kind: str, fingerprint: str) -> pathlib.Path:
+        return self.root / f"{kind}-{fingerprint}.json"
+
+    def _write_atomic(self, path: pathlib.Path, document: dict) -> None:
+        """Publish a document with write-to-temp + atomic rename.
+
+        Concurrent writers race benignly: every temp file is unique, and
+        ``os.replace`` guarantees readers only ever see a complete file.
+        """
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{secrets.token_hex(4)}.tmp"
+        )
+        try:
+            with open(tmp, "w", encoding="utf-8") as fp:
+                json.dump(document, fp, separators=(",", ":"))
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink(missing_ok=True)
+        self.stores += 1
+
+    def _read_payload(self, kind: str, fingerprint: str) -> dict | None:
+        """Load and verify one artifact; any defect is a miss, not an error."""
+        path = self._path(kind, fingerprint)
+        try:
+            with open(path, encoding="utf-8") as fp:
+                document = json.load(fp)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        try:
+            payload = document["payload"]
+            valid = (
+                document.get("format") == CACHE_FORMAT
+                and document.get("kind") == kind
+                and document.get("fingerprint") == fingerprint
+                and document.get("sha256") == _payload_sha(payload)
+            )
+        except (KeyError, TypeError):
+            valid = False
+        if not valid:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def _store_payload(
+        self, kind: str, fingerprint: str, payload: dict
+    ) -> None:
+        self._write_atomic(
+            self._path(kind, fingerprint),
+            {
+                "format": CACHE_FORMAT,
+                "kind": kind,
+                "fingerprint": fingerprint,
+                "sha256": _payload_sha(payload),
+                "payload": payload,
+            },
+        )
+
+    # -- batch updates -----------------------------------------------------
+
+    def store_updates(
+        self, workload: SyntheticNewsConfig, updates: list[BatchUpdate]
+    ) -> None:
+        buffer = io.StringIO()
+        write_updates(updates, buffer)
+        self._store_payload(
+            "updates",
+            updates_fingerprint(workload),
+            {
+                "text": buffer.getvalue(),
+                "ndocs": [update.ndocs for update in updates],
+            },
+        )
+
+    def load_updates(
+        self, workload: SyntheticNewsConfig
+    ) -> list[BatchUpdate] | None:
+        payload = self._read_payload(
+            "updates", updates_fingerprint(workload)
+        )
+        if payload is None:
+            return None
+        try:
+            parsed = list(read_updates(io.StringIO(payload["text"])))
+            ndocs = payload["ndocs"]
+            if len(parsed) != workload.days or len(ndocs) != len(parsed):
+                raise ValueError("batch count does not match the workload")
+            return [
+                BatchUpdate(day=u.day, pairs=u.pairs, ndocs=int(n))
+                for u, n in zip(parsed, ndocs)
+            ]
+        except (KeyError, TypeError, ValueError):
+            # Structurally corrupt payload: regenerate rather than trust it.
+            self.hits -= 1
+            self.misses += 1
+            return None
+
+    # -- bucket stage ------------------------------------------------------
+
+    def store_bucket_stage(self, config, result: BucketStageResult) -> None:
+        """Persist a ComputeBuckets output (evaluation mode only).
+
+        Results carrying non-count payloads or growth events have no JSON
+        form here and are silently skipped — the in-process memoization
+        still covers them.
+        """
+        if result.growth_events:
+            return
+        manager = result.manager
+        buckets_payload = []
+        for bucket_id, bucket in enumerate(manager.buckets):
+            if not bucket.lists:
+                continue
+            lists = []
+            for word, payload in bucket.lists.items():
+                if not isinstance(payload, CountPostings):
+                    return
+                lists.append([word, payload.count])
+            buckets_payload.append([bucket_id, lists])
+        buffer = io.StringIO()
+        result.trace.write_text(buffer)
+        self._store_payload(
+            "buckets",
+            bucket_fingerprint(config),
+            {
+                "trace": buffer.getvalue(),
+                "categories": [
+                    [c.new, c.bucket, c.long] for c in result.categories
+                ],
+                "manager": {
+                    "nbuckets": manager.nbuckets,
+                    "bucket_size": manager.bucket_size,
+                    "step": manager._step,
+                    "buckets": buckets_payload,
+                },
+                "animations": [
+                    [
+                        bucket_id,
+                        [[s.step, s.nwords, s.npostings] for s in samples],
+                    ]
+                    for bucket_id, samples in sorted(
+                        result.animations.items()
+                    )
+                ],
+            },
+        )
+
+    def load_bucket_stage(self, config) -> CachedBucketStage | None:
+        from ..analysis.metrics import CategoryCounts
+
+        payload = self._read_payload("buckets", bucket_fingerprint(config))
+        if payload is None:
+            return None
+        try:
+            trace = LongListTrace.read_text(io.StringIO(payload["trace"]))
+            categories = [
+                CategoryCounts(new=int(n), bucket=int(b), long=int(lo))
+                for n, b, lo in payload["categories"]
+            ]
+            if trace.nbatches != len(categories) or trace.nbatches != (
+                config.workload.days
+            ):
+                raise ValueError("trace/category batch counts disagree")
+            animations = {
+                int(bucket_id): [
+                    BucketSample(int(step), int(nwords), int(npostings))
+                    for step, nwords, npostings in samples
+                ]
+                for bucket_id, samples in payload["animations"]
+            }
+            return CachedBucketStage(
+                trace, categories, payload["manager"], animations
+            )
+        except (KeyError, TypeError, ValueError):
+            self.hits -= 1
+            self.misses += 1
+            return None

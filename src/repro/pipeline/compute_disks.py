@@ -105,12 +105,16 @@ class ComputeDisksProcess:
             self.flusher.flush(self.config.bucket_flush_blocks, directory)
             self.manager.end_batch()
             self.trace.end_batch()
+            # One fused directory traversal feeds every per-update metric;
+            # sampling the properties individually re-walked all chunks
+            # four times per batch and dominated the stage's profile.
+            totals = directory.totals()
             series.io_ops.append(self.trace.nops)
-            series.utilization.append(directory.utilization(bp))
-            series.avg_reads.append(directory.avg_reads_per_list())
+            series.utilization.append(totals.utilization(bp))
+            series.avg_reads.append(totals.avg_reads_per_list)
             series.in_place.append(self.manager.counters.in_place_updates)
-            series.long_words.append(directory.nwords)
-            series.long_blocks.append(directory.total_blocks)
+            series.long_words.append(totals.nwords)
+            series.long_blocks.append(totals.nblocks)
         return DiskStageResult(
             policy=self.config.policy,
             trace=self.trace,

@@ -19,9 +19,11 @@ from ..storage.faults import FaultPlan
 from ..storage.profiles import SEAGATE_SCSI_1994, DiskProfile
 from ..text.batchupdate import BatchUpdate
 from ..workload.synthetic import SyntheticNews, SyntheticNewsConfig
+from .artifacts import ArtifactCache
 from .compute_buckets import BucketStageResult, ComputeBucketsProcess
 from .compute_disks import ComputeDisksProcess, DiskStageConfig, DiskStageResult
 from .exercise import ExerciseConfig, ExerciseDisksProcess, ExerciseOutcome
+from .profiling import StageTimings, timed
 from .stats import CorpusStats, corpus_stats
 
 
@@ -73,6 +75,9 @@ class PolicyRun:
     policy: Policy
     disks: DiskStageResult
     exercise: ExerciseOutcome | None = None
+    #: Wall-clock seconds of the two policy-dependent stages (profiling).
+    disks_seconds: float = 0.0
+    exercise_seconds: float = 0.0
 
 
 def default_scale() -> float:
@@ -84,11 +89,35 @@ def default_scale() -> float:
     return float(os.environ.get("REPRO_SCALE", "1.0"))
 
 
-class Experiment:
-    """One workload, many policies, with stage-level caching."""
+def default_jobs() -> int:
+    """Worker processes for policy sweeps (``REPRO_JOBS``, default 1).
 
-    def __init__(self, config: ExperimentConfig | None = None) -> None:
+    With the default of 1 every sweep stays on the in-process serial path;
+    setting it makes :meth:`Experiment.run_policies` and the figure/table
+    regenerators fan policy-dependent stages out over a process pool.
+    """
+    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+
+
+class Experiment:
+    """One workload, many policies, with stage-level caching.
+
+    In-process, every stage is memoized.  With an :class:`ArtifactCache`
+    attached (explicitly, or via ``REPRO_CACHE_DIR``) the policy-independent
+    stages are additionally persisted across processes and invocations.
+    Stage wall-clock is recorded on :attr:`timings`; cache hits and misses
+    on :attr:`cache_events`.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        cache: ArtifactCache | None = None,
+    ) -> None:
         self.config = config or ExperimentConfig()
+        self.cache = cache if cache is not None else ArtifactCache.from_env()
+        self.timings = StageTimings()
+        self.cache_events: dict[str, str] = {}
         self._updates: list[BatchUpdate] | None = None
         self._bucket_result: BucketStageResult | None = None
         self._policy_runs: dict[tuple, PolicyRun] = {}
@@ -96,10 +125,24 @@ class Experiment:
     # -- cached stages -------------------------------------------------------
 
     def updates(self) -> list[BatchUpdate]:
-        """The workload's batch updates (generated once)."""
+        """The workload's batch updates (generated once, cached on disk
+        when an artifact cache is attached)."""
         if self._updates is None:
-            news = SyntheticNews(self.config.workload)
-            self._updates = list(news.batches())
+            with self.timings.stage("generate"):
+                updates = None
+                if self.cache is not None:
+                    updates = self.cache.load_updates(self.config.workload)
+                    self.cache_events["updates"] = (
+                        "hit" if updates is not None else "miss"
+                    )
+                if updates is None:
+                    news = SyntheticNews(self.config.workload)
+                    updates = list(news.batches())
+                    if self.cache is not None:
+                        self.cache.store_updates(
+                            self.config.workload, updates
+                        )
+                self._updates = updates
         return self._updates
 
     def stats(self, frequent_fraction: float = 0.002) -> CorpusStats:
@@ -107,14 +150,30 @@ class Experiment:
         return corpus_stats(self.updates(), frequent_fraction)
 
     def bucket_stage(self) -> BucketStageResult:
-        """ComputeBuckets output (run once; shared by all policies)."""
+        """ComputeBuckets output (run once; shared by all policies).
+
+        On an artifact-cache hit the batch updates are not regenerated at
+        all — the trace and bucket stats replay straight from disk, the
+        economy the paper's staged design is built around.
+        """
         if self._bucket_result is None:
-            process = ComputeBucketsProcess(
-                self.config.nbuckets,
-                self.config.bucket_size,
-                watch_buckets=self.config.watch_buckets,
-            )
-            self._bucket_result = process.run(self.updates())
+            with self.timings.stage("buckets"):
+                result = None
+                if self.cache is not None:
+                    result = self.cache.load_bucket_stage(self.config)
+                    self.cache_events["buckets"] = (
+                        "hit" if result is not None else "miss"
+                    )
+                if result is None:
+                    process = ComputeBucketsProcess(
+                        self.config.nbuckets,
+                        self.config.bucket_size,
+                        watch_buckets=self.config.watch_buckets,
+                    )
+                    result = process.run(self.updates())
+                    if self.cache is not None:
+                        self.cache.store_bucket_stage(self.config, result)
+                self._bucket_result = result
         return self._bucket_result
 
     # -- per-policy stages -----------------------------------------------------
@@ -127,40 +186,80 @@ class Experiment:
             return cached
         # Reuse the disk stage from a non-exercised run of the same policy.
         base = self._policy_runs.get((policy, False))
+        disks_seconds = 0.0
         if base is not None:
             disks = base.disks
+            disks_seconds = base.disks_seconds
         else:
-            process = ComputeDisksProcess(
-                DiskStageConfig(
-                    policy=policy,
-                    ndisks=self.config.ndisks,
-                    block_postings=self.config.block_postings,
-                    bucket_flush_blocks=self.config.bucket_flush_blocks,
-                    virtual_blocks=self.config.virtual_blocks,
-                    allocator=self.config.allocator,
-                    profile=self.config.profile,
-                )
-            )
-            disks = process.run(self.bucket_stage().trace)
+            trace = self.bucket_stage().trace
+            with self.timings.stage("disks"), timed() as span:
+                process = ComputeDisksProcess(self.disk_stage_config(policy))
+                disks = process.run(trace)
+            disks_seconds = span[0]
         outcome = None
+        exercise_seconds = 0.0
         if exercise:
-            exerciser = ExerciseDisksProcess(
-                ExerciseConfig(
-                    profile=self.config.profile or SEAGATE_SCSI_1994,
-                    ndisks=self.config.ndisks,
-                    buffer_blocks=self.config.buffer_blocks,
-                    fault_plan=self.config.fault_plan,
-                    max_retries=self.config.io_max_retries,
-                    retry_backoff_s=self.config.io_retry_backoff_s,
-                )
-            )
-            outcome = exerciser.run(disks.trace)
-        run = PolicyRun(policy=policy, disks=disks, exercise=outcome)
+            with self.timings.stage("exercise"), timed() as span:
+                exerciser = ExerciseDisksProcess(self.exercise_config())
+                outcome = exerciser.run(disks.trace)
+            exercise_seconds = span[0]
+        run = PolicyRun(
+            policy=policy,
+            disks=disks,
+            exercise=outcome,
+            disks_seconds=disks_seconds,
+            exercise_seconds=exercise_seconds,
+        )
         self._policy_runs[key] = run
         return run
 
+    # -- stage-config plumbing (shared with the sweep runner) ---------------
+
+    def disk_stage_config(self, policy: Policy) -> DiskStageConfig:
+        """The ComputeDisks parameters this experiment implies for a policy."""
+        return DiskStageConfig(
+            policy=policy,
+            ndisks=self.config.ndisks,
+            block_postings=self.config.block_postings,
+            bucket_flush_blocks=self.config.bucket_flush_blocks,
+            virtual_blocks=self.config.virtual_blocks,
+            allocator=self.config.allocator,
+            profile=self.config.profile,
+        )
+
+    def exercise_config(
+        self, fault_plan: FaultPlan | None = None
+    ) -> ExerciseConfig:
+        """The ExerciseDisks parameters (``fault_plan`` overrides config)."""
+        return ExerciseConfig(
+            profile=self.config.profile or SEAGATE_SCSI_1994,
+            ndisks=self.config.ndisks,
+            buffer_blocks=self.config.buffer_blocks,
+            fault_plan=fault_plan or self.config.fault_plan,
+            max_retries=self.config.io_max_retries,
+            retry_backoff_s=self.config.io_retry_backoff_s,
+        )
+
     def run_policies(
-        self, policies: list[Policy], exercise: bool = False
+        self,
+        policies: list[Policy],
+        exercise: bool = False,
+        jobs: int = 1,
     ) -> dict[str, PolicyRun]:
-        """Run many policies; keyed by :attr:`Policy.name`."""
+        """Run many policies; keyed by :attr:`Policy.name`.
+
+        With ``jobs > 1`` the policy-dependent stages fan out over a
+        process pool via :class:`~repro.pipeline.sweep.PolicySweep`
+        (results are identical to the serial path and land in this
+        experiment's per-policy cache either way).
+        """
+        if jobs > 1:
+            from .sweep import PolicySweep
+
+            PolicySweep(
+                self, policies, jobs=jobs, exercise=exercise
+            ).run()
+            return {
+                p.name: self._policy_runs[(p, exercise)] for p in policies
+            }
         return {p.name: self.run_policy(p, exercise=exercise) for p in policies}

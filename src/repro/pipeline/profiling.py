@@ -1,0 +1,80 @@
+"""Per-stage wall-clock profiling for the experiment pipeline.
+
+The paper's staged design (Figure 3) makes the cost structure of a
+reproduction legible: each stage — generate, invert, buckets, disks,
+exercise — is a separate process whose output can be saved and replayed.
+:class:`StageTimings` gives the repo the measurement half of that story:
+lightweight ``perf_counter`` spans recorded per stage (and per policy for
+the policy-dependent stages), merged across workers by the sweep runner,
+and dumped as machine-readable JSON (``BENCH_sweep.json``) so the perf
+trajectory of the codebase accumulates run over run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class StageTimings:
+    """Accumulated wall-clock seconds per named stage.
+
+    A stage may be entered more than once (e.g. ``disks`` across many
+    policies); seconds accumulate and ``counts`` records the spans.
+    """
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Fold one measured span into a stage's total."""
+        if seconds < 0:
+            raise ValueError(f"negative span for stage {stage!r}")
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
+        self.counts[stage] = self.counts.get(stage, 0) + 1
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block and record it under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def get(self, stage: str) -> float:
+        """Total seconds recorded for a stage (0.0 if never entered)."""
+        return self.seconds.get(stage, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def merge(self, other: "StageTimings") -> None:
+        """Fold another timings object in (sweep workers → parent)."""
+        for stage, seconds in other.seconds.items():
+            self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
+            self.counts[stage] = self.counts.get(stage, 0) + other.counts.get(
+                stage, 1
+            )
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready ``{stage: seconds}`` map, rounded for stable diffs."""
+        return {
+            stage: round(seconds, 6)
+            for stage, seconds in sorted(self.seconds.items())
+        }
+
+
+@contextmanager
+def timed() -> Iterator[list[float]]:
+    """Time a block; yields a one-slot list filled with elapsed seconds."""
+    out = [0.0]
+    start = time.perf_counter()
+    try:
+        yield out
+    finally:
+        out[0] = time.perf_counter() - start

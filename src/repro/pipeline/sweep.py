@@ -1,0 +1,381 @@
+"""Parallel policy-sweep engine over the Table-2 policy space.
+
+Every figure and table of the paper's evaluation is a sweep: one workload,
+one long-list trace, many policies.  The trace is policy-*independent*
+(the staged Figure-3 pipeline computes it once), so the policy-dependent
+stages — ComputeDisks replay and ExerciseDisks — are embarrassingly
+parallel.  :class:`PolicySweep` fans them out over a
+``ProcessPoolExecutor``:
+
+* results come back in deterministic input-policy order and are byte-for-
+  byte identical to the serial path (asserted in tests);
+* ``jobs=1``, a single-CPU host, or an unavailable pool degrade gracefully
+  to an in-process serial loop over the very same per-policy function;
+* per-policy, per-stage wall-clock and trace-size metrics are recorded and
+  dumped as machine-readable JSON (:meth:`SweepReport.write_json`);
+* fault injection composes: a configured
+  :class:`~repro.storage.faults.FaultPlan` is re-derived per policy with a
+  deterministic seed (identical under any job count) and installed in the
+  executing process, so named crash points and transient faults keep
+  working under the pooled runner — they are never silently dropped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..core.policy import Policy
+from ..storage import faults
+from ..storage.faults import FaultPlan
+from .compute_buckets import LongListTrace
+from .compute_disks import ComputeDisksProcess, DiskStageConfig
+from .exercise import ExerciseConfig, ExerciseDisksProcess
+from .experiment import Experiment, PolicyRun
+from .profiling import StageTimings, timed
+
+
+def derive_fault_plan(base: FaultPlan | None, index: int) -> FaultPlan | None:
+    """A fresh, deterministically re-seeded plan for policy ``index``.
+
+    A :class:`FaultPlan` is stateful (trigger counters, RNG); sharing one
+    instance across a sweep would make each policy's faults depend on the
+    order the previous policies ran in — and make parallel results diverge
+    from serial ones.  Instead every policy gets its own plan with a seed
+    derived from ``(base.seed, index)``, identical under any job count.
+    """
+    if base is None:
+        return None
+    return FaultPlan(
+        seed=(base.seed * 0x9E3779B1 + index + 1) & 0x7FFFFFFF,
+        crash_at=base.crash_at,
+        crash_at_hit=base.crash_at_hit,
+        crash_on_read=base.crash_on_read,
+        crash_on_write=base.crash_on_write,
+        crash_on_alloc=base.crash_on_alloc,
+        crash_on_free=base.crash_on_free,
+        torn_writes=base.torn_writes,
+        transient_rate=base.transient_rate,
+        max_transient_per_op=base.max_transient_per_op,
+    )
+
+
+# -- per-policy work unit ------------------------------------------------------
+#
+# The same function body serves both execution modes: the serial loop calls
+# it directly; pool workers receive the shared trace once via the pool
+# initializer and call it per submitted policy.
+
+_WORKER_TRACE: LongListTrace | None = None
+
+
+def _pool_init(trace: LongListTrace) -> None:
+    global _WORKER_TRACE
+    _WORKER_TRACE = trace
+
+
+def _run_one_policy(
+    trace: LongListTrace,
+    disk_config: DiskStageConfig,
+    exercise_config: ExerciseConfig | None,
+    fault_plan: FaultPlan | None,
+) -> PolicyRun:
+    """ComputeDisks replay (+ optional ExerciseDisks) for one policy."""
+    with faults.injected(fault_plan) if fault_plan is not None else (
+        _null_context()
+    ):
+        with timed() as disks_span:
+            disks = ComputeDisksProcess(disk_config).run(trace)
+        outcome = None
+        exercise_seconds = 0.0
+        if exercise_config is not None:
+            with timed() as exercise_span:
+                outcome = ExerciseDisksProcess(exercise_config).run(
+                    disks.trace
+                )
+            exercise_seconds = exercise_span[0]
+    return PolicyRun(
+        policy=disk_config.policy,
+        disks=disks,
+        exercise=outcome,
+        disks_seconds=disks_span[0],
+        exercise_seconds=exercise_seconds,
+    )
+
+
+class _null_context:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return None
+
+
+def _pool_task(
+    index: int,
+    disk_config: DiskStageConfig,
+    exercise_config: ExerciseConfig | None,
+    fault_plan: FaultPlan | None,
+) -> tuple[int, PolicyRun]:
+    assert _WORKER_TRACE is not None, "pool initializer did not run"
+    return index, _run_one_policy(
+        _WORKER_TRACE, disk_config, exercise_config, fault_plan
+    )
+
+
+# -- sweep results -------------------------------------------------------------
+
+
+@dataclass
+class SweepPolicyReport:
+    """One policy's outcome plus its profiling metrics."""
+
+    policy: Policy
+    run: PolicyRun
+
+    @property
+    def name(self) -> str:
+        return self.policy.name
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (the per-policy rows of BENCH_sweep.json)."""
+        disks = self.run.disks
+        totals = disks.manager.directory.totals()
+        row = {
+            "policy": self.name,
+            "disks_seconds": round(self.run.disks_seconds, 6),
+            "exercise_seconds": round(self.run.exercise_seconds, 6),
+            "trace_ops": disks.trace.nops,
+            "trace_blocks": disks.trace.count_blocks(),
+            "io_ops": disks.series.io_ops[-1] if disks.series.io_ops else 0,
+            "utilization": round(totals.utilization(disks.manager.block_postings), 6),
+            "avg_reads_per_list": round(totals.avg_reads_per_list, 6),
+            "in_place_updates": disks.counters.in_place_updates,
+        }
+        if self.run.exercise is not None:
+            row["feasible"] = self.run.exercise.feasible
+            if self.run.exercise.feasible:
+                row["build_seconds_simulated"] = round(
+                    self.run.exercise.total_s, 6
+                )
+            else:
+                row["infeasible_reason"] = self.run.exercise.reason
+        return row
+
+
+@dataclass
+class SweepReport:
+    """Everything one :class:`PolicySweep` run produced."""
+
+    reports: list[SweepPolicyReport]
+    jobs_requested: int
+    jobs_effective: int
+    mode: str  # "serial" | "process-pool"
+    shared_seconds: dict[str, float]
+    cache_events: dict[str, str]
+    total_seconds: float
+    warnings: list[str] = field(default_factory=list)
+    scale: float = 1.0
+    days: int = 0
+
+    def by_name(self) -> dict[str, SweepPolicyReport]:
+        return {r.name: r for r in self.reports}
+
+    @property
+    def policy_seconds(self) -> float:
+        return sum(
+            r.run.disks_seconds + r.run.exercise_seconds for r in self.reports
+        )
+
+    def as_dict(self) -> dict:
+        """The BENCH_sweep.json document."""
+        return {
+            "schema": "repro-sweep/1",
+            "workload": {"days": self.days, "scale": self.scale},
+            "jobs": {
+                "requested": self.jobs_requested,
+                "effective": self.jobs_effective,
+                "mode": self.mode,
+            },
+            "cache_events": dict(self.cache_events),
+            "stages": {
+                stage: round(seconds, 6)
+                for stage, seconds in sorted(self.shared_seconds.items())
+            },
+            "policies": [r.as_dict() for r in self.reports],
+            "policy_seconds": round(self.policy_seconds, 6),
+            "total_seconds": round(self.total_seconds, 6),
+            "warnings": list(self.warnings),
+        }
+
+    def write_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fp:
+            json.dump(self.as_dict(), fp, indent=2, sort_keys=False)
+            fp.write("\n")
+
+
+# -- the sweep runner ----------------------------------------------------------
+
+
+class PolicySweep:
+    """Fan the policy-dependent stages out over a process pool.
+
+    ``jobs`` is the requested fan-out; the effective worker count is
+    clamped to the policy count and (by default) the machine's CPU count —
+    on a single-CPU host a pool only adds overhead, so the sweep degrades
+    to the serial loop.  Pass ``clamp_to_cpus=False`` to force a real pool
+    regardless (the equivalence tests do, so the pooled path is exercised
+    everywhere).
+    """
+
+    def __init__(
+        self,
+        experiment: Experiment,
+        policies: list[Policy],
+        jobs: int = 1,
+        exercise: bool = False,
+        exercise_config: ExerciseConfig | None = None,
+        clamp_to_cpus: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if len(set(policies)) != len(policies):
+            raise ValueError("duplicate policies in sweep")
+        self.experiment = experiment
+        self.policies = list(policies)
+        self.jobs = jobs
+        self.exercise = exercise
+        self.exercise_config = exercise_config
+        self.clamp_to_cpus = clamp_to_cpus
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _effective_jobs(self) -> tuple[int, list[str]]:
+        warnings: list[str] = []
+        jobs = min(self.jobs, len(self.policies))
+        if self.clamp_to_cpus:
+            cpus = os.cpu_count() or 1
+            if jobs > cpus:
+                warnings.append(
+                    f"requested jobs={self.jobs} clamped to {cpus} CPU(s)"
+                )
+                jobs = cpus
+        return max(1, jobs), warnings
+
+    def _exercise_config_for(self, plan: FaultPlan | None):
+        if not self.exercise:
+            return None
+        if self.exercise_config is not None:
+            if plan is not None:
+                return dataclasses.replace(
+                    self.exercise_config, fault_plan=plan
+                )
+            return self.exercise_config
+        return self.experiment.exercise_config(fault_plan=plan)
+
+    def _tasks(self):
+        base_plan = self.experiment.config.fault_plan
+        for index, policy in enumerate(self.policies):
+            plan = derive_fault_plan(base_plan, index)
+            yield (
+                index,
+                self.experiment.disk_stage_config(policy),
+                self._exercise_config_for(plan),
+                plan,
+            )
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> SweepReport:
+        """Run the sweep; results arrive in input-policy order."""
+        experiment = self.experiment
+        with timed() as total_span:
+            # Policy-independent stages run (or load from the artifact
+            # cache) in the parent, exactly once — the paper's economy.
+            trace = experiment.bucket_stage().trace
+            jobs, warnings = self._effective_jobs()
+            runs: list[PolicyRun | None] = [None] * len(self.policies)
+            mode = "serial"
+            if jobs > 1:
+                try:
+                    mode = "process-pool"
+                    self._run_pool(trace, jobs, runs)
+                except (OSError, ImportError) as exc:
+                    warnings.append(
+                        f"process pool unavailable ({exc}); ran serially"
+                    )
+                    mode = "serial"
+                    runs = [None] * len(self.policies)
+            if mode == "serial":
+                for task in self._tasks():
+                    index, disk_config, exercise_config, plan = task
+                    runs[index] = _run_one_policy(
+                        trace, disk_config, exercise_config, plan
+                    )
+            reports = []
+            for policy, run in zip(self.policies, runs):
+                assert run is not None
+                self._adopt(policy, run)
+                reports.append(SweepPolicyReport(policy=policy, run=run))
+        return SweepReport(
+            reports=reports,
+            jobs_requested=self.jobs,
+            jobs_effective=jobs,
+            mode=mode,
+            shared_seconds=dict(experiment.timings.seconds),
+            cache_events=dict(experiment.cache_events),
+            total_seconds=total_span[0],
+            warnings=warnings,
+            scale=experiment.config.workload.scale,
+            days=experiment.config.workload.days,
+        )
+
+    def _run_pool(
+        self, trace: LongListTrace, jobs: int, runs: list
+    ) -> None:
+        # Prefer fork where available: workers inherit the parent's
+        # imports, and the shared trace ships once per worker via the
+        # initializer instead of once per task.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = multiprocessing.get_context()
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=context,
+            initializer=_pool_init,
+            initargs=(trace,),
+        ) as pool:
+            futures = [
+                pool.submit(_pool_task, index, disk_config, exercise_config, plan)
+                for index, disk_config, exercise_config, plan in self._tasks()
+            ]
+            for future in futures:
+                index, run = future.result()
+                runs[index] = run
+
+    def _adopt(self, policy: Policy, run: PolicyRun) -> None:
+        """Land a finished run in the experiment's per-policy cache."""
+        experiment = self.experiment
+        experiment.timings.add("disks", run.disks_seconds)
+        if self.exercise:
+            experiment.timings.add("exercise", run.exercise_seconds)
+        # Only standard-config exercise outcomes are interchangeable with
+        # Experiment.run_policy's; sweeps over a custom exercise config
+        # keep their results to themselves.
+        if self.exercise_config is None:
+            experiment._policy_runs.setdefault((policy, self.exercise), run)
+            if self.exercise:
+                experiment._policy_runs.setdefault(
+                    (policy, False),
+                    PolicyRun(
+                        policy=policy,
+                        disks=run.disks,
+                        exercise=None,
+                        disks_seconds=run.disks_seconds,
+                    ),
+                )

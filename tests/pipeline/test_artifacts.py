@@ -1,0 +1,215 @@
+"""Artifact-cache behaviour: keys, round trips, corruption, concurrency."""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import threading
+
+import pytest
+
+from repro.pipeline import Experiment
+from repro.pipeline.artifacts import (
+    ArtifactCache,
+    bucket_fingerprint,
+    updates_fingerprint,
+)
+from repro.workload.synthetic import SyntheticNews, SyntheticNewsConfig
+
+from ..conftest import small_experiment_config
+
+WORKLOAD = SyntheticNewsConfig(days=4, docs_per_day=40)
+
+
+def tiny_config(**overrides):
+    return small_experiment_config(
+        workload=overrides.pop("workload", WORKLOAD), **overrides
+    )
+
+
+def tiny_updates():
+    return list(SyntheticNews(WORKLOAD).batches())
+
+
+# -- fingerprints --------------------------------------------------------------
+
+
+def test_fingerprints_are_stable():
+    assert updates_fingerprint(WORKLOAD) == updates_fingerprint(
+        SyntheticNewsConfig(days=4, docs_per_day=40)
+    )
+    assert bucket_fingerprint(tiny_config()) == bucket_fingerprint(
+        tiny_config()
+    )
+
+
+def test_workload_change_changes_updates_fingerprint():
+    changed = dataclasses.replace(WORKLOAD, seed=WORKLOAD.seed + 1)
+    assert updates_fingerprint(WORKLOAD) != updates_fingerprint(changed)
+
+
+def test_bucket_fingerprint_tracks_bucket_geometry_only():
+    base = tiny_config()
+    # Disk-side parameters cannot change the bucket stage's output, so
+    # they must not participate in its key (the staged-pipeline economy).
+    assert bucket_fingerprint(base) == bucket_fingerprint(
+        tiny_config(ndisks=8, allocator="best-fit")
+    )
+    assert bucket_fingerprint(base) != bucket_fingerprint(
+        tiny_config(bucket_size=base.bucket_size * 2)
+    )
+    assert bucket_fingerprint(base) != bucket_fingerprint(
+        tiny_config(workload=dataclasses.replace(WORKLOAD, days=5))
+    )
+
+
+def test_updates_and_bucket_keys_never_collide():
+    assert updates_fingerprint(WORKLOAD) != bucket_fingerprint(tiny_config())
+
+
+# -- round trips ---------------------------------------------------------------
+
+
+def test_updates_round_trip(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    updates = tiny_updates()
+    cache.store_updates(WORKLOAD, updates)
+    loaded = cache.load_updates(WORKLOAD)
+    assert loaded is not None
+    assert [u.day for u in loaded] == [u.day for u in updates]
+    assert [u.pairs for u in loaded] == [u.pairs for u in updates]
+    assert [u.ndocs for u in loaded] == [u.ndocs for u in updates]
+
+
+def test_bucket_stage_round_trip(tmp_path):
+    config = tiny_config(watch_buckets=(0, 1))
+    fresh = Experiment(config, cache=ArtifactCache(tmp_path)).bucket_stage()
+    cached = Experiment(config, cache=ArtifactCache(tmp_path)).bucket_stage()
+
+    def trace_text(trace):
+        buffer = io.StringIO()
+        trace.write_text(buffer)
+        return buffer.getvalue()
+
+    assert trace_text(cached.trace) == trace_text(fresh.trace)
+    assert cached.categories == fresh.categories
+    assert cached.category_fraction_series == fresh.category_fraction_series
+    assert cached.animations == fresh.animations
+    # The lazily rebuilt manager holds the same index state.
+    assert sorted(cached.manager.words()) == sorted(fresh.manager.words())
+    for word in fresh.manager.words():
+        assert len(cached.manager.get(word)) == len(fresh.manager.get(word))
+    assert cached.manager.total_postings == fresh.manager.total_postings
+    assert cached.manager.occupancy() == fresh.manager.occupancy()
+
+
+def test_cache_miss_on_config_change(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    Experiment(tiny_config(), cache=cache).bucket_stage()
+    changed = tiny_config(nbuckets=32)
+    assert cache.load_bucket_stage(changed) is None
+
+
+def test_experiment_records_miss_then_hit(tmp_path):
+    first = Experiment(tiny_config(), cache=ArtifactCache(tmp_path))
+    first.bucket_stage()
+    assert first.cache_events == {"updates": "miss", "buckets": "miss"}
+    second = Experiment(tiny_config(), cache=ArtifactCache(tmp_path))
+    second.bucket_stage()
+    # A bucket-stage hit replays the trace without touching generation.
+    assert second.cache_events == {"buckets": "hit"}
+    assert second.timings.get("generate") == 0.0
+
+
+# -- validation: corrupt artifacts are misses, never errors --------------------
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    ["truncate", "not-json", "bad-sha", "bad-format", "bad-kind"],
+)
+def test_corrupted_artifact_is_a_miss(tmp_path, corruption):
+    cache = ArtifactCache(tmp_path)
+    cache.store_updates(WORKLOAD, tiny_updates())
+    [path] = tmp_path.glob("updates-*.json")
+    document = json.loads(path.read_text())
+    if corruption == "truncate":
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    elif corruption == "not-json":
+        path.write_text("{nope")
+    elif corruption == "bad-sha":
+        document["payload"]["ndocs"][0] += 1
+        path.write_text(json.dumps(document))
+    elif corruption == "bad-format":
+        document["format"] = -1
+        path.write_text(json.dumps(document))
+    elif corruption == "bad-kind":
+        document["kind"] = "buckets"
+        path.write_text(json.dumps(document))
+    assert cache.load_updates(WORKLOAD) is None
+
+
+def test_corrupted_artifact_regenerates_through_experiment(tmp_path):
+    config = tiny_config()
+    Experiment(config, cache=ArtifactCache(tmp_path)).bucket_stage()
+    for path in tmp_path.glob("*.json"):
+        path.write_text("garbage")
+    experiment = Experiment(config, cache=ArtifactCache(tmp_path))
+    reference = Experiment(config, cache=None)
+    assert experiment.cache_events == {}
+    result = experiment.bucket_stage()
+    assert experiment.cache_events == {"updates": "miss", "buckets": "miss"}
+    assert result.trace.nbatches == reference.bucket_stage().trace.nbatches
+    # And the regenerated artifacts are valid again.
+    rebuilt = Experiment(config, cache=ArtifactCache(tmp_path))
+    rebuilt.bucket_stage()
+    assert rebuilt.cache_events == {"buckets": "hit"}
+
+
+# -- concurrency ---------------------------------------------------------------
+
+
+def test_concurrent_writers_leave_no_torn_artifacts(tmp_path):
+    updates = tiny_updates()
+    errors = []
+
+    def writer():
+        try:
+            cache = ArtifactCache(tmp_path)
+            for _ in range(5):
+                cache.store_updates(WORKLOAD, updates)
+                loaded = cache.load_updates(WORKLOAD)
+                # A reader may race a writer, but must never see a torn
+                # file: either a full valid artifact or (never) a miss.
+                assert loaded is not None
+                assert [u.pairs for u in loaded] == [u.pairs for u in updates]
+        except BaseException as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    # No temp files left behind; exactly one artifact.
+    assert len(list(tmp_path.iterdir())) == 1
+
+
+# -- environment knob ----------------------------------------------------------
+
+
+def test_from_env_off_by_default():
+    assert ArtifactCache.from_env({}) is None
+    assert ArtifactCache.from_env({"REPRO_CACHE_DIR": ""}) is None
+
+
+def test_from_env_enables_cache(tmp_path):
+    cache = ArtifactCache.from_env({"REPRO_CACHE_DIR": str(tmp_path)})
+    assert cache is not None
+    assert cache.root == tmp_path
+
+
+def test_experiment_defaults_to_no_cache():
+    assert Experiment(tiny_config()).cache is None

@@ -1,0 +1,221 @@
+"""PolicySweep: parallel/serial equivalence, determinism, fault plumbing."""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+
+from repro.core.policy import Limit, Policy, Style, figure8_policies
+from repro.pipeline import Experiment, PolicySweep
+from repro.pipeline.sweep import derive_fault_plan
+from repro.storage.faults import FaultPlan, InjectedCrash, registered_crash_points
+from repro.workload.synthetic import SyntheticNewsConfig
+
+from ..conftest import small_experiment_config
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def sweep_config(**overrides):
+    workload = overrides.pop(
+        "workload", SyntheticNewsConfig(days=8, docs_per_day=60)
+    )
+    return small_experiment_config(workload=workload, **overrides)
+
+
+def trace_text(trace) -> str:
+    buffer = io.StringIO()
+    trace.write_text(buffer)
+    return buffer.getvalue()
+
+
+def run_sweep(jobs: int, exercise: bool = True, **config_overrides):
+    experiment = Experiment(sweep_config(**config_overrides))
+    # clamp_to_cpus=False forces a real process pool even on one-CPU CI
+    # runners, so the pooled code path is what these tests exercise.
+    sweep = PolicySweep(
+        experiment,
+        figure8_policies(),
+        jobs=jobs,
+        exercise=exercise,
+        clamp_to_cpus=False,
+    )
+    return experiment, sweep.run()
+
+
+class TestParallelEquivalence:
+    """jobs=4 must be indistinguishable from serial over full Table 2."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_sweep(jobs=1)
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return run_sweep(jobs=4)
+
+    def test_pool_actually_ran(self, parallel):
+        _, report = parallel
+        assert report.mode == "process-pool"
+        assert report.jobs_effective == 4
+
+    def test_policy_order_is_input_order(self, serial, parallel):
+        names = [p.name for p in figure8_policies()]
+        assert [r.name for r in serial[1].reports] == names
+        assert [r.name for r in parallel[1].reports] == names
+
+    def test_traces_byte_identical(self, serial, parallel):
+        for a, b in zip(serial[1].reports, parallel[1].reports):
+            assert trace_text(a.run.disks.trace) == trace_text(
+                b.run.disks.trace
+            ), a.name
+
+    def test_metric_series_identical(self, serial, parallel):
+        for a, b in zip(serial[1].reports, parallel[1].reports):
+            assert a.run.disks.series.io_ops == b.run.disks.series.io_ops
+            assert (
+                a.run.disks.series.utilization
+                == b.run.disks.series.utilization
+            )
+            assert a.run.disks.series.avg_reads == b.run.disks.series.avg_reads
+
+    def test_read_op_counts_identical(self, serial, parallel):
+        for a, b in zip(serial[1].reports, parallel[1].reports):
+            assert a.run.disks.counters.reads == b.run.disks.counters.reads
+            assert a.run.disks.counters.writes == b.run.disks.counters.writes
+
+    def test_exercise_outcomes_identical(self, serial, parallel):
+        for a, b in zip(serial[1].reports, parallel[1].reports):
+            assert a.run.exercise.feasible == b.run.exercise.feasible
+            if a.run.exercise.feasible:
+                assert a.run.exercise.total_s == b.run.exercise.total_s
+
+    def test_sweep_populates_experiment_cache(self, parallel):
+        experiment, report = parallel
+        for policy, row in zip(figure8_policies(), report.reports):
+            cached = experiment.run_policy(policy, exercise=True)
+            assert cached is row.run
+            # The disks stage is shared with the non-exercised key too.
+            assert (
+                experiment.run_policy(policy, exercise=False).disks
+                is row.run.disks
+            )
+
+
+class TestDegradation:
+    def test_jobs_one_stays_serial(self):
+        _, report = run_sweep(jobs=1)
+        assert report.mode == "serial"
+        assert report.jobs_effective == 1
+
+    def test_default_clamps_to_cpu_count(self):
+        experiment = Experiment(sweep_config())
+        sweep = PolicySweep(experiment, figure8_policies(), jobs=64)
+        report = sweep.run()
+        assert report.jobs_effective <= (os.cpu_count() or 1)
+        if report.jobs_effective == 1:
+            assert report.mode == "serial"
+            assert any("clamped" in w for w in report.warnings)
+
+    def test_jobs_must_be_positive(self):
+        experiment = Experiment(sweep_config())
+        with pytest.raises(ValueError):
+            PolicySweep(experiment, figure8_policies(), jobs=0)
+
+    def test_duplicate_policies_rejected(self):
+        experiment = Experiment(sweep_config())
+        policy = Policy(style=Style.NEW, limit=Limit.Z)
+        with pytest.raises(ValueError):
+            PolicySweep(experiment, [policy, policy])
+
+
+class TestReport:
+    def test_json_document_shape(self, tmp_path):
+        _, report = run_sweep(jobs=1)
+        path = tmp_path / "BENCH_sweep.json"
+        report.write_json(path)
+        import json
+
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro-sweep/1"
+        assert doc["jobs"] == {"requested": 1, "effective": 1, "mode": "serial"}
+        assert set(doc["stages"]) >= {"generate", "buckets", "disks"}
+        assert len(doc["policies"]) == len(figure8_policies())
+        for row in doc["policies"]:
+            assert row["trace_ops"] > 0
+            assert row["disks_seconds"] >= 0
+            assert "feasible" in row
+        assert doc["total_seconds"] > 0
+
+    def test_per_policy_timings_recorded(self):
+        _, report = run_sweep(jobs=1)
+        for row in report.reports:
+            assert row.run.disks_seconds > 0
+            assert row.run.exercise_seconds > 0
+
+
+class TestFaultPlumbing:
+    def test_derived_plans_deterministic_and_distinct(self):
+        base = FaultPlan(seed=11, transient_rate=0.02)
+        first = [derive_fault_plan(base, i) for i in range(6)]
+        second = [derive_fault_plan(base, i) for i in range(6)]
+        assert [p.seed for p in first] == [p.seed for p in second]
+        assert len({p.seed for p in first}) == 6
+        for plan in first:
+            assert plan.transient_rate == base.transient_rate
+        assert derive_fault_plan(None, 3) is None
+
+    def test_fault_injection_identical_under_any_job_count(self):
+        plan = FaultPlan(seed=3, transient_rate=0.05)
+        _, serial = run_sweep(jobs=1, fault_plan=plan)
+        _, pooled = run_sweep(jobs=3, fault_plan=plan)
+        for a, b in zip(serial.reports, pooled.reports):
+            assert a.run.exercise.feasible == b.run.exercise.feasible
+            if a.run.exercise.feasible:
+                # Retry counts and simulated time include the injected
+                # faults, so equality means the same faults fired.
+                assert a.run.exercise.total_s == b.run.exercise.total_s
+                assert (
+                    a.run.exercise.result.total_retries
+                    == b.run.exercise.result.total_retries
+                )
+
+    def test_crash_points_fire_under_the_pool(self):
+        # A crash plan must stop the sweep, not be silently dropped by
+        # worker processes.
+        point = next(
+            p for p in registered_crash_points() if "inplace" in p
+        )
+        plan = FaultPlan(seed=0, crash_at=point)
+        for jobs in (1, 2):
+            experiment = Experiment(sweep_config(fault_plan=plan))
+            sweep = PolicySweep(
+                experiment,
+                figure8_policies(),
+                jobs=jobs,
+                exercise=True,
+                clamp_to_cpus=False,
+            )
+            with pytest.raises(InjectedCrash):
+                sweep.run()
+
+
+class TestRunPoliciesIntegration:
+    def test_run_policies_jobs_matches_serial(self):
+        policies = figure8_policies()
+        serial = Experiment(sweep_config()).run_policies(policies)
+        experiment = Experiment(sweep_config())
+        # Route through the sweep without CPU clamping so the pool is
+        # genuinely used even on one-CPU machines.
+        PolicySweep(
+            experiment, policies, jobs=2, clamp_to_cpus=False
+        ).run()
+        pooled = {
+            p.name: experiment.run_policy(p) for p in policies
+        }
+        for name, run in serial.items():
+            assert (
+                run.disks.series.io_ops == pooled[name].disks.series.io_ops
+            )
