@@ -32,6 +32,17 @@ Five subcommands cover the library's main entry points::
         ``--print-key`` prints the config fingerprint (for CI cache keys)
         and exits.
 
+    repro serve-bench [--readers N] [--cycles N] [--docs-per-batch N]
+                      [--json PATH] [--no-verify]
+                      [--inject-faults] [--fault-rate R] [--fault-seed S]
+        Run the snapshot-isolated serving benchmark: N reader threads
+        issue a mixed boolean/streamed/vector query load against published
+        snapshots while the writer flushes batch updates; prints
+        throughput, p50/p95/p99 latency, and cache statistics, and writes
+        the machine-readable BENCH_serving report with ``--json``.
+        ``--inject-faults`` crashes the writer mid-flush on a rotating
+        schedule of crash points (plus transient disk faults) and recovers.
+
     repro check INDEX.ckpt
         Load a checkpointed index and verify the dual-structure
         invariants (exit status 1 on violation).
@@ -268,6 +279,59 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    from .service import LoadConfig, LoadGenerator
+
+    config = LoadConfig(
+        readers=args.readers,
+        flush_cycles=args.cycles,
+        docs_per_batch=args.docs_per_batch,
+        vocabulary=args.vocabulary,
+        seed=args.seed,
+        cache_capacity=args.cache_capacity,
+        verify=not args.no_verify,
+        delete_every=args.delete_every,
+        crash_every=4 if args.inject_faults else 0,
+        transient_rate=args.fault_rate if args.inject_faults else 0.0,
+        fault_seed=args.fault_seed,
+        pace_s=args.pace,
+    )
+    report = LoadGenerator(config).run()
+    overall = report.latency["overall"]
+    print(
+        f"served {report.queries} queries from {args.readers} readers over "
+        f"{args.cycles} flush cycles ({report.wall_seconds:.2f} s)"
+    )
+    print(f"throughput:       {report.throughput_qps:,.0f} queries/s")
+    for kind in ("boolean", "streamed", "vector", "overall"):
+        summary = report.latency[kind]
+        if summary.get("count"):
+            print(
+                f"latency {kind:<9} p50 {summary['p50'] * 1e6:8.1f} us   "
+                f"p95 {summary['p95'] * 1e6:8.1f} us   "
+                f"p99 {summary['p99'] * 1e6:8.1f} us   "
+                f"({summary['count']} queries)"
+            )
+    cache = report.cache
+    print(
+        f"result cache:     {cache['hits']} hits / {cache['misses']} misses "
+        f"(rate {cache['hit_rate']:.1%}), {cache['evictions']} evictions, "
+        f"{cache['invalidations']} wholesale invalidations"
+    )
+    service = report.service
+    print(
+        f"writer:           {service['publishes']} snapshots published, "
+        f"{service['documents_ingested']} docs ingested, "
+        f"{service['flush_recoveries']} crash recoveries"
+    )
+    if not args.no_verify:
+        print(f"divergences:      {report.divergences}")
+    if args.json:
+        report.write_json(args.json)
+        print(f"wrote {args.json}")
+    return 1 if report.divergences else 0
+
+
 def cmd_check(args) -> int:
     from .core.invariants import check_index
 
@@ -391,6 +455,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_fault_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark snapshot-isolated concurrent query serving",
+    )
+    p_serve.add_argument("--readers", type=int, default=4)
+    p_serve.add_argument("--cycles", type=int, default=20)
+    p_serve.add_argument("--docs-per-batch", type=int, default=20)
+    p_serve.add_argument("--vocabulary", type=int, default=120)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--cache-capacity", type=int, default=256)
+    p_serve.add_argument("--delete-every", type=int, default=0)
+    p_serve.add_argument(
+        "--pace",
+        type=float,
+        default=0.001,
+        metavar="S",
+        help="writer sleep between cycles so readers interleave",
+    )
+    p_serve.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip answer verification against the reference model",
+    )
+    p_serve.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable serving report here",
+    )
+    add_fault_args(p_serve)
+    p_serve.set_defaults(func=cmd_serve_bench)
 
     p_check = sub.add_parser(
         "check", help="verify the invariants of a checkpointed index"

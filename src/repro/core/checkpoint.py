@@ -400,9 +400,22 @@ def _load(fp: BinaryIO) -> DualStructureIndex:
     return index
 
 
-def roundtrip(index: DualStructureIndex) -> DualStructureIndex:
-    """Save to memory and load back (test/debug convenience)."""
+def clone(index: DualStructureIndex) -> DualStructureIndex:
+    """An independent deep copy of ``index`` via the checkpoint format.
+
+    The serving layer's copy-on-publish primitive: the copy shares no
+    mutable structure with the original (directory, buckets, free lists,
+    disk block payloads are all rebuilt from the serialized form), so
+    readers holding the copy never observe a half-flushed bucket or a
+    partially relocated long list while the writer mutates the original.
+    Same preconditions as :func:`save` — call at a batch boundary.
+    """
     buf = io.BytesIO()
     save(index, buf)
     buf.seek(0)
     return load(buf)
+
+
+def roundtrip(index: DualStructureIndex) -> DualStructureIndex:
+    """Save to memory and load back (test/debug convenience)."""
+    return clone(index)

@@ -10,6 +10,7 @@ from .boolean import (
 )
 from .cost import BooleanWorkload, QueryCostModel, VectorWorkload
 from .positional import phrase_docs, positions_within, proximity_docs, region_docs
+from .reference import BruteForceIndex, materialized_blocks
 from .streaming import (
     ListCursor,
     StreamStats,
@@ -22,6 +23,7 @@ from .vector import ScoredDocument, idf, query_from_document, rank
 
 __all__ = [
     "BooleanWorkload",
+    "BruteForceIndex",
     "ListCursor",
     "StreamStats",
     "QueryCostModel",
@@ -32,6 +34,7 @@ __all__ = [
     "evaluate",
     "idf",
     "intersect",
+    "materialized_blocks",
     "parse",
     "phrase_docs",
     "positions_within",

@@ -1,0 +1,28 @@
+"""Concurrent query serving over the incrementally updated index.
+
+The subsystem the paper's motivation asks for but its evaluation never
+builds: reader threads answer boolean / streamed / vector queries against
+an immutable published :class:`IndexSnapshot` while a single writer
+absorbs batch updates, publishing a fresh snapshot atomically at each
+flush (copy-on-publish through the checkpoint machinery).  A
+snapshot-keyed :class:`QueryResultCache` short-circuits repeated queries
+and is invalidated wholesale at publish; :class:`LoadGenerator` drives the
+mixed workload and reports throughput plus tail latency.
+"""
+
+from .cache import CacheStats, QueryResultCache
+from .loadgen import LoadConfig, LoadGenerator, ServingReport
+from .server import QueryService, ServiceError, ServiceStats
+from .snapshot import IndexSnapshot
+
+__all__ = [
+    "CacheStats",
+    "IndexSnapshot",
+    "LoadConfig",
+    "LoadGenerator",
+    "QueryResultCache",
+    "QueryService",
+    "ServiceError",
+    "ServiceStats",
+    "ServingReport",
+]

@@ -1,0 +1,125 @@
+"""Snapshot-keyed LRU cache for query results.
+
+A result computed against snapshot *S* is valid exactly as long as *S* is
+the published snapshot: the dual-structure index only changes at batch
+boundaries, and the service publishes a fresh immutable snapshot at each
+flush.  So the cache keys every entry by ``(snapshot_id, kind, query)``
+and the service drops the whole cache wholesale at publish time — there is
+no per-entry invalidation problem to solve, which is the payoff of
+snapshot isolation.
+
+Thread model: many reader threads share one cache; every operation takes
+the internal lock (the critical sections are dictionary operations, far
+cheaper than the query evaluation a hit saves).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+CacheKey = tuple[int, str, object]
+
+
+@dataclass
+class CacheStats:
+    """Aggregate counters plus the per-entry hit ledger."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    entries_invalidated: int = 0
+    #: hits per live entry (reset wholesale with the entries themselves).
+    entry_hits: dict[CacheKey, int] = field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries_invalidated": self.entries_invalidated,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+
+class QueryResultCache:
+    """A bounded LRU map from ``(snapshot_id, kind, query)`` to results.
+
+    ``get``/``put`` never copy values — the service stores immutable
+    tuples, so a cached answer can be shared across readers safely.
+    """
+
+    _MISS = object()
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
+        self._stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: CacheKey):
+        """The cached value for ``key`` or ``None``; counts the outcome."""
+        with self._lock:
+            value = self._entries.get(key, self._MISS)
+            if value is self._MISS:
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            self._stats.entry_hits[key] = (
+                self._stats.entry_hits.get(key, 0) + 1
+            )
+            return value
+
+    def put(self, key: CacheKey, value) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail if full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                evicted, _ = self._entries.popitem(last=False)
+                self._stats.evictions += 1
+                self._stats.entry_hits.pop(evicted, None)
+
+    def invalidate(self) -> int:
+        """Drop every entry (a new snapshot was published); returns the
+        number of entries dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._stats.entry_hits.clear()
+            self._stats.invalidations += 1
+            self._stats.entries_invalidated += dropped
+            return dropped
+
+    def stats(self) -> CacheStats:
+        """A point-in-time copy of the counters (safe to read anywhere)."""
+        with self._lock:
+            return CacheStats(
+                hits=self._stats.hits,
+                misses=self._stats.misses,
+                evictions=self._stats.evictions,
+                invalidations=self._stats.invalidations,
+                entries_invalidated=self._stats.entries_invalidated,
+                entry_hits=dict(self._stats.entry_hits),
+            )

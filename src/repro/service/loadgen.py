@@ -1,0 +1,366 @@
+"""Mixed read/update load generation against the query service.
+
+The paper's workload is "daily batches of NetNews articles absorbed while
+queries keep arriving"; :class:`LoadGenerator` reproduces that shape in
+miniature: one writer ingests documents and publishes a snapshot per
+flush cycle while N reader threads issue a seeded mix of boolean,
+streamed, and vector queries against whatever snapshot is current.
+
+Measurements ride the :mod:`repro.pipeline.profiling` plumbing — stage
+spans (``serve.ingest`` / ``serve.flush`` / ``serve.publish``) accumulate
+in the service's :class:`StageTimings`, and every query latency lands in a
+per-thread :class:`LatencyRecorder`, merged into p50/p95/p99 afterwards —
+and are archived as ``BENCH_serving.json`` by ``repro serve-bench``.
+
+With ``verify=True`` every answer is checked against the brute-force
+reference model frozen into the snapshot that served it; a mismatch is a
+*stale-read divergence* (a reader observed writer state that was never a
+published batch boundary) and fails the run's report.  With
+``crash_every > 0`` the generator installs a crash plan before every Nth
+flush, cycling through the registered flush/checkpoint crash points, so
+publication is exercised across writer crashes and recoveries.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.index import IndexConfig
+from ..pipeline.profiling import LatencyRecorder
+from ..storage import faults
+from ..storage.faults import FaultPlan
+from .server import QueryService
+
+#: Crash points cycled through by ``crash_every`` (update + publish paths).
+CRASH_CYCLE = (
+    "index.flush-begin",
+    "index.before-word-append",
+    "index.before-shadow-flush",
+    "index.before-release",
+    "index.before-clear",
+    "checkpoint.mid-save",
+)
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Shape of one serving-benchmark run (all randomness is seeded)."""
+
+    readers: int = 4
+    flush_cycles: int = 20
+    docs_per_batch: int = 20
+    vocabulary: int = 120
+    words_per_doc: tuple[int, int] = (4, 12)
+    seed: int = 0
+    #: Fraction of queries per kind; normalized internally.
+    mix: tuple[float, float, float] = (0.4, 0.4, 0.2)  # boolean/streamed/vector
+    top_k: int = 10
+    cache_capacity: int = 256
+    verify: bool = True
+    check_invariants: bool = True
+    #: Every Nth ingested document triggers one random deletion (0 = never).
+    delete_every: int = 0
+    #: Install a crash plan before every Nth flush (0 = never).
+    crash_every: int = 0
+    #: Transient-I/O fault rate injected into the writer's disks.
+    transient_rate: float = 0.0
+    fault_seed: int = 0
+    #: Seconds the writer sleeps between cycles so readers interleave.
+    pace_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.readers <= 0 or self.flush_cycles <= 0:
+            raise ValueError("readers and flush_cycles must be > 0")
+        if self.docs_per_batch <= 0 or self.vocabulary <= 0:
+            raise ValueError("docs_per_batch and vocabulary must be > 0")
+        if len(self.mix) != 3 or sum(self.mix) <= 0 or min(self.mix) < 0:
+            raise ValueError("mix must be three non-negative weights")
+
+    @property
+    def injects_faults(self) -> bool:
+        return self.crash_every > 0 or self.transient_rate > 0.0
+
+    def index_config(self) -> IndexConfig:
+        """A small content-mode index; crash-safe when faults are on."""
+        plan = (
+            FaultPlan(
+                seed=self.fault_seed, transient_rate=self.transient_rate
+            )
+            if self.transient_rate > 0.0
+            else None
+        )
+        return IndexConfig(
+            nbuckets=64,
+            bucket_size=256,
+            block_postings=16,
+            ndisks=2,
+            nblocks_override=500_000,
+            store_contents=True,
+            crash_safe=self.injects_faults,
+            fault_plan=plan,
+        )
+
+
+@dataclass
+class ServingReport:
+    """Machine-readable outcome of one load-generation run."""
+
+    config: dict
+    wall_seconds: float
+    queries: int
+    throughput_qps: float
+    latency: dict[str, dict]
+    cache: dict
+    service: dict
+    stage_seconds: dict[str, float]
+    divergences: int
+    divergence_examples: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "queries": self.queries,
+            "throughput_qps": round(self.throughput_qps, 3),
+            "latency": self.latency,
+            "cache": self.cache,
+            "service": self.service,
+            "stage_seconds": self.stage_seconds,
+            "divergences": self.divergences,
+            "divergence_examples": self.divergence_examples[:5],
+        }
+
+    def write_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fp:
+            json.dump(self.as_dict(), fp, indent=2, sort_keys=True)
+            fp.write("\n")
+
+
+class _ReaderState:
+    """One reader thread's private recorders (merged after the run)."""
+
+    def __init__(self) -> None:
+        self.recorders = {
+            kind: LatencyRecorder()
+            for kind in ("boolean", "streamed", "vector")
+        }
+        self.divergences: list[str] = []
+
+
+class LoadGenerator:
+    """Drive a mixed reader/writer workload and measure it."""
+
+    def __init__(
+        self,
+        config: LoadConfig | None = None,
+        service: QueryService | None = None,
+    ) -> None:
+        self.config = config or LoadConfig()
+        self.service = service or QueryService(
+            self.config.index_config(),
+            cache_capacity=self.config.cache_capacity,
+            check_invariants=self.config.check_invariants,
+            track_reference=self.config.verify,
+        )
+        self._words = [f"w{i}" for i in range(1, self.config.vocabulary + 1)]
+
+    # -- deterministic generators -----------------------------------------
+
+    def _skewed_word(self, rng: random.Random) -> str:
+        """Zipf-ish draw: low word ids are hot, mirroring the corpus."""
+        k = min(int(rng.paretovariate(0.8)), len(self._words))
+        return self._words[k - 1]
+
+    def _document(self, rng: random.Random) -> str:
+        lo, hi = self.config.words_per_doc
+        return " ".join(
+            self._skewed_word(rng) for _ in range(rng.randint(lo, hi))
+        )
+
+    def _boolean_query(self, rng: random.Random) -> str:
+        a, b, c = (self._skewed_word(rng) for _ in range(3))
+        return rng.choice(
+            [
+                f"{a} AND {b}",
+                f"{a} OR {b}",
+                f"({a} AND {b}) OR {c}",
+                f"{a} AND NOT {b}",
+            ]
+        )
+
+    def _streamed_query(self, rng: random.Random) -> str:
+        op = rng.choice(["AND", "OR"])
+        words = [self._skewed_word(rng) for _ in range(rng.randint(2, 3))]
+        return f" {op} ".join(words)
+
+    def _vector_query(self, rng: random.Random) -> dict[str, float]:
+        return {
+            self._skewed_word(rng): float(rng.randint(1, 3))
+            for _ in range(rng.randint(2, 5))
+        }
+
+    # -- reader threads ----------------------------------------------------
+
+    def _verify(self, kind, query, got, snapshot, state) -> None:
+        reference = snapshot.reference
+        if reference is None:
+            return
+        if kind == "vector":
+            want = reference.search_vector(query, top_k=self.config.top_k)
+            ok = [(d.doc_id, d.score) for d in got] == [
+                (d.doc_id, d.score) for d in want
+            ]
+        else:
+            want = (
+                reference.search_boolean(query)
+                if kind == "boolean"
+                else reference.search_streamed(query)
+            )
+            ok = got.doc_ids == want
+        if not ok:
+            state.divergences.append(
+                f"snapshot {snapshot.snapshot_id} {kind} {query!r}: "
+                f"served {got!r}, reference {want!r}"
+            )
+
+    def _reader_loop(
+        self, reader_id: int, stop: threading.Event, state: _ReaderState
+    ) -> None:
+        try:
+            self._reader_queries(reader_id, stop, state)
+        except Exception as exc:  # noqa: BLE001 - must surface in the report
+            # A dead reader thread must fail the run loudly, not shrink it.
+            state.divergences.append(f"reader {reader_id} died: {exc!r}")
+
+    def _reader_queries(
+        self, reader_id: int, stop: threading.Event, state: _ReaderState
+    ) -> None:
+        rng = random.Random(self.config.seed * 7919 + reader_id)
+        weights = self.config.mix
+        kinds = ("boolean", "streamed", "vector")
+        while not stop.is_set():
+            kind = rng.choices(kinds, weights=weights)[0]
+            # Pin the snapshot: the answer must be verified against the
+            # exact reference model frozen with the state that served it.
+            snapshot = self.service.snapshot()
+            recorder = state.recorders[kind]
+            if kind == "boolean":
+                query = self._boolean_query(rng)
+                with recorder.span():
+                    got = self.service.search_boolean(query, snapshot)
+            elif kind == "streamed":
+                query = self._streamed_query(rng)
+                with recorder.span():
+                    got = self.service.search_streamed(query, snapshot)
+            else:
+                query = self._vector_query(rng)
+                with recorder.span():
+                    got = self.service.search_vector(
+                        query, top_k=self.config.top_k, snapshot=snapshot
+                    )
+            if self.config.verify:
+                self._verify(kind, query, got, snapshot, state)
+
+    # -- the writer + the run ---------------------------------------------
+
+    def _maybe_crash_plan(self, cycle: int) -> bool:
+        """Install a crash plan for this cycle; True when one is active."""
+        if not self.config.crash_every:
+            return False
+        if cycle == 0 or cycle % self.config.crash_every:
+            return False
+        point = CRASH_CYCLE[
+            (cycle // self.config.crash_every - 1) % len(CRASH_CYCLE)
+        ]
+        faults.install(FaultPlan(crash_at=point, crash_at_hit=1))
+        return True
+
+    def run(self) -> ServingReport:
+        """Execute the workload; returns the measured report."""
+        cfg = self.config
+        stop = threading.Event()
+        states = [_ReaderState() for _ in range(cfg.readers)]
+        threads = [
+            threading.Thread(
+                target=self._reader_loop,
+                args=(i, stop, states[i]),
+                name=f"reader-{i}",
+                daemon=True,
+            )
+            for i in range(cfg.readers)
+        ]
+        writer_rng = random.Random(cfg.seed)
+        deleted = 0
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        try:
+            for cycle in range(cfg.flush_cycles):
+                for _ in range(cfg.docs_per_batch):
+                    doc_id = self.service.add_document(
+                        self._document(writer_rng)
+                    )
+                    if (
+                        cfg.delete_every
+                        and doc_id
+                        and (doc_id + 1) % cfg.delete_every == 0
+                    ):
+                        victim = writer_rng.randrange(doc_id)
+                        self.service.delete_document(victim)
+                        deleted += 1
+                crashing = self._maybe_crash_plan(cycle)
+                try:
+                    self.service.flush_and_publish()
+                finally:
+                    if crashing:
+                        faults.uninstall()
+                if cfg.pace_s:
+                    time.sleep(cfg.pace_s)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+        wall = time.perf_counter() - start
+
+        overall = LatencyRecorder()
+        per_kind = {
+            kind: LatencyRecorder()
+            for kind in ("boolean", "streamed", "vector")
+        }
+        divergences: list[str] = []
+        for state in states:
+            for kind, recorder in state.recorders.items():
+                per_kind[kind].merge(recorder)
+                overall.merge(recorder)
+            divergences.extend(state.divergences)
+        latency = {
+            kind: recorder.summary() for kind, recorder in per_kind.items()
+        }
+        latency["overall"] = overall.summary()
+        return ServingReport(
+            config={
+                "readers": cfg.readers,
+                "flush_cycles": cfg.flush_cycles,
+                "docs_per_batch": cfg.docs_per_batch,
+                "vocabulary": cfg.vocabulary,
+                "seed": cfg.seed,
+                "verify": cfg.verify,
+                "delete_every": cfg.delete_every,
+                "deleted": deleted,
+                "crash_every": cfg.crash_every,
+                "transient_rate": cfg.transient_rate,
+            },
+            wall_seconds=wall,
+            queries=overall.count,
+            throughput_qps=overall.count / wall if wall > 0 else 0.0,
+            latency=latency,
+            cache=self.service.cache.stats().as_dict(),
+            service=self.service.stats.as_dict(),
+            stage_seconds=self.service.timings.as_dict(),
+            divergences=len(divergences),
+            divergence_examples=divergences,
+        )

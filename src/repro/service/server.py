@@ -1,0 +1,295 @@
+"""The concurrent query service: one writer, many snapshot readers.
+
+Protocol (DESIGN.md §10):
+
+* a single **writer** owns the live :class:`~repro.textindex.TextDocumentIndex`
+  and is the only thread that mutates it (``add_document`` /
+  ``delete_document`` / ``flush_and_publish`` serialize on the writer lock);
+* at each flush the writer *publishes*: it clones the index at the batch
+  boundary (copy-on-publish via the checkpoint machinery), wraps the clone
+  in an :class:`~repro.service.snapshot.IndexSnapshot`, atomically swaps it
+  into ``self._snapshot`` and invalidates the result cache wholesale;
+* **readers** never lock: they load the current snapshot reference (one
+  atomic pointer read) and evaluate against that immutable structure, so a
+  query that started before a publish simply finishes on the older
+  snapshot — the serving-layer analogue of the paper's "the batch can be
+  searched simultaneously with the larger index".
+
+Fault tolerance: with ``IndexConfig(crash_safe=True, fault_plan=...)`` a
+flush that dies mid-update (injected crash, torn write, transient I/O
+error) is rolled back via :meth:`DualStructureIndex.recover` and replayed;
+a crash injected during the publish clone is simply retried, because the
+flush had already completed at a consistent boundary.  Readers are never
+exposed to either: the previous snapshot stays published until the new one
+is fully built.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..core.index import BatchResult, IndexConfig
+from ..core.invariants import InvariantError, check_index
+from ..pipeline.profiling import StageTimings
+from ..query.reference import BruteForceIndex
+from ..query.vector import ScoredDocument
+from ..storage.faults import InjectedCrash, TransientIOError
+from ..text.tokenizer import TokenizerConfig, tokenize_document
+from ..textindex import QueryAnswer, TextDocumentIndex
+from .cache import QueryResultCache
+from .snapshot import IndexSnapshot
+
+
+class ServiceError(Exception):
+    """Raised when a flush cannot complete within the retry budget."""
+
+
+@dataclass
+class ServiceStats:
+    """Counters describing one service lifetime."""
+
+    publishes: int = 0
+    documents_ingested: int = 0
+    documents_deleted: int = 0
+    flush_recoveries: int = 0
+    publish_retries: int = 0
+    invariant_checks: int = 0
+    queries: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def queries_served(self) -> int:
+        return sum(self.queries.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "publishes": self.publishes,
+            "documents_ingested": self.documents_ingested,
+            "documents_deleted": self.documents_deleted,
+            "flush_recoveries": self.flush_recoveries,
+            "publish_retries": self.publish_retries,
+            "invariant_checks": self.invariant_checks,
+            "queries": dict(sorted(self.queries.items())),
+            "queries_served": self.queries_served,
+        }
+
+
+class QueryService:
+    """Snapshot-isolated query serving over an incrementally updated index.
+
+    Readers call ``search_boolean`` / ``search_streamed`` /
+    ``search_vector`` from any number of threads; the writer ingests and
+    publishes.  Cached answers are keyed by ``(snapshot_id, kind, query)``
+    and report the read ops the original evaluation charged (a hit costs
+    no I/O; the cache stats record it).
+    """
+
+    def __init__(
+        self,
+        config: IndexConfig | None = None,
+        tokenizer_config: TokenizerConfig | None = None,
+        *,
+        cache_capacity: int = 256,
+        check_invariants: bool = False,
+        track_reference: bool = False,
+        max_flush_retries: int = 8,
+    ) -> None:
+        if max_flush_retries < 0:
+            raise ValueError("max_flush_retries must be >= 0")
+        self._writer = TextDocumentIndex(
+            config, tokenizer_config=tokenizer_config
+        )
+        self._tokenizer_config = tokenizer_config
+        self._writer_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.cache = QueryResultCache(cache_capacity)
+        self.check_invariants = check_invariants
+        self.max_flush_retries = max_flush_retries
+        self.stats = ServiceStats()
+        self.timings = StageTimings()
+        self._reference = BruteForceIndex() if track_reference else None
+        # Publish the empty index so readers always have a snapshot.
+        self._snapshot = self._build_snapshot(snapshot_id=0)
+
+    # -- writer API --------------------------------------------------------
+
+    @property
+    def writer_index(self) -> TextDocumentIndex:
+        """The live index (writer-side inspection; do not query from
+        reader threads — use :meth:`snapshot`)."""
+        return self._writer
+
+    def add_document(self, text: str) -> int:
+        """Ingest one document into the writer's in-memory batch.
+
+        The document becomes visible to readers at the next
+        :meth:`flush_and_publish` — exactly the paper's batch-update
+        visibility contract.
+        """
+        with self._writer_lock:
+            with self.timings.stage("serve.ingest"):
+                doc_id = self._writer.add_document(text)
+                if self._reference is not None:
+                    self._reference.add_document(
+                        doc_id,
+                        tokenize_document(text, self._tokenizer_config),
+                    )
+            self.stats.documents_ingested += 1
+            return doc_id
+
+    def delete_document(self, doc_id: int) -> None:
+        """Delete a document; visible to readers at the next publish."""
+        with self._writer_lock:
+            self._writer.delete_document(doc_id)
+            if self._reference is not None:
+                self._reference.delete_document(doc_id)
+            self.stats.documents_deleted += 1
+
+    def flush_and_publish(self) -> tuple[BatchResult, IndexSnapshot]:
+        """Apply the pending batch and atomically publish a new snapshot.
+
+        Returns the flush's :class:`BatchResult` and the published
+        snapshot.  Injected crashes and transient I/O failures during the
+        flush roll back and replay through the index's recovery point
+        (``crash_safe=True``); failures during the publish clone are
+        retried in place.  Raises :class:`ServiceError` when the retry
+        budget is exhausted.
+        """
+        with self._writer_lock:
+            with self.timings.stage("serve.flush"):
+                result = self._flush_with_recovery()
+            with self.timings.stage("serve.publish"):
+                snapshot = self._publish_locked()
+            return result, snapshot
+
+    def _flush_with_recovery(self) -> BatchResult:
+        attempts = 0
+        recovering = False
+        while True:
+            try:
+                if recovering:
+                    # Roll back to the last completed batch boundary and
+                    # replay the aborted batch (paper §1 restartability).
+                    # If the replay dies too, the next attempt recovers
+                    # again — never re-flushes on top of partial state.
+                    self.stats.flush_recoveries += 1
+                    replayed = self._writer.index.recover(replay=True)
+                    if replayed is not None:
+                        return replayed
+                    recovering = False
+                    continue
+                return self._writer.flush_batch()
+            except (InjectedCrash, TransientIOError) as exc:
+                if not self._writer.index.config.crash_safe:
+                    raise
+                attempts += 1
+                if attempts > self.max_flush_retries:
+                    raise ServiceError(
+                        f"flush failed {attempts} times; last: {exc!r}"
+                    ) from exc
+                recovering = True
+
+    def _build_snapshot(self, snapshot_id: int) -> IndexSnapshot:
+        attempts = 0
+        while True:
+            try:
+                reference = (
+                    self._reference.freeze()
+                    if self._reference is not None
+                    else None
+                )
+                snapshot = IndexSnapshot.publish_from(
+                    self._writer, snapshot_id, reference=reference
+                )
+                break
+            except (InjectedCrash, TransientIOError) as exc:
+                # The flush already completed: the writer sits at a
+                # consistent batch boundary, so cloning is safely
+                # repeatable.
+                attempts += 1
+                if attempts > self.max_flush_retries:
+                    raise ServiceError(
+                        f"publish failed {attempts} times; last: {exc!r}"
+                    ) from exc
+                self.stats.publish_retries += 1
+        if self.check_invariants:
+            report = check_index(snapshot.index.index)
+            self.stats.invariant_checks += 1
+            if not report.ok:
+                raise InvariantError(report)
+        return snapshot
+
+    def _publish_locked(self) -> IndexSnapshot:
+        snapshot = self._build_snapshot(self._snapshot.snapshot_id + 1)
+        # The swap is a single reference assignment (atomic under the
+        # interpreter); readers holding the old snapshot finish on it.
+        self._snapshot = snapshot
+        self.cache.invalidate()
+        self.stats.publishes += 1
+        return snapshot
+
+    # -- reader API --------------------------------------------------------
+
+    def snapshot(self) -> IndexSnapshot:
+        """The currently published snapshot (atomic reference read)."""
+        return self._snapshot
+
+    def _count_query(self, kind: str) -> None:
+        with self._stats_lock:
+            self.stats.queries[kind] = self.stats.queries.get(kind, 0) + 1
+
+    def search_boolean(
+        self, query: str, snapshot: IndexSnapshot | None = None
+    ) -> QueryAnswer:
+        """Serve a boolean query from the current snapshot (cached).
+
+        Pass ``snapshot`` to pin evaluation to a snapshot the caller
+        already holds (stress tests verify the answer against that exact
+        snapshot's reference model).
+        """
+        self._count_query("boolean")
+        snapshot = snapshot or self._snapshot
+        key = (snapshot.snapshot_id, "boolean", query)
+        cached = self.cache.get(key)
+        if cached is not None:
+            doc_ids, read_ops = cached
+            return QueryAnswer(doc_ids=list(doc_ids), read_ops=read_ops)
+        answer = snapshot.search_boolean(query)
+        self.cache.put(key, (tuple(answer.doc_ids), answer.read_ops))
+        return answer
+
+    def search_streamed(
+        self, query: str, snapshot: IndexSnapshot | None = None
+    ) -> QueryAnswer:
+        """Serve a flat AND/OR query from the current snapshot (cached)."""
+        self._count_query("streamed")
+        snapshot = snapshot or self._snapshot
+        key = (snapshot.snapshot_id, "streamed", query)
+        cached = self.cache.get(key)
+        if cached is not None:
+            doc_ids, read_ops = cached
+            return QueryAnswer(doc_ids=list(doc_ids), read_ops=read_ops)
+        answer = snapshot.search_streamed(query)
+        self.cache.put(key, (tuple(answer.doc_ids), answer.read_ops))
+        return answer
+
+    def search_vector(
+        self,
+        weights: dict[str, float],
+        top_k: int = 10,
+        snapshot: IndexSnapshot | None = None,
+    ) -> list[ScoredDocument]:
+        """Serve a ranked vector query from the current snapshot (cached)."""
+        self._count_query("vector")
+        snapshot = snapshot or self._snapshot
+        key = (
+            snapshot.snapshot_id,
+            "vector",
+            (tuple(sorted(weights.items())), top_k),
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return list(cached)
+        ranked = snapshot.search_vector(weights, top_k=top_k)
+        self.cache.put(key, tuple(ranked))
+        return ranked

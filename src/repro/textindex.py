@@ -139,6 +139,7 @@ class TextDocumentIndex:
         chunks actually touched — for skewed conjunctions this is far
         below :meth:`search_boolean`'s cost.
         """
+        self._last_read_ops = 0
         tokens = query.split()
         words = [t.lower() for t in tokens[::2]]
         operators = {t.upper() for t in tokens[1::2]}
@@ -164,6 +165,10 @@ class TextDocumentIndex:
         else:
             docs, stats = streaming_query.streamed_and(self.index, word_ids)
         docs = self.deletions.filter(docs)
+        # Keep the facade-level counter in step with the per-answer cost so
+        # last_read_ops means the same thing (Figure 10 read units: one per
+        # chunk opened, one per bucket) after any search_* method.
+        self._last_read_ops = stats.read_ops
         return QueryAnswer(doc_ids=docs, read_ops=stats.read_ops)
 
     def search_vector(
@@ -249,6 +254,24 @@ class TextDocumentIndex:
         return self.index.stats()
 
     # -- persistence ----------------------------------------------------------------
+
+    def clone(self) -> "TextDocumentIndex":
+        """An independent deep copy at the current batch boundary.
+
+        Copy-on-publish for the serving layer
+        (:mod:`repro.service`): the clone is rebuilt from the serialized
+        checkpoint form — core index, vocabulary, deletion set — so it
+        shares no mutable structure with this index and can be read from
+        other threads while this one keeps ingesting.  Like :meth:`save`,
+        requires an empty in-memory batch (flush first).
+        """
+        buf = io.BytesIO()
+        self.save(buf)
+        buf.seek(0)
+        copy = TextDocumentIndex.load(buf)
+        copy.tokenizer_config = self.tokenizer_config
+        copy.region_rules = self.region_rules
+        return copy
 
     _MAGIC = b"DSTX"
 

@@ -1,0 +1,131 @@
+"""Unit tests for the snapshot-keyed LRU query-result cache."""
+
+import threading
+
+import pytest
+
+from repro.service import QueryResultCache
+
+
+def key(snapshot_id, query):
+    return (snapshot_id, "boolean", query)
+
+
+class TestLRU:
+    def test_get_miss_then_hit(self):
+        cache = QueryResultCache(capacity=4)
+        assert cache.get(key(1, "a")) is None
+        cache.put(key(1, "a"), (1, 2))
+        assert cache.get(key(1, "a")) == (1, 2)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_evicts_least_recently_used(self):
+        cache = QueryResultCache(capacity=2)
+        cache.put(key(1, "a"), "A")
+        cache.put(key(1, "b"), "B")
+        assert cache.get(key(1, "a")) == "A"  # refresh a
+        cache.put(key(1, "c"), "C")  # evicts b
+        assert cache.get(key(1, "b")) is None
+        assert cache.get(key(1, "a")) == "A"
+        assert cache.get(key(1, "c")) == "C"
+        assert cache.stats().evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = QueryResultCache(capacity=2)
+        cache.put(key(1, "a"), "old")
+        cache.put(key(1, "b"), "B")
+        cache.put(key(1, "a"), "new")  # refresh, not insert
+        cache.put(key(1, "c"), "C")  # evicts b (a was refreshed)
+        assert cache.get(key(1, "a")) == "new"
+        assert cache.get(key(1, "b")) is None
+
+    def test_capacity_zero_disables_caching(self):
+        cache = QueryResultCache(capacity=0)
+        cache.put(key(1, "a"), "A")
+        assert cache.get(key(1, "a")) is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            QueryResultCache(capacity=-1)
+
+
+class TestCounters:
+    def test_per_entry_hit_counters(self):
+        cache = QueryResultCache(capacity=4)
+        cache.put(key(1, "a"), "A")
+        cache.put(key(1, "b"), "B")
+        for _ in range(3):
+            cache.get(key(1, "a"))
+        cache.get(key(1, "b"))
+        hits = cache.stats().entry_hits
+        assert hits[key(1, "a")] == 3
+        assert hits[key(1, "b")] == 1
+
+    def test_eviction_drops_entry_counter(self):
+        cache = QueryResultCache(capacity=1)
+        cache.put(key(1, "a"), "A")
+        cache.get(key(1, "a"))
+        cache.put(key(1, "b"), "B")  # evicts a
+        assert key(1, "a") not in cache.stats().entry_hits
+
+    def test_wholesale_invalidation(self):
+        cache = QueryResultCache(capacity=8)
+        for q in "abc":
+            cache.put(key(1, q), q)
+        dropped = cache.invalidate()
+        assert dropped == 3
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats.invalidations == 1
+        assert stats.entries_invalidated == 3
+        assert stats.entry_hits == {}
+        # Old-snapshot keys miss afterwards.
+        assert cache.get(key(1, "a")) is None
+
+    def test_hit_rate(self):
+        cache = QueryResultCache(capacity=2)
+        cache.put(key(1, "a"), "A")
+        cache.get(key(1, "a"))
+        cache.get(key(1, "zzz"))
+        assert cache.stats().hit_rate == 0.5
+
+    def test_stats_copy_is_detached(self):
+        cache = QueryResultCache(capacity=2)
+        cache.put(key(1, "a"), "A")
+        cache.get(key(1, "a"))
+        stats = cache.stats()
+        cache.get(key(1, "a"))
+        assert stats.hits == 1  # the copy does not track later traffic
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations(self):
+        cache = QueryResultCache(capacity=32)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(500):
+                    k = key(worker_id % 3, f"q{i % 40}")
+                    if i % 7 == 0:
+                        cache.put(k, (worker_id, i))
+                    elif i % 97 == 0:
+                        cache.invalidate()
+                    else:
+                        cache.get(k)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats.lookups == stats.hits + stats.misses
+        assert len(cache) <= 32

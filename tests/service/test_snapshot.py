@@ -1,0 +1,125 @@
+"""Snapshot isolation: published snapshots are immune to writer progress."""
+
+import pytest
+
+from repro.core.index import IndexConfig
+from repro.query.reference import BruteForceIndex
+from repro.service import IndexSnapshot
+from repro.textindex import TextDocumentIndex
+
+
+def small_config(**overrides):
+    defaults = dict(
+        nbuckets=8,
+        bucket_size=64,
+        block_postings=8,
+        ndisks=2,
+        nblocks_override=100_000,
+        store_contents=True,
+    )
+    defaults.update(overrides)
+    return IndexConfig(**defaults)
+
+
+@pytest.fixture
+def writer():
+    index = TextDocumentIndex(small_config())
+    index.add_document("red fox runs")
+    index.add_document("red hen sits")
+    index.add_document("blue fox swims")
+    index.flush_batch()
+    return index
+
+
+class TestPublication:
+    def test_snapshot_matches_writer_at_publish(self, writer):
+        snapshot = IndexSnapshot.publish_from(writer, snapshot_id=1)
+        assert snapshot.snapshot_id == 1
+        assert snapshot.ndocs == 3
+        assert snapshot.batch == 1
+        assert snapshot.search_boolean("red AND fox").doc_ids == [0]
+        assert snapshot.search_streamed("red OR blue").doc_ids == [0, 1, 2]
+
+    def test_snapshot_isolated_from_later_ingest(self, writer):
+        snapshot = IndexSnapshot.publish_from(writer, snapshot_id=1)
+        writer.add_document("red panda naps")
+        writer.flush_batch()
+        # The writer sees the new document; the snapshot must not.
+        assert writer.search_boolean("red").doc_ids == [0, 1, 3]
+        assert snapshot.search_boolean("red").doc_ids == [0, 1]
+        assert snapshot.ndocs == 3
+
+    def test_snapshot_isolated_from_later_deletion(self, writer):
+        snapshot = IndexSnapshot.publish_from(writer, snapshot_id=1)
+        writer.delete_document(0)
+        assert writer.search_boolean("red").doc_ids == [1]
+        assert snapshot.search_boolean("red").doc_ids == [0, 1]
+
+    def test_snapshot_carries_deletions_made_before_publish(self, writer):
+        writer.delete_document(1)
+        snapshot = IndexSnapshot.publish_from(writer, snapshot_id=2)
+        assert snapshot.search_boolean("red").doc_ids == [0]
+        assert snapshot.search_streamed("red").doc_ids == [0]
+
+    def test_publish_requires_batch_boundary(self, writer):
+        writer.add_document("pending doc")
+        with pytest.raises(Exception):
+            IndexSnapshot.publish_from(writer, snapshot_id=1)
+
+    def test_reference_attachment(self, writer):
+        reference = BruteForceIndex()
+        for doc_id, text in enumerate(
+            ["red fox runs", "red hen sits", "blue fox swims"]
+        ):
+            reference.add_document(doc_id, text.split())
+        snapshot = IndexSnapshot.publish_from(
+            writer, snapshot_id=1, reference=reference.freeze()
+        )
+        q = "red AND fox"
+        assert snapshot.search_boolean(q).doc_ids == (
+            snapshot.reference.search_boolean(q)
+        )
+
+
+class TestSnapshotQueries:
+    def test_boolean_read_ops_match_facade(self, writer):
+        snapshot = IndexSnapshot.publish_from(writer, snapshot_id=1)
+        for q in ("red AND fox", "(red OR blue) AND fox", "red AND NOT hen"):
+            want = writer.search_boolean(q)
+            got = snapshot.search_boolean(q)
+            assert got.doc_ids == want.doc_ids, q
+            assert got.read_ops == want.read_ops, q
+
+    def test_streamed_answers_and_ops_match_facade(self, writer):
+        snapshot = IndexSnapshot.publish_from(writer, snapshot_id=1)
+        for q in ("red AND fox", "red OR blue", "fox"):
+            want = writer.search_streamed(q)
+            got = snapshot.search_streamed(q)
+            assert got.doc_ids == want.doc_ids, q
+            assert got.read_ops == want.read_ops, q
+
+    def test_vector_matches_facade(self, writer):
+        snapshot = IndexSnapshot.publish_from(writer, snapshot_id=1)
+        weights = {"red": 2.0, "fox": 1.0}
+        got = snapshot.search_vector(weights, top_k=3)
+        want = writer.search_vector(weights, top_k=3)
+        assert [(d.doc_id, d.score) for d in got] == [
+            (d.doc_id, d.score) for d in want
+        ]
+
+    def test_vector_counted_reports_read_ops(self, writer):
+        snapshot = IndexSnapshot.publish_from(writer, snapshot_id=1)
+        ranked, read_ops = snapshot.search_vector_counted({"red": 1.0})
+        assert ranked
+        assert read_ops >= 1
+
+    def test_queries_leave_no_shared_accounting(self, writer):
+        """Two interleaved boolean evaluations must not bleed read ops
+        into each other (the facade's last_read_ops pitfall)."""
+        snapshot = IndexSnapshot.publish_from(writer, snapshot_id=1)
+        baseline = snapshot.search_boolean("red AND fox").read_ops
+        # Interleave: run a second query between fetches by nesting —
+        # simplest equivalent is to re-run and verify stability.
+        for _ in range(3):
+            snapshot.search_boolean("blue OR hen")
+            assert snapshot.search_boolean("red AND fox").read_ops == baseline
