@@ -33,15 +33,20 @@ Five subcommands cover the library's main entry points::
         and exits.
 
     repro serve-bench [--readers N] [--cycles N] [--docs-per-batch N]
-                      [--json PATH] [--no-verify]
+                      [--publish-mode clone|cow] [--buffer-cache BLOCKS]
+                      [--differential] [--json PATH] [--no-verify]
                       [--inject-faults] [--fault-rate R] [--fault-seed S]
         Run the snapshot-isolated serving benchmark: N reader threads
         issue a mixed boolean/streamed/vector query load against published
         snapshots while the writer flushes batch updates; prints
-        throughput, p50/p95/p99 latency, and cache statistics, and writes
-        the machine-readable BENCH_serving report with ``--json``.
-        ``--inject-faults`` crashes the writer mid-flush on a rotating
-        schedule of crash points (plus transient disk faults) and recovers.
+        throughput, p50/p95/p99 query and publish latency, and cache
+        statistics, and writes the machine-readable BENCH_serving report
+        with ``--json``.  ``--publish-mode cow`` (the default) publishes
+        incrementally via the delta journal; ``clone`` uses the full
+        checkpoint clone.  ``--differential`` cross-checks every published
+        snapshot against a full-clone oracle.  ``--inject-faults`` crashes
+        the writer mid-flush on a rotating schedule of crash points (plus
+        transient disk faults) and recovers.
 
     repro check INDEX.ckpt
         Load a checkpointed index and verify the dual-structure
@@ -295,6 +300,9 @@ def cmd_serve_bench(args) -> int:
         transient_rate=args.fault_rate if args.inject_faults else 0.0,
         fault_seed=args.fault_seed,
         pace_s=args.pace,
+        publish_mode=args.publish_mode,
+        buffer_cache_blocks=args.buffer_cache,
+        differential=args.differential,
     )
     report = LoadGenerator(config).run()
     overall = report.latency["overall"]
@@ -312,15 +320,35 @@ def cmd_serve_bench(args) -> int:
                 f"p99 {summary['p99'] * 1e6:8.1f} us   "
                 f"({summary['count']} queries)"
             )
+    publish = report.latency.get("publish", {})
+    if publish.get("count"):
+        print(
+            f"latency publish   p50 {publish['p50'] * 1e6:8.1f} us   "
+            f"p95 {publish['p95'] * 1e6:8.1f} us   "
+            f"p99 {publish['p99'] * 1e6:8.1f} us   "
+            f"({publish['count']} publishes)"
+        )
     cache = report.cache
     print(
         f"result cache:     {cache['hits']} hits / {cache['misses']} misses "
         f"(rate {cache['hit_rate']:.1%}), {cache['evictions']} evictions, "
-        f"{cache['invalidations']} wholesale invalidations"
+        f"{cache['invalidations']} invalidations "
+        f"({cache['entries_retained']} entries carried across publishes)"
     )
+    if report.buffer_cache:
+        buffers = report.buffer_cache
+        print(
+            f"buffer cache:     {buffers['hits']} hits / "
+            f"{buffers['misses']} misses (rate {buffers['hit_rate']:.1%}), "
+            f"{buffers['evictions']} evictions, "
+            f"{buffers['invalidated']} delta-invalidated"
+        )
     service = report.service
     print(
-        f"writer:           {service['publishes']} snapshots published, "
+        f"writer:           {service['publishes']} snapshots published "
+        f"({service['cow_publishes']} cow, "
+        f"{service['full_clone_publishes']} full, "
+        f"{service['cow_fallbacks']} fallbacks), "
         f"{service['documents_ingested']} docs ingested, "
         f"{service['flush_recoveries']} crash recoveries"
     )
@@ -467,6 +495,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--cache-capacity", type=int, default=256)
     p_serve.add_argument("--delete-every", type=int, default=0)
+    p_serve.add_argument(
+        "--publish-mode",
+        choices=("clone", "cow"),
+        default="cow",
+        help="snapshot publication: full checkpoint clone, or "
+        "incremental copy-on-write sharing untouched structure",
+    )
+    p_serve.add_argument(
+        "--buffer-cache",
+        type=int,
+        default=128,
+        metavar="BLOCKS",
+        help="block budget of the shared decoded-chunk cache (0 disables)",
+    )
+    p_serve.add_argument(
+        "--differential",
+        action="store_true",
+        help="after every publish, compare the served snapshot against "
+        "a full-clone oracle over a probe query set",
+    )
     p_serve.add_argument(
         "--pace",
         type=float,

@@ -11,6 +11,7 @@ from .compression import (
     implied_block_postings,
 )
 from .deletion import DeletionManager, SweepStats
+from .delta import DeltaJournal, FrozenStateError
 from .directory import Directory, LongListEntry
 from .flush import FlushCounters, FlushManager
 from .index import (
@@ -25,6 +26,7 @@ from .invariants import (
     InvariantReport,
     Violation,
     check_index,
+    freeze_index,
 )
 from .longlists import LongListCounters, LongListManager
 from .memindex import InMemoryIndex
@@ -52,9 +54,11 @@ __all__ = [
     "BucketGrower",
     "CountPostings",
     "DeletionManager",
+    "DeltaJournal",
     "Directory",
     "DocPostings",
     "DualStructureIndex",
+    "FrozenStateError",
     "FlushCounters",
     "FlushManager",
     "IndexConfig",
@@ -90,5 +94,6 @@ __all__ = [
     "encode_doc_ids",
     "encode_varint",
     "figure8_policies",
+    "freeze_index",
     "modular_hash",
 ]

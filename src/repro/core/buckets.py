@@ -115,6 +115,14 @@ class BucketManager:
     manager; this class knows nothing about disks.
     """
 
+    #: Delta-journal hook (attached by ``DualStructureIndex`` in content
+    #: mode); ``frozen`` is set on published snapshots by the debug-mode
+    #: write barrier (``invariants.freeze_index``).  Bucket instances are
+    #: shared between consecutive snapshots, so mutation is policed at the
+    #: manager level (``Bucket`` uses ``__slots__`` and stays flag-free).
+    journal = None
+    frozen = False
+
     def __init__(
         self,
         nbuckets: int,
@@ -179,8 +187,17 @@ class BucketManager:
         list.  (An in-memory list larger than the whole bucket simply passes
         straight through as its own migration.)
         """
+        if self.frozen:
+            from .delta import FrozenStateError
+
+            raise FrozenStateError(
+                "attempt to insert into a frozen (published) bucket manager"
+            )
         bucket_id = self.bucket_of(word)
         bucket = self.buckets[bucket_id]
+        if self.journal is not None:
+            self.journal.note_bucket(bucket_id)
+            self.journal.note_word(word)
         bucket.insert(word, payload)
         self._record(bucket_id)
         migrations: list[tuple[int, PostingPayload]] = []
@@ -192,7 +209,16 @@ class BucketManager:
 
     def remove(self, word: int) -> PostingPayload:
         """Remove a word's short list (used when promoting externally)."""
+        if self.frozen:
+            from .delta import FrozenStateError
+
+            raise FrozenStateError(
+                "attempt to remove from a frozen (published) bucket manager"
+            )
         bucket_id = self.bucket_of(word)
+        if self.journal is not None:
+            self.journal.note_bucket(bucket_id)
+            self.journal.note_word(word)
         payload = self.buckets[bucket_id].remove(word)
         self._record(bucket_id)
         return payload

@@ -23,11 +23,22 @@ import io
 import struct
 from typing import BinaryIO
 
+from dataclasses import replace as _dc_replace
+
 from ..storage import faults
 from ..storage.block import Chunk
+from ..storage.blockmap import ABSENT, LayeredBlocks
+from ..storage.diskarray import DiskArray
 from ..storage.freelist import BuddyFreeList
+from ..storage.iotrace import IOTrace
 from ..storage.profiles import PROFILES, SEAGATE_SCSI_1994
+from .buckets import Bucket, BucketManager
+from .delta import DeltaJournal
+from .directory import LongListEntry
+from .flush import FlushManager
 from .index import DualStructureIndex, IndexConfig
+from .longlists import LongListManager
+from .memindex import InMemoryIndex
 from .policy import Alloc, Limit, Policy, Style
 from .positional import PositionalPostings
 from .postings import CountPostings, DocPostings
@@ -44,6 +55,10 @@ CP_MID_SAVE = faults.register_crash_point(
 )
 CP_END_SAVE = faults.register_crash_point(
     "checkpoint.end-save", "all sections written, save about to return"
+)
+CP_COW_PUBLISH = faults.register_crash_point(
+    "checkpoint.cow-publish",
+    "incremental clone assembly started, nothing published yet",
 )
 
 
@@ -419,3 +434,212 @@ def clone(index: DualStructureIndex) -> DualStructureIndex:
 def roundtrip(index: DualStructureIndex) -> DualStructureIndex:
     """Save to memory and load back (test/debug convenience)."""
     return clone(index)
+
+
+# -- incremental copy-on-write clone -------------------------------------------
+
+
+def _config_fingerprint(cfg: IndexConfig) -> tuple:
+    """The structural parameters two clones of one index must agree on.
+
+    This is exactly the projection the serialized format round-trips —
+    fault plans, crash safety, and bucket growth are deliberately absent
+    (``_load`` never reconstructs them), so a full clone and an
+    incremental clone of the same writer compare equal.
+    """
+    return (
+        cfg.nbuckets,
+        cfg.bucket_size,
+        cfg.block_postings,
+        cfg.ndisks,
+        cfg.allocator,
+        cfg.policy,
+        cfg.store_contents,
+        cfg.positional,
+        cfg.nblocks_override,
+        cfg.trace_enabled,
+        cfg.directory_entry_bytes,
+        (cfg.profile or SEAGATE_SCSI_1994).name,
+    )
+
+
+def clone_incremental(
+    index: DualStructureIndex,
+    prev: DualStructureIndex,
+    delta: DeltaJournal,
+) -> DualStructureIndex:
+    """An O(batch) clone of ``index`` sharing structure with ``prev``.
+
+    ``prev`` must be the immediately preceding published clone of the
+    same writer (itself produced by :func:`clone` or this function) and
+    ``delta`` the journal of every writer mutation since ``prev`` was
+    taken.  The result is equivalent to ``clone(index)`` but deep-copies
+    only the dirty set:
+
+    * untouched ``Bucket`` objects, directory entries, and chunk records
+      are shared with ``prev`` by reference;
+    * untouched disk blocks are shared through a
+      :class:`~repro.storage.blockmap.LayeredBlocks` overlay whose only
+      own entries are the batch's dirty blocks (rewrites carry the
+      writer's bytes, frees are masked with ``ABSENT``);
+    * dirty words, buckets, and flush regions are copied fresh from the
+      writer, never aliased to it.
+
+    Shared state is safe because published clones are never mutated —
+    enforced in debug mode by ``invariants.freeze_index``.  Raises
+    :class:`CheckpointError` whenever the delta cannot vouch for the
+    divergence (bucket growth, crash recovery, bookkeeping mismatch) —
+    callers fall back to the full :func:`clone`, which doubles as the
+    differential-testing oracle for this fast path.
+    """
+    cfg = prev.config
+    if delta is None:
+        raise CheckpointError("incremental clone requires a delta journal")
+    if delta.requires_full:
+        raise CheckpointError(
+            "delta journal cannot vouch for sharing (structure change or "
+            "crash recovery since the previous publish); use a full clone"
+        )
+    if not cfg.store_contents:
+        raise CheckpointError("incremental clone requires content mode")
+    if len(index.memory) != 0:
+        raise CheckpointError(
+            "incremental clone requires an empty in-memory batch; call "
+            "flush_batch() first"
+        )
+    if index.longlists.release:
+        raise CheckpointError(
+            "incremental clone requires an empty RELEASE list (publish at "
+            "a batch boundary, not mid-sweep)"
+        )
+    for disk in index.array.disks:
+        if isinstance(disk.freelist, BuddyFreeList):
+            raise CheckpointError(
+                "buddy allocator state is not checkpointable"
+            )
+    if _config_fingerprint(cfg) != _config_fingerprint(index.config):
+        raise CheckpointError(
+            "previous clone was built from a different configuration"
+        )
+    if prev._batches + delta.batches != index._batches:
+        raise CheckpointError(
+            f"delta journal covers {delta.batches} batch(es) but the "
+            f"writer advanced from {prev._batches} to {index._batches}; "
+            "the journal was cleared at the wrong boundary"
+        )
+    faults.crash_point(CP_COW_PUBLISH)
+
+    out = DualStructureIndex.__new__(DualStructureIndex)
+    out.config = cfg
+    out.trace = IOTrace() if cfg.trace_enabled else None
+
+    # Disks: writer free-space intervals, block maps layered over prev.
+    # A full clone always reconstructs a plain (fault-free) DiskArray,
+    # so the incremental path does the same for exact parity.
+    out.array = DiskArray(cfg.array_config())
+    out.array._next_disk = index.array._next_disk
+    dirty_by_disk: dict[int, list[int]] = {}
+    for disk_id, block in delta.dirty_blocks:
+        dirty_by_disk.setdefault(disk_id, []).append(block)
+    for disk_id, disk in enumerate(out.array.disks):
+        writer_disk = index.array.disks[disk_id]
+        disk.freelist._starts = list(writer_disk.freelist._starts)
+        disk.freelist._lengths = list(writer_disk.freelist._lengths)
+        disk.freelist.check_invariants()
+        overlay: dict = {}
+        writer_blocks = writer_disk._blocks
+        for block in dirty_by_disk.get(disk_id, ()):
+            payload = writer_blocks.get(block)
+            overlay[block] = ABSENT if payload is None else payload
+        disk._blocks = LayeredBlocks.over(
+            prev.array.disks[disk_id]._blocks, overlay
+        )
+
+    # Buckets: share every untouched Bucket object with prev; dirty
+    # buckets are rebuilt from the writer with payloads copied so the
+    # clone never aliases writer-mutable state.
+    out.buckets = BucketManager(cfg.nbuckets, cfg.bucket_size)
+    shared_buckets = list(prev.buckets.buckets)
+    for bucket_id in delta.dirty_buckets:
+        source = index.buckets.buckets[bucket_id]
+        fresh = Bucket(source.capacity)
+        for word, payload in source.lists.items():
+            fresh.lists[word] = payload.copy()
+        fresh.npostings = source.npostings
+        shared_buckets[bucket_id] = fresh
+    out.buckets.buckets = shared_buckets
+
+    # Long lists: share untouched directory entries (and their Chunk
+    # records) with prev; dirty words get fresh entries with fresh chunk
+    # copies — in-place updates mutate Chunk.npostings on the writer, so
+    # chunk records of dirty words must never be aliased.
+    content_cls = PositionalPostings if cfg.positional else DocPostings
+    out.longlists = LongListManager(
+        cfg.policy,
+        out.array,
+        cfg.block_postings,
+        trace=out.trace,
+        content_cls=content_cls,
+    )
+    entries = dict(prev.longlists.directory._entries)
+    for word in delta.dirty_words:
+        source_entry = index.longlists.directory.get(word)
+        if source_entry is None:
+            # The word has no long list any more (bucket-resident, or
+            # removed by a deletion sweep).
+            entries.pop(word, None)
+        else:
+            entries[word] = LongListEntry(
+                word=word,
+                chunks=[
+                    Chunk(
+                        disk=c.disk,
+                        start=c.start,
+                        nblocks=c.nblocks,
+                        npostings=c.npostings,
+                        reserved=c.reserved,
+                    )
+                    for c in source_entry.chunks
+                ],
+            )
+    out.longlists.directory._entries = entries
+    out.longlists.counters = _dc_replace(index.longlists.counters)
+    out.longlists._update_sizes = dict(index.longlists._update_sizes)
+
+    # Flush regions: small, always rewritten each batch — copy fresh.
+    # FlushCounters stay zero, matching what a load reconstructs.
+    out.flusher = FlushManager(
+        out.array,
+        cfg.block_postings,
+        trace=out.trace,
+        directory_entry_bytes=cfg.directory_entry_bytes,
+    )
+    out.flusher._bucket_regions = [
+        Chunk(
+            disk=c.disk,
+            start=c.start,
+            nblocks=c.nblocks,
+            npostings=c.npostings,
+            reserved=c.reserved,
+        )
+        for c in index.flusher._bucket_regions
+    ]
+    if index.flusher._directory_region is not None:
+        c = index.flusher._directory_region
+        out.flusher._directory_region = Chunk(
+            disk=c.disk,
+            start=c.start,
+            nblocks=c.nblocks,
+            npostings=c.npostings,
+            reserved=c.reserved,
+        )
+    out.memory = InMemoryIndex()
+    out.grower = None
+    out._batches = index._batches
+    out._next_doc_id = index._next_doc_id
+    out._last_recovery_point = None
+    out._aborted_batch = None
+    out._aborted_next_doc_id = 0
+    out.delta = DeltaJournal()
+    out._attach_journal()
+    return out

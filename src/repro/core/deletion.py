@@ -71,6 +71,9 @@ class DeletionManager:
             raise ValueError(
                 f"doc id {doc_id} outside [0, {self.index.ndocs})"
             )
+        self._check_unfrozen("delete a document through")
+        if self.index.delta is not None:
+            self.index.delta.note_deletions()
         self.deleted.add(doc_id)
 
     def is_deleted(self, doc_id: int) -> bool:
@@ -101,6 +104,7 @@ class DeletionManager:
         """
         if self.sweeping:
             raise RuntimeError("a sweep is already in progress")
+        self._check_unfrozen("sweep")
         self._sweep_snapshot = set(self.deleted)
         # Long lists first (they hold the bulk of reclaimable postings),
         # then bucket words.
@@ -131,6 +135,8 @@ class DeletionManager:
         if not self._sweep_queue:
             # "After a sweep of the index, the list of deleted document
             # identifiers can be thrown away."
+            if snapshot and self.index.delta is not None:
+                self.index.delta.note_deletions()
             self.deleted -= snapshot
             self._sweep_snapshot = None
             self.stats.complete = True
@@ -143,6 +149,16 @@ class DeletionManager:
         while self.sweeping:
             self.sweep_step(max_lists=64)
         return self.stats
+
+    def _check_unfrozen(self, action: str) -> None:
+        # The deleted set may be structurally shared between published
+        # snapshots; the index-level frozen flag covers it.
+        if getattr(self.index, "frozen", False):
+            from .delta import FrozenStateError
+
+            raise FrozenStateError(
+                f"attempt to {action} a frozen (published) snapshot"
+            )
 
     # -- internals -------------------------------------------------------------
 
@@ -165,9 +181,14 @@ class DeletionManager:
         kept = short.without_docs(snapshot)
         removed = len(short) - len(kept)
         if removed:
-            bucket = self.index.buckets.buckets[
-                self.index.buckets.bucket_of(word)
-            ]
+            bucket_id = self.index.buckets.bucket_of(word)
+            bucket = self.index.buckets.buckets[bucket_id]
+            # This mutates the Bucket directly (no overflow is possible
+            # when shrinking a list), bypassing the manager's journal
+            # hook — record the dirty bucket and word explicitly.
+            if self.index.delta is not None:
+                self.index.delta.note_bucket(bucket_id)
+                self.index.delta.note_word(word)
             bucket.remove(word)
             if len(kept):
                 bucket.insert(word, kept)

@@ -1,0 +1,139 @@
+"""Per-batch delta journal feeding incremental copy-on-write publication.
+
+Between two published snapshots the writer mutates a bounded set of
+structures: the buckets that absorbed short postings, the directory
+entries and chunks of long lists that were appended to or relocated, the
+disk blocks rewritten or freed by those moves, and the deletion set.
+``DeltaJournal`` records exactly that dirty set so that
+``checkpoint.clone_incremental`` can deep-copy only what changed and
+structurally share everything else with the previous snapshot, and so
+the serving cache can evict only results whose terms intersect the
+batch's dirty vocabulary.
+
+The journal is attached once by ``DualStructureIndex`` (content mode
+only) and referenced by the disks, the bucket manager, the long-list
+manager, the flush manager, and the deletion manager.  It is a single
+long-lived object cleared in place after each successful publish, so
+re-attachment is only needed when ``recover()`` rebuilds the structures
+wholesale.
+
+Recording is deliberately a superset: anything that *might* differ from
+the previous snapshot is marked dirty.  Over-recording costs a little
+sharing; under-recording would leak writer mutations into published
+snapshots, so every mutation path must pass through a ``note_*`` hook.
+"""
+
+from __future__ import annotations
+
+
+class FrozenStateError(RuntimeError):
+    """A mutation reached an index structure frozen at publish time.
+
+    Raised by the debug-mode write barrier (``invariants.freeze_index``)
+    when a published snapshot — whose buckets, chunks, and blocks may be
+    structurally shared with other snapshots — is mutated.  Any
+    occurrence is a bug in the copy-on-write discipline, never a
+    recoverable condition.
+    """
+
+
+class DeltaJournal:
+    """Dirty-set record of all writer mutations since the last publish."""
+
+    __slots__ = (
+        "dirty_words",
+        "dirty_buckets",
+        "dirty_blocks",
+        "deletions_changed",
+        "structure_changed",
+        "recovered",
+        "batches",
+    )
+
+    def __init__(self) -> None:
+        self.dirty_words: set[int] = set()
+        self.dirty_buckets: set[int] = set()
+        self.dirty_blocks: set[tuple[int, int]] = set()
+        self.deletions_changed = False
+        self.structure_changed = False
+        self.recovered = False
+        self.batches = 0
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called from the flush / deletion / storage paths)
+    # ------------------------------------------------------------------
+    def note_word(self, word: int) -> None:
+        """A long-list directory entry (or its chunks) changed."""
+        self.dirty_words.add(word)
+
+    def note_bucket(self, bucket_id: int) -> None:
+        """A bucket's resident short lists changed."""
+        self.dirty_buckets.add(bucket_id)
+
+    def note_block(self, disk_id: int, block: int) -> None:
+        """A single stored block was written or freed."""
+        self.dirty_blocks.add((disk_id, block))
+
+    def note_blocks(self, disk_id: int, start: int, nblocks: int) -> None:
+        """A contiguous block range was written or freed."""
+        add = self.dirty_blocks.add
+        for block in range(start, start + nblocks):
+            add((disk_id, block))
+
+    def note_deletions(self) -> None:
+        """The deleted-document set changed (delete or sweep drain)."""
+        self.deletions_changed = True
+
+    def note_structure(self) -> None:
+        """A structural change (bucket growth) invalidated sharing."""
+        self.structure_changed = True
+
+    def note_recovery(self) -> None:
+        """Crash recovery rebuilt the index; journal coverage is void."""
+        self.recovered = True
+
+    def note_batch(self) -> None:
+        """A flush completed; used to cross-check publish bookkeeping."""
+        self.batches += 1
+
+    # ------------------------------------------------------------------
+    # Publication protocol
+    # ------------------------------------------------------------------
+    @property
+    def requires_full(self) -> bool:
+        """True when only a full clone is safe.
+
+        Bucket growth rehashes every resident word, and crash recovery
+        replaces the structures the journal was observing — in both
+        cases the dirty set no longer bounds the divergence from the
+        previous snapshot, so the publisher falls back to the full
+        checkpoint clone (the differential-testing oracle).
+        """
+        return self.structure_changed or self.recovered
+
+    def clear(self) -> None:
+        """Reset in place after a successful publish.
+
+        In-place so every structure holding a reference to the journal
+        (disks, managers) keeps observing the same object — no
+        re-wiring after publish.
+        """
+        self.dirty_words.clear()
+        self.dirty_buckets.clear()
+        self.dirty_blocks.clear()
+        self.deletions_changed = False
+        self.structure_changed = False
+        self.recovered = False
+        self.batches = 0
+
+    def summary(self) -> dict:
+        """Diagnostic view used in publish traces and tests."""
+        return {
+            "dirty_words": len(self.dirty_words),
+            "dirty_buckets": len(self.dirty_buckets),
+            "dirty_blocks": len(self.dirty_blocks),
+            "deletions_changed": self.deletions_changed,
+            "structure_changed": self.structure_changed,
+            "recovered": self.recovered,
+            "batches": self.batches,
+        }

@@ -59,6 +59,12 @@ class FlushCounters:
 class FlushManager:
     """Shadow-writes the bucket region and directory at batch boundaries."""
 
+    #: Delta-journal hook (attached by ``DualStructureIndex`` in content
+    #: mode).  Region blocks carry no stored contents, but noting their
+    #: turnover keeps the journal a self-contained record of every block
+    #: whose allocation state changed between publishes.
+    journal = None
+
     def __init__(
         self,
         array: DiskArray,
@@ -112,6 +118,10 @@ class FlushManager:
         faults.crash_point(CP_BEGIN)
         new_bucket_regions = self._allocate_striped(bucket_blocks)
         for chunk in new_bucket_regions:
+            if self.journal is not None:
+                self.journal.note_blocks(
+                    chunk.disk, chunk.start, chunk.nblocks
+                )
             self._record(Target.BUCKET, chunk)
             self.counters.bucket_writes += 1
             self.counters.bucket_blocks += chunk.nblocks
@@ -121,6 +131,12 @@ class FlushManager:
             self.array.profile.block_size, self.directory_entry_bytes
         )
         new_directory_region = self.array.allocate_chunk(dir_blocks)
+        if self.journal is not None:
+            self.journal.note_blocks(
+                new_directory_region.disk,
+                new_directory_region.start,
+                new_directory_region.nblocks,
+            )
         self._record(Target.DIRECTORY, new_directory_region)
         self.counters.directory_writes += 1
         self.counters.directory_blocks += dir_blocks

@@ -27,6 +27,7 @@ from ..storage.faults import FaultPlan, FaultyDiskArray
 from ..storage.iotrace import IOTrace
 from ..storage.profiles import SEAGATE_SCSI_1994, DiskProfile
 from .buckets import BucketManager
+from .delta import DeltaJournal, FrozenStateError
 from .flush import FlushManager
 from .longlists import LongListManager
 from .memindex import InMemoryIndex
@@ -169,6 +170,11 @@ class IndexStats:
 class DualStructureIndex:
     """Incrementally updatable inverted index over integer word ids."""
 
+    #: Set by ``invariants.freeze_index`` on published snapshots; guarded
+    #: at the mutation entry points so copy-on-write sharing violations
+    #: fail loudly in debug mode.
+    frozen = False
+
     def __init__(self, config: IndexConfig | None = None) -> None:
         self.config = config or IndexConfig()
         self.trace = IOTrace() if self.config.trace_enabled else None
@@ -206,8 +212,31 @@ class DualStructureIndex:
         self._last_recovery_point: bytes | None = None
         self._aborted_batch: tuple | None = None
         self._aborted_next_doc_id = 0
+        # Content-mode indexes journal every mutation for incremental
+        # copy-on-write publication; evaluation-mode (size-only) indexes
+        # skip the bookkeeping entirely.
+        self.delta = DeltaJournal() if self.config.store_contents else None
+        self._attach_journal()
         if self.config.crash_safe:
             self._save_recovery_point()
+
+    def _attach_journal(self) -> None:
+        """Point every mutable structure at the shared delta journal.
+
+        Called at construction and again after :meth:`recover` replaces
+        the structures wholesale.  The journal object itself is long-lived
+        and cleared in place at each publish, so these references stay
+        valid across batches.
+        """
+        journal = self.delta
+        if journal is None:
+            return
+        self.buckets.journal = journal
+        self.longlists.journal = journal
+        self.flusher.journal = journal
+        for disk_id, disk in enumerate(self.array.disks):
+            disk.journal = journal
+            disk.journal_disk = disk_id
 
     # -- ingest -----------------------------------------------------------
 
@@ -269,6 +298,10 @@ class DualStructureIndex:
 
     def flush_batch(self) -> BatchResult:
         """Write the in-memory index to disk as one batch update."""
+        if self.frozen:
+            raise FrozenStateError(
+                "attempt to flush a frozen (published) snapshot"
+            )
         if self.config.crash_safe:
             # Capture the batch before any disk structure is touched so an
             # aborted update can be re-applied after rollback.
@@ -297,7 +330,12 @@ class DualStructureIndex:
         if self.grower is not None:
             # Rebalance before the flush so the enlarged region is what
             # gets written ("expanded and written in a larger region").
-            self.grower.maybe_grow(self.buckets, batch=self._batches)
+            grew = self.grower.maybe_grow(self.buckets, batch=self._batches)
+            if grew is not None and self.delta is not None:
+                # Growth rehashes every resident word: the dirty set no
+                # longer bounds the divergence, so the next publish must
+                # fall back to a full clone.
+                self.delta.note_structure()
         faults.crash_point(CP_BEFORE_SHADOW_FLUSH)
         profile = self.array.profile
         self.flusher.flush(
@@ -313,6 +351,8 @@ class DualStructureIndex:
         faults.crash_point(CP_BEFORE_CLEAR)
         self.memory.clear()
         self._batches += 1
+        if self.delta is not None:
+            self.delta.note_batch()
         if self.config.crash_safe:
             faults.crash_point(CP_BEFORE_RECOVERY_POINT)
             self._save_recovery_point()
@@ -376,6 +416,13 @@ class DualStructureIndex:
         self.trace = restored.trace
         self._batches = restored._batches
         self._next_doc_id = restored._next_doc_id
+        # Recovery replaced the structures the delta journal was
+        # observing: re-attach the same journal *before* the replay flush
+        # (so the replayed batch is recorded) and void its coverage — the
+        # next publish must fall back to a full clone.
+        if self.delta is not None:
+            self.delta.note_recovery()
+            self._attach_journal()
         if replay and self._aborted_batch is not None:
             self.memory.restore(self._aborted_batch)
             self._next_doc_id = self._aborted_next_doc_id
@@ -438,6 +485,11 @@ class DualStructureIndex:
     def ndocs(self) -> int:
         """Documents indexed so far (content usage)."""
         return self._next_doc_id
+
+    @property
+    def batches(self) -> int:
+        """Completed batch flushes (the public face of ``_batches``)."""
+        return self._batches
 
     # -- statistics ---------------------------------------------------------
 

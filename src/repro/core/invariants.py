@@ -19,6 +19,17 @@ from dataclasses import dataclass, field
 
 from ..storage.block import blocks_for_postings
 from ..storage.freelist import BuddyFreeList
+from .delta import FrozenStateError
+
+__all__ = [
+    "FrozenStateError",
+    "InvariantError",
+    "InvariantReport",
+    "Violation",
+    "check_index",
+    "check_frozen",
+    "freeze_index",
+]
 
 
 class InvariantError(Exception):
@@ -310,6 +321,35 @@ def _check_stats(index, report: InvariantReport) -> None:
             f"IndexStats.long_utilization = {stats.long_utilization}, "
             f"recomputed = {truth_util}",
         )
+
+
+def freeze_index(index) -> None:
+    """Arm the publish-time write barrier on a cloned index.
+
+    Incremental copy-on-write publication shares untouched buckets,
+    chunks, directory entries, and block maps between consecutive
+    snapshots, so a published snapshot must never be mutated.  Freezing
+    sets a flag the mutation entry points check — the disks
+    (write/free/allocate), the bucket manager (insert/remove), the
+    long-list manager (append/rewrite/end_batch), the flush path, and
+    the deletion manager — turning any sharing violation into an
+    immediate :class:`FrozenStateError` instead of silent corruption of
+    other snapshots.
+
+    Reads stay unrestricted: query-side counters and traces may still
+    advance on a frozen index.  Intended for debug/check mode; the flag
+    costs one attribute test per mutation when armed.
+    """
+    index.frozen = True
+    index.buckets.frozen = True
+    index.longlists.frozen = True
+    for disk in index.array.disks:
+        disk.frozen = True
+
+
+def check_frozen(index) -> bool:
+    """True when ``freeze_index`` has armed the barrier on this index."""
+    return bool(getattr(index, "frozen", False))
 
 
 def check_index(index) -> InvariantReport:

@@ -104,6 +104,14 @@ class LongListCounters:
 class LongListManager:
     """Applies the update policy to long lists on a simulated disk array."""
 
+    #: Delta-journal hook (attached by ``DualStructureIndex`` in content
+    #: mode) and the publish-time write barrier flag.
+    journal = None
+    frozen = False
+    #: Optional per-snapshot decoded-chunk cache (serving layer attaches a
+    #: ``storage.buffercache.BlockBufferCache`` to published snapshots).
+    buffer_cache = None
+
     def __init__(
         self,
         policy: Policy,
@@ -127,6 +135,14 @@ class LongListManager:
         # observed *after* each update so predictions use history only.
         self._update_sizes: dict[int, float] = {}
         self._current_prediction = 0.0
+
+    def _check_unfrozen(self, action: str) -> None:
+        if self.frozen:
+            from .delta import FrozenStateError
+
+            raise FrozenStateError(
+                f"attempt to {action} a frozen (published) long-list manager"
+            )
 
     # -- trace plumbing ------------------------------------------------------
 
@@ -189,10 +205,22 @@ class LongListManager:
 
     def _read_chunk_postings(self, chunk: Chunk):
         data_blocks = blocks_for_postings(chunk.npostings, self.block_postings)
+        # The buffer cache sits *below* all read-op and trace accounting:
+        # a hit skips only the block-store access and the decode, so cached
+        # serving reports exactly the Figure-10 costs of uncached serving.
+        cache = self.buffer_cache
+        if cache is not None:
+            cached = cache.get(chunk.disk, chunk.start, chunk.npostings)
+            if cached is not None:
+                return cached
         raw = self.array.disks[chunk.disk].read_blocks(chunk.start, data_blocks)
         postings = self.content_cls()
         for block in raw:
             postings.extend(self.content_cls.decode(block))
+        if cache is not None:
+            cache.put(
+                chunk.disk, chunk.start, data_blocks, chunk.npostings, postings
+            )
         return postings
 
     def read_postings(self, word: int):
@@ -230,6 +258,9 @@ class LongListManager:
         y = len(payload)
         if y <= 0:
             raise ValueError("an update must carry at least one posting")
+        self._check_unfrozen("append to")
+        if self.journal is not None:
+            self.journal.note_word(word)
         self.counters.appends += 1
         # Adaptive allocation predicts from *prior* updates only: the first
         # write of a word (often a bulk bucket migration) reserves nothing,
@@ -386,9 +417,12 @@ class LongListManager:
         policy's own style, so reclamation pays normal policy I/O.  An
         empty payload removes the word from the directory entirely.
         """
+        self._check_unfrozen("rewrite")
         entry = self.directory.get(word)
         if entry is None:
             raise KeyError(f"word {word} has no long list to rewrite")
+        if self.journal is not None:
+            self.journal.note_word(word)
         self.release.extend(entry.chunks)
         entry.chunks = []
         if len(payload) == 0:
@@ -405,6 +439,7 @@ class LongListManager:
     def end_batch(self) -> None:
         """Free the RELEASE list (paper §3: old whole-style chunks are only
         returned to free space when the buckets and directory flush)."""
+        self._check_unfrozen("end a batch on")
         faults.crash_point(CP_BEFORE_RELEASE_FREE)
         for chunk in self.release:
             self.array.free_chunk(chunk)

@@ -12,7 +12,7 @@ from .content import build_content_index
 from .exercise import ExerciseConfig, ExerciseDisksProcess, ExerciseOutcome
 from .experiment import Experiment, ExperimentConfig, PolicyRun, default_scale
 from .invert import InvertIndexProcess
-from .profiling import StageTimings
+from .profiling import HitMissCounters, StageTimings
 from .rebuild import PeriodicRebuildBaseline, RebuildResult
 from .stats import CorpusStats, corpus_stats
 from .sweep import PolicySweep, SweepPolicyReport, SweepReport
@@ -30,6 +30,7 @@ __all__ = [
     "ExerciseOutcome",
     "Experiment",
     "ExperimentConfig",
+    "HitMissCounters",
     "InvertIndexProcess",
     "LongListTrace",
     "LongListUpdate",

@@ -69,6 +69,65 @@ class StageTimings:
         }
 
 
+@dataclass
+class HitMissCounters:
+    """Thread-safe hit/miss/eviction tallies for a shared cache.
+
+    The counter protocol the block buffer cache
+    (:class:`repro.storage.buffercache.BlockBufferCache`) reports into:
+    ``note_hit``/``note_miss`` on every lookup, ``note_eviction`` when
+    capacity pressure drops an entry, ``note_invalidated`` when a publish
+    drops entries overlapping the batch's dirty blocks.  One instance is
+    shared across reader threads, so increments take a lock (contention
+    is negligible next to the block decode a miss implies).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidated: int = 0
+
+    def __post_init__(self) -> None:
+        import threading
+
+        self._lock = threading.Lock()
+
+    def note_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+    def note_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
+    def note_eviction(self) -> None:
+        with self._lock:
+            self.evictions += 1
+
+    def note_invalidated(self) -> None:
+        with self._lock:
+            self.invalidated += 1
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+
 @contextmanager
 def timed() -> Iterator[list[float]]:
     """Time a block; yields a one-slot list filled with elapsed seconds."""

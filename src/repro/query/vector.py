@@ -56,7 +56,12 @@ def rank(
     if top_k <= 0:
         raise ValueError("top_k must be > 0")
     scores: dict[int, float] = {}
-    for word, weight in weights.items():
+    # Sorted iteration pins the float accumulation order: two queries
+    # naming the same (word, weight) set in different orders must score
+    # bit-identically, or answer caches keyed on the canonicalized set
+    # would serve results that differ in the last ulp from a fresh
+    # evaluation.
+    for word, weight in sorted(weights.items()):
         if weight == 0.0:
             continue
         postings = fetch(word)

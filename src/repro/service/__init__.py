@@ -4,10 +4,14 @@ The subsystem the paper's motivation asks for but its evaluation never
 builds: reader threads answer boolean / streamed / vector queries against
 an immutable published :class:`IndexSnapshot` while a single writer
 absorbs batch updates, publishing a fresh snapshot atomically at each
-flush (copy-on-publish through the checkpoint machinery).  A
-snapshot-keyed :class:`QueryResultCache` short-circuits repeated queries
-and is invalidated wholesale at publish; :class:`LoadGenerator` drives the
-mixed workload and reports throughput plus tail latency.
+flush — either a full checkpoint clone (``publish_mode="clone"``) or an
+incremental copy-on-write snapshot sharing all untouched structure with
+its predecessor (``publish_mode="cow"``).  A validity-ranged
+:class:`QueryResultCache` short-circuits repeated queries and is
+invalidated delta-scoped at cow publishes (wholesale under clone);
+:class:`LoadGenerator` drives the mixed workload — optionally comparing
+every cow snapshot against the full-clone oracle — and reports
+throughput plus tail and publish latency.
 """
 
 from .cache import CacheStats, QueryResultCache

@@ -1,12 +1,29 @@
-"""Snapshot-keyed LRU cache for query results.
+"""Delta-scoped LRU cache for query results.
 
-A result computed against snapshot *S* is valid exactly as long as *S* is
-the published snapshot: the dual-structure index only changes at batch
-boundaries, and the service publishes a fresh immutable snapshot at each
-flush.  So the cache keys every entry by ``(snapshot_id, kind, query)``
-and the service drops the whole cache wholesale at publish time — there is
-no per-entry invalidation problem to solve, which is the payoff of
-snapshot isolation.
+A result computed against snapshot *S* stays valid across a publish
+whenever the batch that produced snapshot *S+1* provably could not have
+changed it.  The dual-structure index only changes at batch boundaries,
+and the writer's delta journal records exactly which vocabulary terms a
+batch touched — so instead of dropping the whole cache at publish time,
+the service *extends* every entry whose terms are disjoint from the
+batch's dirty vocabulary (and whose answer does not depend on the
+document universe when the universe grew).
+
+The correctness argument (DESIGN.md §11): an answer depends only on
+
+* the postings of the terms it read — unchanged unless a term is in the
+  batch's dirty vocabulary (which includes words newly added, so a term
+  that previously missed the vocabulary is also caught);
+* the deletion filter set — any deletion change evicts everything
+  (``deletions_changed``);
+* for universe-sensitive queries (boolean ``NOT``, vector ranking whose
+  idf uses ``ndocs``), the doc-id universe — any batch that adds
+  documents evicts those (``universe_changed``).
+
+Entries therefore carry a *validity interval* ``[first_id, last_id]`` of
+snapshot ids; :meth:`publish_delta` extends clean entries to the new id
+and drops the rest.  Readers pinned to an older snapshot simply miss —
+an entry is never returned for a snapshot outside its interval.
 
 Thread model: many reader threads share one cache; every operation takes
 the internal lock (the critical sections are dictionary operations, far
@@ -19,7 +36,8 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-CacheKey = tuple[int, str, object]
+#: ``(kind, query_key)`` — snapshot validity lives in the entry, not the key.
+CacheKey = tuple[str, object]
 
 
 @dataclass
@@ -31,7 +49,8 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     entries_invalidated: int = 0
-    #: hits per live entry (reset wholesale with the entries themselves).
+    entries_retained: int = 0
+    #: hits per live entry (dropped with the entries themselves).
     entry_hits: dict[CacheKey, int] = field(default_factory=dict)
 
     @property
@@ -49,36 +68,49 @@ class CacheStats:
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "entries_invalidated": self.entries_invalidated,
+            "entries_retained": self.entries_retained,
             "hit_rate": round(self.hit_rate, 6),
         }
 
 
+class _Entry:
+    __slots__ = ("value", "terms", "universe_sensitive", "first_id", "last_id")
+
+    def __init__(self, value, terms, universe_sensitive, snapshot_id):
+        self.value = value
+        self.terms = terms
+        self.universe_sensitive = universe_sensitive
+        self.first_id = snapshot_id
+        self.last_id = snapshot_id
+
+
 class QueryResultCache:
-    """A bounded LRU map from ``(snapshot_id, kind, query)`` to results.
+    """A bounded LRU map from ``(kind, query)`` to validity-ranged results.
 
     ``get``/``put`` never copy values — the service stores immutable
     tuples, so a cached answer can be shared across readers safely.
     """
-
-    _MISS = object()
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
         self._stats = CacheStats()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
-    def get(self, key: CacheKey):
-        """The cached value for ``key`` or ``None``; counts the outcome."""
+    def get(self, key: CacheKey, snapshot_id: int):
+        """The cached value for ``key`` valid at ``snapshot_id``, or
+        ``None``; counts the outcome."""
         with self._lock:
-            value = self._entries.get(key, self._MISS)
-            if value is self._MISS:
+            entry = self._entries.get(key)
+            if entry is None or not (
+                entry.first_id <= snapshot_id <= entry.last_id
+            ):
                 self._stats.misses += 1
                 return None
             self._entries.move_to_end(key)
@@ -86,24 +118,79 @@ class QueryResultCache:
             self._stats.entry_hits[key] = (
                 self._stats.entry_hits.get(key, 0) + 1
             )
-            return value
+            return entry.value
 
-    def put(self, key: CacheKey, value) -> None:
-        """Insert (or refresh) an entry, evicting the LRU tail if full."""
+    def put(
+        self,
+        key: CacheKey,
+        value,
+        snapshot_id: int,
+        terms: frozenset = frozenset(),
+        universe_sensitive: bool = False,
+    ) -> None:
+        """Insert an entry valid (for now) only at ``snapshot_id``.
+
+        ``terms`` are the query's vocabulary terms (lowercase) and
+        ``universe_sensitive`` marks answers that depend on the doc-id
+        universe; both drive :meth:`publish_delta`.  A put from a reader
+        pinned to an *older* snapshot never displaces a fresher entry.
+        """
         if self.capacity == 0:
             return
         with self._lock:
-            if key in self._entries:
+            existing = self._entries.get(key)
+            if existing is not None:
+                if existing.last_id >= snapshot_id:
+                    self._entries.move_to_end(key)
+                    return
                 self._entries.move_to_end(key)
-            self._entries[key] = value
+            self._entries[key] = _Entry(
+                value, terms, universe_sensitive, snapshot_id
+            )
             while len(self._entries) > self.capacity:
                 evicted, _ = self._entries.popitem(last=False)
                 self._stats.evictions += 1
                 self._stats.entry_hits.pop(evicted, None)
 
+    def publish_delta(
+        self,
+        new_id: int,
+        dirty_terms: frozenset,
+        universe_changed: bool,
+        deletions_changed: bool,
+    ) -> int:
+        """Apply one publish's delta: extend clean entries to ``new_id``,
+        drop dirty and stranded ones; returns the number dropped.
+
+        An entry is *clean* when it was valid at ``new_id - 1``, none of
+        its terms intersect ``dirty_terms``, the deletion set did not
+        change, and (if universe-sensitive) no documents were added.
+        """
+        prev_id = new_id - 1
+        with self._lock:
+            dropped = retained = 0
+            for key in list(self._entries):
+                entry = self._entries[key]
+                if (
+                    entry.last_id != prev_id
+                    or deletions_changed
+                    or (universe_changed and entry.universe_sensitive)
+                    or not entry.terms.isdisjoint(dirty_terms)
+                ):
+                    del self._entries[key]
+                    self._stats.entry_hits.pop(key, None)
+                    dropped += 1
+                else:
+                    entry.last_id = new_id
+                    retained += 1
+            self._stats.invalidations += 1
+            self._stats.entries_invalidated += dropped
+            self._stats.entries_retained += retained
+            return dropped
+
     def invalidate(self) -> int:
-        """Drop every entry (a new snapshot was published); returns the
-        number of entries dropped."""
+        """Drop every entry (wholesale — the clone-mode publish path and
+        the cow fallback); returns the number of entries dropped."""
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
@@ -121,5 +208,6 @@ class QueryResultCache:
                 evictions=self._stats.evictions,
                 invalidations=self._stats.invalidations,
                 entries_invalidated=self._stats.entries_invalidated,
+                entries_retained=self._stats.entries_retained,
                 entry_hits=dict(self._stats.entry_hits),
             )

@@ -43,7 +43,22 @@ CRASH_CYCLE = (
     "index.before-release",
     "index.before-clear",
     "checkpoint.mid-save",
+    "checkpoint.cow-publish",
 )
+
+
+def _word_name(i: int) -> str:
+    """Letters-only synthetic word: "wa", "wb", ... "wz", "waa", ...
+
+    The tokenizer splits tokens at digit boundaries, so digit-suffixed
+    names ("w1") would be indexed as "w" + "1" and every generated query
+    would look up words that do not exist — answering over the empty set.
+    """
+    suffix = ""
+    while i > 0:
+        i, r = divmod(i - 1, 26)
+        suffix = chr(ord("a") + r) + suffix
+    return "w" + suffix
 
 
 @dataclass(frozen=True)
@@ -71,6 +86,16 @@ class LoadConfig:
     fault_seed: int = 0
     #: Seconds the writer sleeps between cycles so readers interleave.
     pace_s: float = 0.0
+    #: How snapshots are published: "cow" (incremental copy-on-write)
+    #: or "clone" (full checkpoint clone, the oracle).
+    publish_mode: str = "cow"
+    #: Block budget of the shared decoded-chunk cache (0 = disabled).
+    buffer_cache_blocks: int = 128
+    #: After every publish, compare the served snapshot against a fresh
+    #: full-clone oracle over a probe query set (differential testing).
+    differential: bool = False
+    #: Probe queries per kind for each differential check.
+    differential_probes: int = 4
 
     def __post_init__(self) -> None:
         if self.readers <= 0 or self.flush_cycles <= 0:
@@ -79,6 +104,8 @@ class LoadConfig:
             raise ValueError("docs_per_batch and vocabulary must be > 0")
         if len(self.mix) != 3 or sum(self.mix) <= 0 or min(self.mix) < 0:
             raise ValueError("mix must be three non-negative weights")
+        if self.publish_mode not in ("clone", "cow"):
+            raise ValueError("publish_mode must be 'clone' or 'cow'")
 
     @property
     def injects_faults(self) -> bool:
@@ -119,6 +146,7 @@ class ServingReport:
     stage_seconds: dict[str, float]
     divergences: int
     divergence_examples: list[str] = field(default_factory=list)
+    buffer_cache: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -128,6 +156,7 @@ class ServingReport:
             "throughput_qps": round(self.throughput_qps, 3),
             "latency": self.latency,
             "cache": self.cache,
+            "buffer_cache": self.buffer_cache,
             "service": self.service,
             "stage_seconds": self.stage_seconds,
             "divergences": self.divergences,
@@ -141,9 +170,17 @@ class ServingReport:
 
 
 class _ReaderState:
-    """One reader thread's private recorders (merged after the run)."""
+    """One reader thread's private state: its seeded RNG and recorders.
 
-    def __init__(self) -> None:
+    The RNG lives here (not in the reader loop, not shared) so each
+    thread's query stream is deterministic for a given ``(seed,
+    reader_id)`` regardless of interleaving — shared ``random.Random``
+    instances are lock-protected but produce schedule-dependent
+    sequences.
+    """
+
+    def __init__(self, seed: int, reader_id: int) -> None:
+        self.rng = random.Random(seed * 7919 + reader_id)
         self.recorders = {
             kind: LatencyRecorder()
             for kind in ("boolean", "streamed", "vector")
@@ -165,8 +202,12 @@ class LoadGenerator:
             cache_capacity=self.config.cache_capacity,
             check_invariants=self.config.check_invariants,
             track_reference=self.config.verify,
+            publish_mode=self.config.publish_mode,
+            buffer_cache_blocks=self.config.buffer_cache_blocks,
         )
-        self._words = [f"w{i}" for i in range(1, self.config.vocabulary + 1)]
+        self._words = [
+            _word_name(i) for i in range(1, self.config.vocabulary + 1)
+        ]
 
     # -- deterministic generators -----------------------------------------
 
@@ -239,7 +280,7 @@ class LoadGenerator:
     def _reader_queries(
         self, reader_id: int, stop: threading.Event, state: _ReaderState
     ) -> None:
-        rng = random.Random(self.config.seed * 7919 + reader_id)
+        rng = state.rng
         weights = self.config.mix
         kinds = ("boolean", "streamed", "vector")
         while not stop.is_set():
@@ -279,11 +320,62 @@ class LoadGenerator:
         faults.install(FaultPlan(crash_at=point, crash_at_hit=1))
         return True
 
+    def _differential_check(
+        self, cycle: int, divergences: list[str]
+    ) -> None:
+        """Compare the served snapshot against a fresh full-clone oracle.
+
+        Runs on the writer thread right after a publish, while the writer
+        sits at the batch boundary: the full checkpoint clone is the
+        known-good publication path, so any answer difference on the
+        probe set indicts the incremental (cow) snapshot.
+        """
+        snapshot = self.service.snapshot()
+        oracle = self.service.writer_index.clone()
+        rng = random.Random(self.config.seed * 104729 + cycle)
+        for _ in range(self.config.differential_probes):
+            query = self._boolean_query(rng)
+            got = snapshot.search_boolean(query).doc_ids
+            want = oracle.search_boolean(query).doc_ids
+            if got != want:
+                divergences.append(
+                    f"cycle {cycle} differential boolean {query!r}: "
+                    f"served {got!r}, oracle {want!r}"
+                )
+        for _ in range(self.config.differential_probes):
+            query = self._streamed_query(rng)
+            got = snapshot.search_streamed(query).doc_ids
+            want = oracle.search_streamed(query).doc_ids
+            if got != want:
+                divergences.append(
+                    f"cycle {cycle} differential streamed {query!r}: "
+                    f"served {got!r}, oracle {want!r}"
+                )
+        for _ in range(self.config.differential_probes):
+            weights = self._vector_query(rng)
+            got = [
+                (d.doc_id, d.score)
+                for d in snapshot.search_vector(
+                    weights, top_k=self.config.top_k
+                )
+            ]
+            want = [
+                (d.doc_id, d.score)
+                for d in oracle.search_vector(
+                    weights, top_k=self.config.top_k
+                )
+            ]
+            if got != want:
+                divergences.append(
+                    f"cycle {cycle} differential vector {weights!r}: "
+                    f"served {got!r}, oracle {want!r}"
+                )
+
     def run(self) -> ServingReport:
         """Execute the workload; returns the measured report."""
         cfg = self.config
         stop = threading.Event()
-        states = [_ReaderState() for _ in range(cfg.readers)]
+        states = [_ReaderState(cfg.seed, i) for i in range(cfg.readers)]
         threads = [
             threading.Thread(
                 target=self._reader_loop,
@@ -295,6 +387,8 @@ class LoadGenerator:
         ]
         writer_rng = random.Random(cfg.seed)
         deleted = 0
+        differential_divergences: list[str] = []
+        differential_checks = 0
         start = time.perf_counter()
         for thread in threads:
             thread.start()
@@ -318,6 +412,9 @@ class LoadGenerator:
                 finally:
                     if crashing:
                         faults.uninstall()
+                if cfg.differential:
+                    self._differential_check(cycle, differential_divergences)
+                    differential_checks += 1
                 if cfg.pace_s:
                     time.sleep(cfg.pace_s)
         finally:
@@ -337,10 +434,15 @@ class LoadGenerator:
                 per_kind[kind].merge(recorder)
                 overall.merge(recorder)
             divergences.extend(state.divergences)
+        divergences.extend(differential_divergences)
         latency = {
             kind: recorder.summary() for kind, recorder in per_kind.items()
         }
         latency["overall"] = overall.summary()
+        # Publish latency is its own series: writer-side, not part of the
+        # query percentiles, but the batch-size scaling story
+        # (BENCH_publish) is read off exactly this summary.
+        latency["publish"] = self.service.publish_latency.summary()
         return ServingReport(
             config={
                 "readers": cfg.readers,
@@ -353,6 +455,10 @@ class LoadGenerator:
                 "deleted": deleted,
                 "crash_every": cfg.crash_every,
                 "transient_rate": cfg.transient_rate,
+                "publish_mode": cfg.publish_mode,
+                "buffer_cache_blocks": cfg.buffer_cache_blocks,
+                "differential": cfg.differential,
+                "differential_checks": differential_checks,
             },
             wall_seconds=wall,
             queries=overall.count,
@@ -363,4 +469,9 @@ class LoadGenerator:
             stage_seconds=self.service.timings.as_dict(),
             divergences=len(divergences),
             divergence_examples=divergences,
+            buffer_cache=(
+                self.service.buffer_counters.as_dict()
+                if self.service.buffer_counters is not None
+                else {}
+            ),
         )

@@ -6,9 +6,14 @@ Protocol (DESIGN.md §10):
   and is the only thread that mutates it (``add_document`` /
   ``delete_document`` / ``flush_and_publish`` serialize on the writer lock);
 * at each flush the writer *publishes*: it clones the index at the batch
-  boundary (copy-on-publish via the checkpoint machinery), wraps the clone
-  in an :class:`~repro.service.snapshot.IndexSnapshot`, atomically swaps it
-  into ``self._snapshot`` and invalidates the result cache wholesale;
+  boundary — either wholesale (``publish_mode="clone"``, the original
+  copy-on-publish through the checkpoint machinery) or incrementally
+  (``publish_mode="cow"``, structurally sharing everything the batch's
+  delta journal did not touch with the previous snapshot) — wraps the
+  clone in an :class:`~repro.service.snapshot.IndexSnapshot`, atomically
+  swaps it into ``self._snapshot`` and invalidates the result cache:
+  wholesale under ``clone``, delta-scoped under ``cow`` (only entries
+  whose terms intersect the batch's dirty vocabulary are dropped);
 * **readers** never lock: they load the current snapshot reference (one
   atomic pointer read) and evaluate against that immutable structure, so a
   query that started before a publish simply finishes on the older
@@ -26,19 +31,40 @@ is fully built.
 
 from __future__ import annotations
 
+import re
 import threading
 from dataclasses import dataclass, field
 
+from ..core.checkpoint import CheckpointError
 from ..core.index import BatchResult, IndexConfig
-from ..core.invariants import InvariantError, check_index
-from ..pipeline.profiling import StageTimings
+from ..core.invariants import InvariantError, check_index, freeze_index
+from ..pipeline.profiling import (
+    HitMissCounters,
+    LatencyRecorder,
+    StageTimings,
+)
 from ..query.reference import BruteForceIndex
 from ..query.vector import ScoredDocument
+from ..storage.buffercache import BlockBufferCache
 from ..storage.faults import InjectedCrash, TransientIOError
 from ..text.tokenizer import TokenizerConfig, tokenize_document
 from ..textindex import QueryAnswer, TextDocumentIndex
 from .cache import QueryResultCache
 from .snapshot import IndexSnapshot
+
+_OPERATORS = {"and", "or", "not"}
+
+
+def _boolean_terms(query: str) -> tuple[frozenset, bool]:
+    """The vocabulary terms of a boolean query, plus whether its answer
+    depends on the doc-id universe (it contains a ``NOT``)."""
+    tokens = [t.lower() for t in re.split(r"[\s()]+", query) if t]
+    terms = frozenset(t for t in tokens if t not in _OPERATORS)
+    return terms, "not" in tokens
+
+
+def _streamed_terms(query: str) -> frozenset:
+    return frozenset(t.lower() for t in query.split()[::2])
 
 
 class ServiceError(Exception):
@@ -50,6 +76,9 @@ class ServiceStats:
     """Counters describing one service lifetime."""
 
     publishes: int = 0
+    cow_publishes: int = 0
+    full_clone_publishes: int = 0
+    cow_fallbacks: int = 0
     documents_ingested: int = 0
     documents_deleted: int = 0
     flush_recoveries: int = 0
@@ -64,6 +93,9 @@ class ServiceStats:
     def as_dict(self) -> dict:
         return {
             "publishes": self.publishes,
+            "cow_publishes": self.cow_publishes,
+            "full_clone_publishes": self.full_clone_publishes,
+            "cow_fallbacks": self.cow_fallbacks,
             "documents_ingested": self.documents_ingested,
             "documents_deleted": self.documents_deleted,
             "flush_recoveries": self.flush_recoveries,
@@ -79,9 +111,19 @@ class QueryService:
 
     Readers call ``search_boolean`` / ``search_streamed`` /
     ``search_vector`` from any number of threads; the writer ingests and
-    publishes.  Cached answers are keyed by ``(snapshot_id, kind, query)``
-    and report the read ops the original evaluation charged (a hit costs
-    no I/O; the cache stats record it).
+    publishes.  Cached answers are keyed by ``(kind, query)`` with a
+    snapshot-id validity interval, and report the read ops the original
+    evaluation charged (a hit costs no I/O; the cache stats record it).
+
+    ``publish_mode`` selects how snapshots are built: ``"clone"`` (the
+    default, and the differential-testing oracle) serializes the whole
+    index per publish; ``"cow"`` builds each snapshot incrementally from
+    the previous one plus the writer's delta journal — O(batch) instead
+    of O(index) — falling back to a full clone whenever the journal
+    cannot prove coverage (crash recovery, bucket growth).
+    ``buffer_cache_blocks`` > 0 attaches a shared LRU of decoded
+    long-list chunks to every published snapshot (carried across cow
+    publishes minus the batch's dirty blocks).
     """
 
     def __init__(
@@ -93,9 +135,15 @@ class QueryService:
         check_invariants: bool = False,
         track_reference: bool = False,
         max_flush_retries: int = 8,
+        publish_mode: str = "clone",
+        buffer_cache_blocks: int = 0,
     ) -> None:
         if max_flush_retries < 0:
             raise ValueError("max_flush_retries must be >= 0")
+        if publish_mode not in ("clone", "cow"):
+            raise ValueError("publish_mode must be 'clone' or 'cow'")
+        if buffer_cache_blocks < 0:
+            raise ValueError("buffer_cache_blocks must be >= 0")
         self._writer = TextDocumentIndex(
             config, tokenizer_config=tokenizer_config
         )
@@ -105,11 +153,22 @@ class QueryService:
         self.cache = QueryResultCache(cache_capacity)
         self.check_invariants = check_invariants
         self.max_flush_retries = max_flush_retries
+        self.publish_mode = publish_mode
+        self.buffer_cache_blocks = buffer_cache_blocks
+        self.buffer_counters = (
+            HitMissCounters() if buffer_cache_blocks else None
+        )
+        self._buffer_cache: BlockBufferCache | None = None
         self.stats = ServiceStats()
         self.timings = StageTimings()
+        self.publish_latency = LatencyRecorder()
         self._reference = BruteForceIndex() if track_reference else None
-        # Publish the empty index so readers always have a snapshot.
-        self._snapshot = self._build_snapshot(snapshot_id=0)
+        # Publish the empty index so readers always have a snapshot
+        # (always a full clone: there is no previous snapshot to share
+        # structure with).
+        self._snapshot = self._finish_publish(
+            self._build_snapshot(snapshot_id=0), cow=False
+        )
 
     # -- writer API --------------------------------------------------------
 
@@ -159,7 +218,8 @@ class QueryService:
             with self.timings.stage("serve.flush"):
                 result = self._flush_with_recovery()
             with self.timings.stage("serve.publish"):
-                snapshot = self._publish_locked()
+                with self.publish_latency.span():
+                    snapshot = self._publish_locked()
             return result, snapshot
 
     def _flush_with_recovery(self) -> BatchResult:
@@ -219,13 +279,107 @@ class QueryService:
                 raise InvariantError(report)
         return snapshot
 
+    def _build_snapshot_cow(
+        self, snapshot_id: int, prev: IndexSnapshot, delta
+    ) -> IndexSnapshot:
+        """Build the next snapshot incrementally from ``prev`` + ``delta``.
+
+        Propagates :class:`CheckpointError` (delta cannot cover the gap)
+        to the caller, which falls back to the full clone; injected
+        crashes and transient I/O errors are retried in place, exactly
+        like the full-clone path — nothing was published yet.
+        """
+        attempts = 0
+        while True:
+            try:
+                reference = (
+                    self._reference.freeze()
+                    if self._reference is not None
+                    else None
+                )
+                snapshot = IndexSnapshot.publish_incremental(
+                    self._writer,
+                    prev,
+                    delta,
+                    snapshot_id,
+                    reference=reference,
+                )
+                break
+            except (InjectedCrash, TransientIOError) as exc:
+                attempts += 1
+                if attempts > self.max_flush_retries:
+                    raise ServiceError(
+                        f"publish failed {attempts} times; last: {exc!r}"
+                    ) from exc
+                self.stats.publish_retries += 1
+        if self.check_invariants:
+            report = check_index(snapshot.index.index)
+            self.stats.invariant_checks += 1
+            if not report.ok:
+                raise InvariantError(report)
+        return snapshot
+
+    def _finish_publish(
+        self, snapshot: IndexSnapshot, cow: bool, delta=None
+    ) -> IndexSnapshot:
+        """Publish-time finishing: freeze barrier + buffer cache wiring."""
+        if self.check_invariants:
+            # Debug-mode write barrier: published (and possibly shared)
+            # structure must never be mutated again.
+            freeze_index(snapshot.index.index)
+        if self.buffer_cache_blocks:
+            if cow and self._buffer_cache is not None and delta is not None:
+                cache = self._buffer_cache.successor(delta.dirty_blocks)
+            else:
+                cache = BlockBufferCache(
+                    self.buffer_cache_blocks, self.buffer_counters
+                )
+            self._buffer_cache = cache
+            snapshot.index.index.longlists.buffer_cache = cache
+        return snapshot
+
     def _publish_locked(self) -> IndexSnapshot:
-        snapshot = self._build_snapshot(self._snapshot.snapshot_id + 1)
+        prev = self._snapshot
+        new_id = prev.snapshot_id + 1
+        delta = self._writer.index.delta
+        snapshot = None
+        cow = False
+        if self.publish_mode == "cow" and delta is not None:
+            try:
+                snapshot = self._build_snapshot_cow(new_id, prev, delta)
+                cow = True
+            except CheckpointError:
+                # The journal cannot prove coverage (crash recovery,
+                # bucket growth, config drift): fall back to the oracle.
+                self.stats.cow_fallbacks += 1
+        if snapshot is None:
+            snapshot = self._build_snapshot(new_id)
+        snapshot = self._finish_publish(snapshot, cow=cow, delta=delta)
+        # Cache update precedes the swap so no reader can compute against
+        # the new snapshot while stale entries are still resident.
+        if cow:
+            dirty_terms = frozenset(
+                self._writer.vocabulary.word_of(word_id).lower()
+                for word_id in delta.dirty_words
+            )
+            self.cache.publish_delta(
+                new_id,
+                dirty_terms,
+                universe_changed=snapshot.ndocs != prev.ndocs,
+                deletions_changed=delta.deletions_changed,
+            )
+        else:
+            self.cache.invalidate()
+        if delta is not None:
+            delta.clear()
         # The swap is a single reference assignment (atomic under the
         # interpreter); readers holding the old snapshot finish on it.
         self._snapshot = snapshot
-        self.cache.invalidate()
         self.stats.publishes += 1
+        if cow:
+            self.stats.cow_publishes += 1
+        else:
+            self.stats.full_clone_publishes += 1
         return snapshot
 
     # -- reader API --------------------------------------------------------
@@ -249,13 +403,20 @@ class QueryService:
         """
         self._count_query("boolean")
         snapshot = snapshot or self._snapshot
-        key = (snapshot.snapshot_id, "boolean", query)
-        cached = self.cache.get(key)
+        key = ("boolean", query)
+        cached = self.cache.get(key, snapshot.snapshot_id)
         if cached is not None:
             doc_ids, read_ops = cached
             return QueryAnswer(doc_ids=list(doc_ids), read_ops=read_ops)
         answer = snapshot.search_boolean(query)
-        self.cache.put(key, (tuple(answer.doc_ids), answer.read_ops))
+        terms, universe_sensitive = _boolean_terms(query)
+        self.cache.put(
+            key,
+            (tuple(answer.doc_ids), answer.read_ops),
+            snapshot.snapshot_id,
+            terms=terms,
+            universe_sensitive=universe_sensitive,
+        )
         return answer
 
     def search_streamed(
@@ -264,13 +425,18 @@ class QueryService:
         """Serve a flat AND/OR query from the current snapshot (cached)."""
         self._count_query("streamed")
         snapshot = snapshot or self._snapshot
-        key = (snapshot.snapshot_id, "streamed", query)
-        cached = self.cache.get(key)
+        key = ("streamed", query)
+        cached = self.cache.get(key, snapshot.snapshot_id)
         if cached is not None:
             doc_ids, read_ops = cached
             return QueryAnswer(doc_ids=list(doc_ids), read_ops=read_ops)
         answer = snapshot.search_streamed(query)
-        self.cache.put(key, (tuple(answer.doc_ids), answer.read_ops))
+        self.cache.put(
+            key,
+            (tuple(answer.doc_ids), answer.read_ops),
+            snapshot.snapshot_id,
+            terms=_streamed_terms(query),
+        )
         return answer
 
     def search_vector(
@@ -282,14 +448,17 @@ class QueryService:
         """Serve a ranked vector query from the current snapshot (cached)."""
         self._count_query("vector")
         snapshot = snapshot or self._snapshot
-        key = (
-            snapshot.snapshot_id,
-            "vector",
-            (tuple(sorted(weights.items())), top_k),
-        )
-        cached = self.cache.get(key)
+        key = ("vector", (tuple(sorted(weights.items())), top_k))
+        cached = self.cache.get(key, snapshot.snapshot_id)
         if cached is not None:
             return list(cached)
         ranked = snapshot.search_vector(weights, top_k=top_k)
-        self.cache.put(key, tuple(ranked))
+        # Ranking normalizes by idf(ndocs): universe-sensitive.
+        self.cache.put(
+            key,
+            tuple(ranked),
+            snapshot.snapshot_id,
+            terms=frozenset(w.lower() for w in weights),
+            universe_sensitive=True,
+        )
         return ranked

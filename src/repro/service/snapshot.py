@@ -48,7 +48,7 @@ class IndexSnapshot:
     ) -> None:
         self.index = index
         self.snapshot_id = snapshot_id
-        self.batch = index.index._batches
+        self.batch = index.index.batches
         self.ndocs = index.ndocs
         self.reference = reference
 
@@ -61,6 +61,25 @@ class IndexSnapshot:
     ) -> "IndexSnapshot":
         """Copy-on-publish: clone ``writer`` at its batch boundary."""
         return cls(writer.clone(), snapshot_id, reference=reference)
+
+    @classmethod
+    def publish_incremental(
+        cls,
+        writer: TextDocumentIndex,
+        prev: "IndexSnapshot",
+        delta,
+        snapshot_id: int,
+        reference: "BruteForceIndex | None" = None,
+    ) -> "IndexSnapshot":
+        """Incremental copy-on-write publish: share ``prev``'s untouched
+        structure, deep-copy only what ``delta`` marks dirty.
+
+        Raises :class:`~repro.core.checkpoint.CheckpointError` when the
+        delta cannot cover the gap (recovery, structural rebuild, config
+        mismatch); the service falls back to :meth:`publish_from`.
+        """
+        clone = writer.clone_incremental(prev.index, delta)
+        return cls(clone, snapshot_id, reference=reference)
 
     # -- retrieval (thread-safe: no shared accounting) --------------------
 

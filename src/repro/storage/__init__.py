@@ -6,7 +6,9 @@ behaviours the paper's evaluation depends on.
 """
 
 from .block import BlockRange, Chunk, blocks_for_postings
+from .blockmap import ABSENT, LayeredBlocks
 from .btree import BTree, BTreeConfig
+from .buffercache import BlockBufferCache
 from .disk import DiskCounters, DiskFullError, SimulatedDisk
 from .diskarray import DiskArray, DiskArrayConfig
 from .exerciser import BatchTiming, DiskExerciser, ExerciseResult
@@ -42,12 +44,15 @@ from .profiles import (
 )
 
 __all__ = [
+    "ABSENT",
     "ALLOCATORS",
     "BTree",
     "BTreeConfig",
     "BatchTiming",
     "BestFitFreeList",
+    "BlockBufferCache",
     "BlockRange",
+    "LayeredBlocks",
     "BuddyFreeList",
     "Chunk",
     "DiskArray",

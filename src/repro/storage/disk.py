@@ -67,6 +67,13 @@ class SimulatedDisk:
         content-mode index can retrieve postings.
     """
 
+    #: Delta-journal hooks, attached by ``DualStructureIndex`` in content
+    #: mode; ``frozen`` is set by ``invariants.freeze_index`` on published
+    #: snapshots so any write through shared state raises immediately.
+    journal = None
+    journal_disk = 0
+    frozen = False
+
     def __init__(
         self,
         profile: DiskProfile,
@@ -80,16 +87,30 @@ class SimulatedDisk:
         self.counters = DiskCounters()
         self._blocks: dict[int, bytes] = {}
 
+    def _frozen_violation(self, action: str):
+        from ..core.delta import FrozenStateError
+
+        return FrozenStateError(
+            f"attempt to {action} on a frozen (published) disk "
+            f"{self.profile.name}"
+        )
+
     # -- space -----------------------------------------------------------
 
     def allocate(self, nblocks: int) -> int | None:
         """Allocate a contiguous chunk; return start block or None."""
+        if self.frozen:
+            raise self._frozen_violation("allocate blocks")
         return self.freelist.allocate(nblocks)
 
     def free(self, start: int, nblocks: int) -> None:
         """Return a chunk to free space and drop any stored contents."""
+        if self.frozen:
+            raise self._frozen_violation("free blocks")
         self.freelist.free(start, nblocks)
         if self.store_contents:
+            if self.journal is not None:
+                self.journal.note_blocks(self.journal_disk, start, nblocks)
             for b in range(start, start + nblocks):
                 self._blocks.pop(b, None)
 
@@ -146,6 +167,10 @@ class SimulatedDisk:
         """
         if not self.store_contents:
             return
+        if self.frozen:
+            raise self._frozen_violation("write blocks")
+        if self.journal is not None:
+            self.journal.note_blocks(self.journal_disk, start, len(payloads))
         for i, payload in enumerate(payloads):
             if len(payload) > self.profile.block_size:
                 raise ValueError(

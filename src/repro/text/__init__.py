@@ -29,7 +29,7 @@ from .tokenizer import (
     tokenize_document,
     tokenize_line,
 )
-from .vocabulary import Vocabulary, alphabetical_ids
+from .vocabulary import Vocabulary, VocabularyView, alphabetical_ids
 
 __all__ = [
     "BatchUpdate",
@@ -45,6 +45,7 @@ __all__ = [
     "FilterConfig",
     "TokenizerConfig",
     "Vocabulary",
+    "VocabularyView",
     "admit",
     "alphabetical_ids",
     "build_batch_update",

@@ -73,6 +73,67 @@ class Vocabulary:
         return vocab
 
 
+class VocabularyView:
+    """Read-only, size-bounded view of a live :class:`Vocabulary`.
+
+    The writer's vocabulary is append-only: existing ids never change,
+    new words only extend it.  A published snapshot can therefore share
+    the writer's dict and list outright as long as it (a) never assigns
+    ids and (b) ignores words assigned after the snapshot was taken.
+    This view enforces both, bounding every lookup at the vocabulary
+    size captured at publish time — O(1) publication cost regardless of
+    vocabulary size.
+
+    Reading a dict entry while the writer inserts another is atomic
+    under CPython, so concurrent readers need no locking.
+    """
+
+    __slots__ = ("_base", "_size")
+
+    def __init__(self, base: Vocabulary, size: int | None = None) -> None:
+        self._base = base
+        self._size = len(base) if size is None else size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, word: str) -> bool:
+        return self.lookup(word) is not None
+
+    def id_of(self, word: str) -> int:
+        word_id = self.lookup(word)
+        if word_id is None:
+            raise TypeError(
+                "cannot assign new word ids through a published "
+                "vocabulary view"
+            )
+        return word_id
+
+    def lookup(self, word: str) -> int | None:
+        word_id = self._base._ids.get(word)
+        if word_id is None or word_id >= self._size:
+            return None
+        return word_id
+
+    def word_of(self, word_id: int) -> str:
+        if not 0 <= word_id < self._size:
+            raise IndexError(
+                f"word id {word_id} outside view of size {self._size}"
+            )
+        return self._base._words[word_id]
+
+    def ids_of(self, words: Iterable[str]) -> list[int]:
+        return [self.id_of(w) for w in words]
+
+    def words(self) -> Iterator[str]:
+        return iter(self._base._words[: self._size])
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fp:
+            for word in self.words():
+                fp.write(word + "\n")
+
+
 def alphabetical_ids(words: Iterable[str]) -> dict[str, int]:
     """The paper's numbering: distinct words sorted, then numbered from 1.
 

@@ -35,7 +35,7 @@ from .query import vector as vector_query
 from .query.vector import ScoredDocument
 from .text.occurrences import RegionRules, tokenize_occurrences
 from .text.tokenizer import TokenizerConfig, tokenize_document
-from .text.vocabulary import Vocabulary
+from .text.vocabulary import Vocabulary, VocabularyView
 
 
 @dataclass
@@ -271,6 +271,38 @@ class TextDocumentIndex:
         copy = TextDocumentIndex.load(buf)
         copy.tokenizer_config = self.tokenizer_config
         copy.region_rules = self.region_rules
+        return copy
+
+    def clone_incremental(
+        self, prev: "TextDocumentIndex", delta
+    ) -> "TextDocumentIndex":
+        """A published snapshot that structurally shares ``prev``.
+
+        The incremental counterpart of :meth:`clone`: instead of
+        serializing the whole index, only state touched since ``prev``
+        was published (recorded in ``delta``, the writer's
+        :class:`~repro.core.delta.DeltaJournal`) is copied.  Everything
+        else — bucket images, long-list chunks, directory entries, the
+        vocabulary, the deletion set — is shared with ``prev``, so the
+        publish cost is O(batch) rather than O(index).  Raises
+        :class:`~repro.core.checkpoint.CheckpointError` when the delta
+        cannot prove it covers the gap (e.g. after crash recovery or a
+        structural rebuild); callers fall back to :meth:`clone`.
+        """
+        core = checkpoint.clone_incremental(self.index, prev.index, delta)
+        copy = TextDocumentIndex.__new__(TextDocumentIndex)
+        copy.index = core
+        copy.vocabulary = VocabularyView(self.vocabulary)
+        copy.tokenizer_config = self.tokenizer_config
+        copy.region_rules = self.region_rules
+        copy.deletions = DeletionManager(core)
+        if delta.deletions_changed:
+            copy.deletions.deleted = set(self.deletions.deleted)
+        else:
+            # Unchanged since the previous publish: share its (now
+            # immutable) set outright.
+            copy.deletions.deleted = prev.deletions.deleted
+        copy._last_read_ops = 0
         return copy
 
     _MAGIC = b"DSTX"

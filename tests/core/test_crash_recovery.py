@@ -22,6 +22,7 @@ import random
 
 import pytest
 
+from repro.core import checkpoint
 from repro.core.index import DualStructureIndex, IndexConfig
 from repro.core.invariants import check_index
 from repro.core.policy import Limit, Policy, Style
@@ -147,10 +148,12 @@ class TestExhaustiveSweep:
 
         Runs after the per-policy sweeps (pytest executes the class in
         definition order); any policy result missing means the sweep above
-        failed already.
+        failed already.  Publication-path points live outside
+        ``flush_batch`` and are exercised here directly.
         """
         assert set(_FIRED_BY_POLICY) == {p[0] for p in POLICIES}
         union = set().union(*_FIRED_BY_POLICY.values())
+        union |= _exercise_cow_publish_point()
         missing = set(faults.registered_crash_points()) - union
         assert not missing, (
             f"crash points never exercised by any policy: {sorted(missing)}"
@@ -158,6 +161,36 @@ class TestExhaustiveSweep:
 
 
 _FIRED_BY_POLICY: dict[str, set] = {}
+
+
+def _exercise_cow_publish_point():
+    """Fire ``checkpoint.cow-publish`` and prove the publish is safely
+    retryable: nothing was published when the crash hit, so a second
+    attempt from the same delta must succeed and answer identically to
+    the full-clone oracle."""
+    index = make_index(POLICIES[0][1], crash_safe=False)
+    for doc in BATCHES[0]:
+        index.add_document(doc)
+    index.flush_batch()
+    prev = checkpoint.clone(index)
+    index.delta.clear()
+    for doc in BATCHES[1]:
+        index.add_document(doc)
+    index.flush_batch()
+    faults.install(
+        FaultPlan(crash_at="checkpoint.cow-publish", crash_at_hit=1)
+    )
+    try:
+        with pytest.raises(InjectedCrash):
+            checkpoint.clone_incremental(index, prev, index.delta)
+    finally:
+        faults.uninstall()
+    retried = checkpoint.clone_incremental(index, prev, index.delta)
+    oracle = checkpoint.clone(index)
+    assert {w: retried.fetch(w)[0].doc_ids for w in QUERY_WORDS} == {
+        w: oracle.fetch(w)[0].doc_ids for w in QUERY_WORDS
+    }
+    return {"checkpoint.cow-publish"}
 
 
 class TestCrashDepth:

@@ -1,4 +1,4 @@
-"""Unit tests for the snapshot-keyed LRU query-result cache."""
+"""Unit tests for the delta-scoped, validity-ranged query-result cache."""
 
 import threading
 
@@ -7,43 +7,57 @@ import pytest
 from repro.service import QueryResultCache
 
 
-def key(snapshot_id, query):
-    return (snapshot_id, "boolean", query)
+def key(query):
+    return ("boolean", query)
+
+
+def put(cache, query, value, snapshot_id=1, terms=None, universe=False):
+    cache.put(
+        key(query),
+        value,
+        snapshot_id,
+        terms=frozenset(terms if terms is not None else {query}),
+        universe_sensitive=universe,
+    )
 
 
 class TestLRU:
     def test_get_miss_then_hit(self):
         cache = QueryResultCache(capacity=4)
-        assert cache.get(key(1, "a")) is None
-        cache.put(key(1, "a"), (1, 2))
-        assert cache.get(key(1, "a")) == (1, 2)
+        assert cache.get(key("a"), 1) is None
+        put(cache, "a", (1, 2))
+        assert cache.get(key("a"), 1) == (1, 2)
         stats = cache.stats()
         assert (stats.hits, stats.misses) == (1, 1)
 
     def test_evicts_least_recently_used(self):
         cache = QueryResultCache(capacity=2)
-        cache.put(key(1, "a"), "A")
-        cache.put(key(1, "b"), "B")
-        assert cache.get(key(1, "a")) == "A"  # refresh a
-        cache.put(key(1, "c"), "C")  # evicts b
-        assert cache.get(key(1, "b")) is None
-        assert cache.get(key(1, "a")) == "A"
-        assert cache.get(key(1, "c")) == "C"
+        put(cache, "a", "A")
+        put(cache, "b", "B")
+        assert cache.get(key("a"), 1) == "A"  # refresh a
+        put(cache, "c", "C")  # evicts b
+        assert cache.get(key("b"), 1) is None
+        assert cache.get(key("a"), 1) == "A"
+        assert cache.get(key("c"), 1) == "C"
         assert cache.stats().evictions == 1
 
-    def test_put_refreshes_existing_key(self):
+    def test_put_for_newer_snapshot_replaces(self):
         cache = QueryResultCache(capacity=2)
-        cache.put(key(1, "a"), "old")
-        cache.put(key(1, "b"), "B")
-        cache.put(key(1, "a"), "new")  # refresh, not insert
-        cache.put(key(1, "c"), "C")  # evicts b (a was refreshed)
-        assert cache.get(key(1, "a")) == "new"
-        assert cache.get(key(1, "b")) is None
+        put(cache, "a", "old", snapshot_id=1)
+        put(cache, "a", "new", snapshot_id=2)
+        assert cache.get(key("a"), 2) == "new"
+        assert cache.get(key("a"), 1) is None  # range moved forward
+
+    def test_put_from_older_snapshot_never_downgrades(self):
+        cache = QueryResultCache(capacity=2)
+        put(cache, "a", "fresh", snapshot_id=3)
+        put(cache, "a", "stale", snapshot_id=1)  # lagging reader
+        assert cache.get(key("a"), 3) == "fresh"
 
     def test_capacity_zero_disables_caching(self):
         cache = QueryResultCache(capacity=0)
-        cache.put(key(1, "a"), "A")
-        assert cache.get(key(1, "a")) is None
+        put(cache, "a", "A")
+        assert cache.get(key("a"), 1) is None
         assert len(cache) == 0
 
     def test_negative_capacity_rejected(self):
@@ -51,29 +65,101 @@ class TestLRU:
             QueryResultCache(capacity=-1)
 
 
+class TestValidityRange:
+    def test_entry_valid_only_within_its_interval(self):
+        cache = QueryResultCache(capacity=4)
+        put(cache, "a", "A", snapshot_id=2)
+        assert cache.get(key("a"), 1) is None  # older reader
+        assert cache.get(key("a"), 2) == "A"
+        assert cache.get(key("a"), 3) is None  # not yet extended
+
+    def test_clean_entry_extends_across_publish(self):
+        cache = QueryResultCache(capacity=4)
+        put(cache, "a", "A", snapshot_id=1, terms={"a"})
+        dropped = cache.publish_delta(
+            2, frozenset({"z"}), universe_changed=False,
+            deletions_changed=False,
+        )
+        assert dropped == 0
+        assert cache.get(key("a"), 2) == "A"
+        # And the old snapshot id still hits (lagging readers).
+        assert cache.get(key("a"), 1) == "A"
+        assert cache.stats().entries_retained == 1
+
+    def test_dirty_term_evicts(self):
+        cache = QueryResultCache(capacity=4)
+        put(cache, "a", "A", snapshot_id=1, terms={"a", "b"})
+        put(cache, "c", "C", snapshot_id=1, terms={"c"})
+        dropped = cache.publish_delta(
+            2, frozenset({"b"}), universe_changed=False,
+            deletions_changed=False,
+        )
+        assert dropped == 1
+        assert cache.get(key("a"), 2) is None
+        assert cache.get(key("c"), 2) == "C"
+
+    def test_universe_sensitive_evicted_when_docs_added(self):
+        cache = QueryResultCache(capacity=4)
+        put(cache, "not-q", "N", snapshot_id=1, terms={"a"}, universe=True)
+        put(cache, "plain", "P", snapshot_id=1, terms={"a"})
+        cache.publish_delta(
+            2, frozenset(), universe_changed=True, deletions_changed=False
+        )
+        assert cache.get(key("not-q"), 2) is None
+        assert cache.get(key("plain"), 2) == "P"
+
+    def test_deletion_change_evicts_everything(self):
+        cache = QueryResultCache(capacity=4)
+        put(cache, "a", "A", snapshot_id=1, terms={"a"})
+        put(cache, "b", "B", snapshot_id=1, terms={"b"})
+        dropped = cache.publish_delta(
+            2, frozenset(), universe_changed=False, deletions_changed=True
+        )
+        assert dropped == 2
+        assert len(cache) == 0
+
+    def test_stranded_entries_dropped(self):
+        """An entry that missed a publish_delta window (e.g. written for
+        an already-superseded snapshot) cannot be resurrected."""
+        cache = QueryResultCache(capacity=4)
+        put(cache, "a", "A", snapshot_id=1, terms={"a"})
+        # Publish 2 evicts it (dirty); a lagging reader re-puts for id 1.
+        cache.publish_delta(
+            2, frozenset({"a"}), universe_changed=False,
+            deletions_changed=False,
+        )
+        put(cache, "a", "A", snapshot_id=1, terms={"a"})
+        # Publish 3: entry's last_id (1) != 2 -> stranded, dropped even
+        # though its terms are clean.
+        cache.publish_delta(
+            3, frozenset(), universe_changed=False, deletions_changed=False
+        )
+        assert cache.get(key("a"), 3) is None
+
+
 class TestCounters:
     def test_per_entry_hit_counters(self):
         cache = QueryResultCache(capacity=4)
-        cache.put(key(1, "a"), "A")
-        cache.put(key(1, "b"), "B")
+        put(cache, "a", "A")
+        put(cache, "b", "B")
         for _ in range(3):
-            cache.get(key(1, "a"))
-        cache.get(key(1, "b"))
+            cache.get(key("a"), 1)
+        cache.get(key("b"), 1)
         hits = cache.stats().entry_hits
-        assert hits[key(1, "a")] == 3
-        assert hits[key(1, "b")] == 1
+        assert hits[key("a")] == 3
+        assert hits[key("b")] == 1
 
     def test_eviction_drops_entry_counter(self):
         cache = QueryResultCache(capacity=1)
-        cache.put(key(1, "a"), "A")
-        cache.get(key(1, "a"))
-        cache.put(key(1, "b"), "B")  # evicts a
-        assert key(1, "a") not in cache.stats().entry_hits
+        put(cache, "a", "A")
+        cache.get(key("a"), 1)
+        put(cache, "b", "B")  # evicts a
+        assert key("a") not in cache.stats().entry_hits
 
     def test_wholesale_invalidation(self):
         cache = QueryResultCache(capacity=8)
         for q in "abc":
-            cache.put(key(1, q), q)
+            put(cache, q, q)
         dropped = cache.invalidate()
         assert dropped == 3
         assert len(cache) == 0
@@ -81,22 +167,21 @@ class TestCounters:
         assert stats.invalidations == 1
         assert stats.entries_invalidated == 3
         assert stats.entry_hits == {}
-        # Old-snapshot keys miss afterwards.
-        assert cache.get(key(1, "a")) is None
+        assert cache.get(key("a"), 1) is None
 
     def test_hit_rate(self):
         cache = QueryResultCache(capacity=2)
-        cache.put(key(1, "a"), "A")
-        cache.get(key(1, "a"))
-        cache.get(key(1, "zzz"))
+        put(cache, "a", "A")
+        cache.get(key("a"), 1)
+        cache.get(key("zzz"), 1)
         assert cache.stats().hit_rate == 0.5
 
     def test_stats_copy_is_detached(self):
         cache = QueryResultCache(capacity=2)
-        cache.put(key(1, "a"), "A")
-        cache.get(key(1, "a"))
+        put(cache, "a", "A")
+        cache.get(key("a"), 1)
         stats = cache.stats()
-        cache.get(key(1, "a"))
+        cache.get(key("a"), 1)
         assert stats.hits == 1  # the copy does not track later traffic
 
 
@@ -108,13 +193,21 @@ class TestThreadSafety:
         def worker(worker_id):
             try:
                 for i in range(500):
-                    k = key(worker_id % 3, f"q{i % 40}")
+                    q = f"q{i % 40}"
+                    sid = worker_id % 3 + 1
                     if i % 7 == 0:
-                        cache.put(k, (worker_id, i))
+                        put(cache, q, (worker_id, i), snapshot_id=sid)
                     elif i % 97 == 0:
+                        cache.publish_delta(
+                            sid + 1,
+                            frozenset({q}),
+                            universe_changed=bool(i % 2),
+                            deletions_changed=False,
+                        )
+                    elif i % 193 == 0:
                         cache.invalidate()
                     else:
-                        cache.get(k)
+                        cache.get(key(q), sid)
             except Exception as exc:  # noqa: BLE001
                 errors.append(exc)
 

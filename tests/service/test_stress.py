@@ -9,6 +9,7 @@ that served it — zero invariant violations, zero stale-read divergences.
 """
 
 import random
+from dataclasses import replace
 
 import pytest
 
@@ -30,6 +31,7 @@ STRESS_CONFIG = LoadConfig(
     crash_every=3,
     transient_rate=0.02,
     pace_s=0.0005,
+    differential=True,
 )
 
 
@@ -40,31 +42,48 @@ def no_leaked_plan():
 
 
 class TestConcurrentStress:
-    def test_readers_vs_faulty_writer(self):
-        report = LoadGenerator(STRESS_CONFIG).run()
+    @pytest.mark.parametrize("publish_mode", ["clone", "cow"])
+    def test_readers_vs_faulty_writer(self, publish_mode):
+        config = replace(STRESS_CONFIG, publish_mode=publish_mode)
+        report = LoadGenerator(config).run()
 
         # Zero stale-read divergences: every answer matched the reference
-        # model of the exact snapshot that served it.
+        # model of the exact snapshot that served it, and (differential)
+        # every published snapshot answered the probe set identically to
+        # a fresh full-clone oracle.  A stale query-cache hit would show
+        # up here as a divergence — the cache is consulted per snapshot.
         assert report.divergences == 0, report.divergence_examples
+        assert report.config["differential_checks"] == config.flush_cycles
 
         # Every flush published, despite injected crashes and transient
         # faults; every published snapshot passed the invariant checker
         # (a violation raises InvariantError and kills the run).
         service = report.service
-        assert service["publishes"] == STRESS_CONFIG.flush_cycles
+        assert service["publishes"] == config.flush_cycles
         assert (
             service["invariant_checks"]
-            == STRESS_CONFIG.flush_cycles + 1  # + the initial empty snapshot
+            == config.flush_cycles + 1  # + the initial empty snapshot
         )
 
         # The fault plans actually fired: the writer recovered at least
         # once (crash_every=3 installs a crash on 6 of the 20 cycles).
         assert service["flush_recoveries"] >= 1
 
+        if publish_mode == "cow":
+            # Incremental publication actually ran; recovery cycles fall
+            # back to the full clone (requires_full), hence both counters.
+            assert service["cow_publishes"] >= 1
+            assert (
+                service["cow_publishes"] + service["full_clone_publishes"]
+                == config.flush_cycles
+            )
+        else:
+            assert service["cow_publishes"] == 0
+
         # All reader threads survived and did real work.
         assert report.queries > 0
         assert service["documents_ingested"] == (
-            STRESS_CONFIG.flush_cycles * STRESS_CONFIG.docs_per_batch
+            config.flush_cycles * config.docs_per_batch
         )
         assert service["documents_deleted"] > 0
 
@@ -90,16 +109,16 @@ class TestConcurrentStress:
 
 
 FIXED_QUERIES_BOOLEAN = [
-    "w1 AND w2",
-    "w1 OR w9",
-    "(w2 AND w3) OR w17",
-    "w1 AND NOT w4",
-    "w40 OR w41",
+    "wa AND wb",
+    "wa OR wi",
+    "(wb AND wc) OR wq",
+    "wa AND NOT wd",
+    "wan OR wao",
 ]
-FIXED_QUERIES_STREAMED = ["w1 AND w2", "w1 OR w3 OR w9", "w5 AND w6 AND w2"]
+FIXED_QUERIES_STREAMED = ["wa AND wb", "wa OR wc OR wi", "we AND wf AND wb"]
 FIXED_QUERIES_VECTOR = [
-    {"w1": 2.0, "w2": 1.0},
-    {"w3": 1.0, "w9": 3.0, "w17": 1.0},
+    {"wa": 2.0, "wb": 1.0},
+    {"wc": 1.0, "wi": 3.0, "wq": 1.0},
 ]
 
 
