@@ -40,6 +40,7 @@ from .figures import FigureResult, regenerate
 from .pipeline import Experiment, ExperimentConfig
 from .storage import DiskArrayConfig, DiskProfile, IOTrace
 from .textindex import QueryAnswer, TextDocumentIndex
+from .core.sharded import ShardedTextIndex, build_text_index
 from .workload import SyntheticNews, SyntheticNewsConfig
 
 __version__ = "1.0.0"
@@ -63,11 +64,13 @@ __all__ = [
     "PositionalPostings",
     "QueryAnswer",
     "Region",
+    "ShardedTextIndex",
     "Style",
     "SyntheticNews",
     "SyntheticNewsConfig",
     "TextDocumentIndex",
     "WordCategory",
+    "build_text_index",
     "figure8_policies",
     "regenerate",
     "__version__",

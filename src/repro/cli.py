@@ -12,7 +12,7 @@ Five subcommands cover the library's main entry points::
         query; prints matching doc ids (= ingest order) and the I/O cost.
 
     repro experiment [--policy SPEC ...] [--days N] [--scale S] [--exercise]
-                     [--jobs N] [--cache-dir DIR]
+                     [--jobs N] [--cache-dir DIR] [--shards N]
                      [--inject-faults] [--fault-rate R] [--fault-seed S]
         Run the paper's pipeline on the synthetic News workload and print
         the evaluation metrics.  ``--policy`` may repeat; with several
@@ -34,7 +34,8 @@ Five subcommands cover the library's main entry points::
 
     repro serve-bench [--readers N] [--cycles N] [--docs-per-batch N]
                       [--publish-mode clone|cow] [--buffer-cache BLOCKS]
-                      [--differential] [--json PATH] [--no-verify]
+                      [--shards N] [--flush-jobs N] [--differential]
+                      [--json PATH] [--no-verify]
                       [--inject-faults] [--fault-rate R] [--fault-seed S]
         Run the snapshot-isolated serving benchmark: N reader threads
         issue a mixed boolean/streamed/vector query load against published
@@ -208,6 +209,34 @@ def _print_run(policy: Policy, run, fault_plan, args, exercise: bool) -> None:
             print(f"exercise: INFEASIBLE ({run.exercise.reason})")
 
 
+def _run_sharded_experiment(args, experiment, policies) -> int:
+    from .pipeline.sharding import ShardedExperiment
+
+    sharded = ShardedExperiment(
+        experiment, args.shards, router_seed=args.router_seed
+    )
+    for i, policy in enumerate(policies):
+        if i:
+            print()
+        report = sharded.run_policy(policy)
+        print(f"policy:               {report.policy}")
+        print(f"shards:               {report.nshards} "
+              f"(router seed {report.router_seed})")
+        print(f"long-list I/O total:  {report.io_ops_total:,}")
+        print(f"critical-path I/O:    {report.io_ops_critical_path:,} "
+              f"(parallel speedup {report.parallel_speedup:.2f}x)")
+        print(f"avg reads per list:   {report.avg_reads_per_list:.2f}")
+        print(f"long-list utilization {report.utilization:.1%}")
+        for m in report.shards:
+            print(
+                f"  shard {m.shard}: {m.io_ops:>9,} io ops, "
+                f"util {m.utilization:.1%}, "
+                f"reads/list {m.avg_reads_per_list:.2f}, "
+                f"{m.npostings:,} postings"
+            )
+    return 0
+
+
 def cmd_experiment(args) -> int:
     fault_plan = _fault_plan_from_args(args)
     policies = args.policy or [Policy.recommended_new()]
@@ -216,6 +245,16 @@ def cmd_experiment(args) -> int:
         fault_plan=fault_plan,
     )
     experiment = Experiment(config, cache=_cache_from_args(args))
+    if args.shards > 1:
+        # Document-partitioned pipeline (one full run per shard); the
+        # default --shards 1 stays on the exact single-volume path below.
+        if args.exercise or args.inject_faults:
+            print(
+                "note: --shards ignores --exercise/--inject-faults "
+                "(the sharded pipeline reports the I/O cost model only)",
+                file=sys.stderr,
+            )
+        return _run_sharded_experiment(args, experiment, policies)
     exercise = args.exercise or args.inject_faults
     if fault_plan is not None and args.jobs > 1:
         print(
@@ -303,12 +342,19 @@ def cmd_serve_bench(args) -> int:
         publish_mode=args.publish_mode,
         buffer_cache_blocks=args.buffer_cache,
         differential=args.differential,
+        shards=args.shards,
+        router_seed=args.router_seed,
+        flush_jobs=args.flush_jobs,
+        flush_executor=args.flush_executor,
     )
     report = LoadGenerator(config).run()
     overall = report.latency["overall"]
+    sharding = (
+        f" across {args.shards} shards" if args.shards > 1 else ""
+    )
     print(
         f"served {report.queries} queries from {args.readers} readers over "
-        f"{args.cycles} flush cycles ({report.wall_seconds:.2f} s)"
+        f"{args.cycles} flush cycles{sharding} ({report.wall_seconds:.2f} s)"
     )
     print(f"throughput:       {report.throughput_qps:,.0f} queries/s")
     for kind in ("boolean", "streamed", "vector", "overall"):
@@ -450,6 +496,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist policy-independent artifacts here "
         "(default: $REPRO_CACHE_DIR if set)",
     )
+    p_exp.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="document-hash shards; > 1 runs one pipeline per shard and "
+        "aggregates (1 = the single-volume pipeline, unchanged)",
+    )
+    p_exp.add_argument(
+        "--router-seed",
+        type=int,
+        default=0,
+        help="seed perturbing the doc-id shard hash",
+    )
     add_fault_args(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
 
@@ -521,6 +580,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.001,
         metavar="S",
         help="writer sleep between cycles so readers interleave",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="document-hash shards behind the service "
+        "(1 = the single-volume path, unchanged)",
+    )
+    p_serve.add_argument(
+        "--router-seed",
+        type=int,
+        default=0,
+        help="seed perturbing the doc-id shard hash",
+    )
+    p_serve.add_argument(
+        "--flush-jobs",
+        type=int,
+        default=1,
+        help="parallel per-shard flush workers (1 = serial)",
+    )
+    p_serve.add_argument(
+        "--flush-executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="executor for parallel per-shard flushes",
     )
     p_serve.add_argument(
         "--no-verify",

@@ -33,6 +33,7 @@ from .memindex import InMemoryIndex
 from .policy import Alloc, Limit, Policy, Style, figure8_policies
 from .positional import PositionalPosting, PositionalPostings, Region
 from .rebalance import BucketGrower, GrowthEvent, GrowthPolicy
+from .shard import IndexShard, shard_of
 from .postings import (
     CountPostings,
     DocPostings,
@@ -62,6 +63,7 @@ __all__ = [
     "FlushCounters",
     "FlushManager",
     "IndexConfig",
+    "IndexShard",
     "IndexStats",
     "GrowthEvent",
     "GrowthPolicy",
@@ -96,4 +98,5 @@ __all__ = [
     "figure8_policies",
     "freeze_index",
     "modular_hash",
+    "shard_of",
 ]

@@ -1,0 +1,644 @@
+"""Document-partitioned sharding: N independent dual-structure volumes.
+
+:class:`ShardedTextIndex` implements the :class:`~repro.core.shard.IndexShard`
+protocol over a vector of :class:`~repro.textindex.TextDocumentIndex`
+volumes.  Global doc ids are assigned sequentially by the sharded index
+and routed to a shard by the stable hash in
+:func:`~repro.core.shard.shard_of`; each shard therefore receives an
+*increasing subsequence* of the global ids, which keeps every per-shard
+posting list sorted by global doc id and pairwise disjoint across shards
+— the property :mod:`repro.query.scatter` exploits to gather exact
+answers.
+
+Update scaling comes from per-shard flushes: a batch touches only the
+shards that received documents (empty shards are skipped and their batch
+counters stand still, which is why the published identity of a sharded
+snapshot is the per-shard *vector* of batch counters, not one number).
+Flushes run serially by default, or in parallel behind the ``flush_jobs``
+knob — thread-parallel in-process, or process-parallel via a checkpoint
+round-trip per shard (the :mod:`repro.pipeline.sweep` executor pattern).
+
+Everything the serving layer leans on composes per shard:
+
+* **delta journals** aggregate into a :class:`ShardDeltaVector` whose
+  ``clear()`` spans all shards, so copy-on-write publication stays
+  per-shard incremental;
+* **recovery** rolls back and replays only the shards whose flush
+  aborted — completed sibling results are retained in an in-flight table
+  so the batch as a whole is restartable without redoing finished work;
+* **invariant checks** run per volume and merge into one report with
+  shard-prefixed violations.
+
+This module is deliberately *not* exported from ``repro.core``'s package
+namespace: it imports the text facade (which imports ``repro.core``), so
+it must only be imported from layers above the core.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from ..query import boolean as boolean_query
+from ..query import scatter
+from ..query import streaming as streaming_query
+from ..query import vector as vector_query
+from ..query.vector import ScoredDocument
+from ..textindex import QueryAnswer, TextDocumentIndex
+from .checkpoint import CheckpointError
+from .deletion import SweepStats
+from .index import BatchResult, IndexConfig
+from .invariants import InvariantReport, Violation
+from .shard import shard_of
+
+
+class ShardDeltaVector:
+    """Aggregate view over per-shard delta journals.
+
+    The serving layer treats the writer's ``delta`` as one object: it
+    passes it to ``clone_incremental``, asks whether deletions changed,
+    and clears it after a publish.  For a sharded writer each of those is
+    a fan-out over the per-shard :class:`~repro.core.delta.DeltaJournal`s
+    — which stay individually attached to their volumes, so flushes keep
+    recording into them between publishes.
+    """
+
+    __slots__ = ("journals",)
+
+    def __init__(self, journals: Sequence) -> None:
+        self.journals = list(journals)
+
+    @property
+    def deletions_changed(self) -> bool:
+        return any(j.deletions_changed for j in self.journals)
+
+    @property
+    def structure_changed(self) -> bool:
+        return any(j.structure_changed for j in self.journals)
+
+    @property
+    def requires_full(self) -> bool:
+        return any(j.requires_full for j in self.journals)
+
+    @property
+    def batches(self) -> int:
+        return sum(j.batches for j in self.journals)
+
+    def clear(self) -> None:
+        for journal in self.journals:
+            journal.clear()
+
+
+def _flush_shard_worker(
+    blob: bytes, batch: tuple, next_doc_id: int
+) -> tuple[bytes, BatchResult, tuple | None]:
+    """Process-pool worker: flush one shard's batch in a child process.
+
+    The shard travels as its serialized checkpoint plus the in-memory
+    batch snapshot (checkpoints only exist at batch boundaries, so the
+    batch rides alongside).  Returns the post-flush checkpoint, the
+    flush result, and the journal state the flush recorded so the parent
+    can graft it onto its own journal.
+    """
+    shard = TextDocumentIndex.load(io.BytesIO(blob))
+    shard.index.memory.restore(batch)
+    shard.index._next_doc_id = next_doc_id
+    result = shard.index.flush_batch()
+    out = io.BytesIO()
+    shard.save(out)
+    journal = shard.index.delta
+    journal_state = None
+    if journal is not None:
+        journal_state = (
+            set(journal.dirty_words),
+            set(journal.dirty_buckets),
+            set(journal.dirty_blocks),
+            journal.structure_changed,
+            journal.batches,
+        )
+    return out.getvalue(), result, journal_state
+
+
+class ShardedTextIndex:
+    """A document-hash-sharded text index (implements ``IndexShard``).
+
+    ``shards`` volumes are created from one :class:`IndexConfig`;
+    ``router_seed`` perturbs the doc-id hash (any seed yields a valid
+    partition — the differential tests sweep it).  ``flush_jobs`` > 1
+    flushes pending shards in parallel using the ``flush_executor``
+    (``"thread"`` or ``"process"``); results are identical to the serial
+    order because shards share no mutable state.
+    """
+
+    def __init__(
+        self,
+        config: IndexConfig | None = None,
+        tokenizer_config=None,
+        region_rules=None,
+        *,
+        shards: int = 2,
+        router_seed: int = 0,
+        flush_jobs: int = 1,
+        flush_executor: str = "thread",
+    ) -> None:
+        if shards < 2:
+            raise ValueError(
+                "ShardedTextIndex needs shards >= 2; use "
+                "TextDocumentIndex (or build_text_index) for one volume"
+            )
+        if flush_executor not in ("thread", "process"):
+            raise ValueError("flush_executor must be 'thread' or 'process'")
+        self.shards = [
+            TextDocumentIndex(
+                config,
+                tokenizer_config=tokenizer_config,
+                region_rules=region_rules,
+            )
+            for _ in range(shards)
+        ]
+        self.router_seed = router_seed
+        self.flush_jobs = flush_jobs
+        self.flush_executor = flush_executor
+        self._next_doc_id = 0
+        self._batches = 0
+        # Completed per-shard results of the batch currently being
+        # flushed: survives a sibling shard's crash so recovery resumes
+        # instead of redoing finished shards.
+        self._inflight: dict[int, BatchResult] = {}
+        self._last_read_ops = 0
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def nshards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def ndocs(self) -> int:
+        """Size of the *global* doc-id universe (spans all shards)."""
+        return self._next_doc_id
+
+    @property
+    def batches(self) -> int:
+        """Completed *global* batch flushes (each may touch few shards)."""
+        return self._batches
+
+    @property
+    def shard_versions(self) -> tuple[int, ...]:
+        return tuple(shard.batches for shard in self.shards)
+
+    @property
+    def crash_safe(self) -> bool:
+        return self.shards[0].crash_safe
+
+    @property
+    def delta(self):
+        journals = [shard.delta for shard in self.shards]
+        if any(journal is None for journal in journals):
+            return None
+        return ShardDeltaVector(journals)
+
+    @property
+    def needs_recovery(self) -> bool:
+        return any(shard.needs_recovery for shard in self.shards)
+
+    def route(self, doc_id: int) -> int:
+        """The shard index owning ``doc_id``."""
+        return shard_of(doc_id, len(self.shards), self.router_seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedTextIndex(shards={len(self.shards)}, "
+            f"ndocs={self._next_doc_id}, versions={self.shard_versions})"
+        )
+
+    # -- ingest -----------------------------------------------------------
+
+    def add_document(self, text: str, doc_id: int | None = None) -> int:
+        """Assign (or accept) a global doc id and index the document on
+        the shard the router owns it to."""
+        if doc_id is None:
+            doc_id = self._next_doc_id
+        elif doc_id < self._next_doc_id:
+            raise ValueError(
+                f"doc id {doc_id} below next id {self._next_doc_id}: "
+                "ids must be non-decreasing"
+            )
+        self.shards[self.route(doc_id)].add_document(text, doc_id=doc_id)
+        self._next_doc_id = doc_id + 1
+        return doc_id
+
+    def delete_document(self, doc_id: int) -> None:
+        """Route the deletion to the shard that indexed the document."""
+        if not 0 <= doc_id < self._next_doc_id:
+            raise ValueError(
+                f"doc id {doc_id} outside [0, {self._next_doc_id})"
+            )
+        self.shards[self.route(doc_id)].delete_document(doc_id)
+
+    def sweep_deletions(
+        self, max_lists: int | None = None
+    ) -> list[SweepStats]:
+        """Run the reclamation sweep on every shard (``max_lists`` is a
+        per-shard budget); returns the per-shard stats."""
+        return [shard.sweep_deletions(max_lists) for shard in self.shards]
+
+    # -- flushing ---------------------------------------------------------
+
+    def flush_batch(self) -> BatchResult:
+        """Flush every shard's pending batch as one global batch.
+
+        Shards that received no documents are skipped outright — their
+        batch counters (and hence their component of
+        :attr:`shard_versions`) do not advance, and a copy-on-write
+        publish shares their entire volume.  With ``flush_jobs > 1`` the
+        pending shards flush in parallel; a crash in one shard leaves
+        completed sibling results in the in-flight table, so calling
+        :meth:`recover` resumes the same global batch.
+        """
+        pending = [
+            i
+            for i, shard in enumerate(self.shards)
+            if i not in self._inflight and len(shard.index.memory)
+        ]
+        if self.flush_jobs > 1 and len(pending) > 1:
+            if self.flush_executor == "process":
+                self._flush_process(pending)
+            else:
+                self._flush_thread(pending)
+        else:
+            for i in pending:
+                self._inflight[i] = self.shards[i].flush_batch()
+        results = self._inflight
+        self._inflight = {}
+        self._batches += 1
+        return self._aggregate(results.values())
+
+    def _aggregate(self, results) -> BatchResult:
+        """Sum per-shard flush results into one global batch result.
+
+        ``nwords`` sums *per-shard* distinct words (a word split across
+        shards counts once per shard it touched — each shard really did
+        update a list for it); I/O counters are straight sums.
+        """
+        results = list(results)
+        return BatchResult(
+            batch=self._batches,
+            nwords=sum(r.nwords for r in results),
+            npostings=sum(r.npostings for r in results),
+            new_words=sum(r.new_words for r in results),
+            bucket_words=sum(r.bucket_words for r in results),
+            long_words=sum(r.long_words for r in results),
+            migrations=sum(r.migrations for r in results),
+            io_ops=sum(r.io_ops for r in results),
+            in_place_updates=sum(r.in_place_updates for r in results),
+        )
+
+    def _flush_thread(self, pending: list[int]) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers = min(self.flush_jobs, len(pending))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                i: pool.submit(self.shards[i].flush_batch) for i in pending
+            }
+            errors = []
+            for i, future in futures.items():
+                try:
+                    self._inflight[i] = future.result()
+                except Exception as exc:
+                    # The shard rolled its own state back (crash-safe) or
+                    # raised cleanly; siblings keep their results.
+                    errors.append(exc)
+            if errors:
+                raise errors[0]
+
+    def _check_process_mode(self) -> None:
+        """Process-parallel flush round-trips each shard through its
+        checkpoint form, which deliberately does not serialize testing
+        and growth knobs — refuse configs the round-trip would drop."""
+        config = self.shards[0].index.config
+        problems = []
+        if config.crash_safe:
+            problems.append("crash_safe=True")
+        if config.fault_plan is not None:
+            problems.append("fault_plan")
+        if config.grow_buckets:
+            problems.append("grow_buckets=True")
+        if config.bucket_unit_bytes != 4:
+            problems.append(f"bucket_unit_bytes={config.bucket_unit_bytes}")
+        if problems:
+            raise ValueError(
+                "process-parallel flush cannot preserve "
+                + ", ".join(problems)
+                + " across the checkpoint round-trip; use "
+                "flush_executor='thread' or flush_jobs=1"
+            )
+
+    def _flush_process(self, pending: list[int]) -> None:
+        self._check_process_mode()
+        payloads = []
+        for i in pending:
+            core = self.shards[i].index
+            batch = core.memory.snapshot()
+            next_doc_id = core._next_doc_id
+            core.memory.clear()
+            try:
+                buf = io.BytesIO()
+                self.shards[i].save(buf)
+            finally:
+                # The parent keeps the batch: still searchable, and still
+                # flushable serially if a worker (or the pool) fails.
+                core.memory.restore(batch)
+            payloads.append((i, buf.getvalue(), batch, next_doc_id))
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.flush_jobs, len(pending))
+            )
+        except (ImportError, OSError):
+            # No process pool on this platform: flush serially instead.
+            for i in pending:
+                self._inflight[i] = self.shards[i].flush_batch()
+            return
+        with pool:
+            futures = {
+                i: pool.submit(_flush_shard_worker, blob, batch, next_id)
+                for i, blob, batch, next_id in payloads
+            }
+            for i, future in futures.items():
+                blob, result, journal_state = future.result()
+                self._adopt_flushed(i, blob, journal_state)
+                self._inflight[i] = result
+
+    def _adopt_flushed(
+        self, i: int, blob: bytes, journal_state: tuple | None
+    ) -> None:
+        """Replace shard ``i`` with the worker's post-flush checkpoint.
+
+        The reconstructed volume gets a fresh journal; graft the parent's
+        unpublished dirty state plus the worker's batch onto it, and mark
+        it recovered — structure identity was not preserved across the
+        round-trip, so the next copy-on-write publish of this shard falls
+        back to a full clone (its dirty-block set stays valid for buffer
+        cache carry-over).
+        """
+        old = self.shards[i]
+        new = TextDocumentIndex.load(io.BytesIO(blob))
+        new.tokenizer_config = old.tokenizer_config
+        new.region_rules = old.region_rules
+        new.deletions.deleted = set(old.deletions.deleted)
+        journal, old_journal = new.index.delta, old.index.delta
+        if journal is not None and old_journal is not None:
+            words, buckets, blocks, structure, batches = journal_state or (
+                set(), set(), set(), False, 0
+            )
+            journal.dirty_words.update(old_journal.dirty_words, words)
+            journal.dirty_buckets.update(old_journal.dirty_buckets, buckets)
+            journal.dirty_blocks.update(old_journal.dirty_blocks, blocks)
+            journal.deletions_changed = old_journal.deletions_changed
+            journal.structure_changed = (
+                old_journal.structure_changed or structure
+            )
+            journal.batches = old_journal.batches + batches
+            journal.note_recovery()
+        self.shards[i] = new
+
+    # -- recovery ---------------------------------------------------------
+
+    def recover(self, replay: bool = True) -> BatchResult | None:
+        """Recover only the shards whose flush aborted; siblings are
+        untouched.  With ``replay``, finishes the interrupted global
+        batch: replays each aborted shard, then flushes any shards whose
+        batches never started, and returns the aggregate result."""
+        if not self.crash_safe:
+            raise RuntimeError(
+                "recover() requires IndexConfig(crash_safe=True)"
+            )
+        for i, shard in enumerate(self.shards):
+            if shard.needs_recovery:
+                result = shard.recover(replay=replay)
+                if replay and result is not None:
+                    self._inflight[i] = result
+        if not replay:
+            self._inflight = {}
+            return None
+        pending = any(len(s.index.memory) for s in self.shards)
+        if not self._inflight and not pending:
+            return None
+        return self.flush_batch()
+
+    # -- publication ------------------------------------------------------
+
+    def _empty_copy(self) -> "ShardedTextIndex":
+        copy = ShardedTextIndex.__new__(ShardedTextIndex)
+        copy.router_seed = self.router_seed
+        # Clones are published read-only snapshots: serial flush knobs.
+        copy.flush_jobs = 1
+        copy.flush_executor = "thread"
+        copy._next_doc_id = self._next_doc_id
+        copy._batches = self._batches
+        copy._inflight = {}
+        copy._last_read_ops = 0
+        return copy
+
+    def clone(self) -> "ShardedTextIndex":
+        """An independent deep copy at the current batch boundary."""
+        copy = self._empty_copy()
+        copy.shards = [shard.clone() for shard in self.shards]
+        return copy
+
+    def clone_incremental(self, prev, delta) -> "ShardedTextIndex":
+        """Per-shard copy-on-write against ``prev``'s shard vector.
+
+        Shards whose journal cannot prove coverage (crash recovery, a
+        structural rebuild, a process-mode flush) fall back to a full
+        clone *individually* — one bad shard never forces siblings to
+        give up sharing, and unlike the single-volume method this one
+        only raises when the shard layouts are incompatible.
+        """
+        if (
+            not isinstance(prev, ShardedTextIndex)
+            or len(prev.shards) != len(self.shards)
+            or prev.router_seed != self.router_seed
+        ):
+            raise CheckpointError(
+                "previous snapshot has a different shard layout"
+            )
+        journals = (
+            delta.journals
+            if delta is not None
+            else [None] * len(self.shards)
+        )
+        copy = self._empty_copy()
+        copy.shards = []
+        for shard, prev_shard, journal in zip(
+            self.shards, prev.shards, journals
+        ):
+            if journal is None:
+                copy.shards.append(shard.clone())
+                continue
+            try:
+                copy.shards.append(
+                    shard.clone_incremental(prev_shard, journal)
+                )
+            except CheckpointError:
+                copy.shards.append(shard.clone())
+        return copy
+
+    def dirty_terms(self) -> frozenset:
+        terms: set[str] = set()
+        for shard in self.shards:
+            terms |= shard.dirty_terms()
+        return frozenset(terms)
+
+    def freeze(self) -> None:
+        for shard in self.shards:
+            shard.freeze()
+
+    def check(self) -> InvariantReport:
+        """Run the invariant checker on every volume; merge the reports
+        with shard-prefixed violation details."""
+        report = InvariantReport()
+        for i, shard in enumerate(self.shards):
+            sub = shard.check()
+            report.checks += sub.checks
+            for violation in sub.violations:
+                report.violations.append(
+                    Violation(violation.code, f"shard {i}: {violation.detail}")
+                )
+        return report
+
+    def attach_buffer_cache(
+        self, blocks: int, counters, prev=None, delta=None
+    ) -> None:
+        """Split the block budget evenly across shards; each shard
+        carries its own cache forward from its counterpart in ``prev``
+        minus its own journal's dirty blocks.  All shard caches share
+        ``counters``, so hit-rate accounting stays global."""
+        per_shard = max(1, blocks // len(self.shards))
+        prev_shards = (
+            prev.shards if prev is not None else [None] * len(self.shards)
+        )
+        journals = (
+            delta.journals
+            if delta is not None
+            else [None] * len(self.shards)
+        )
+        for shard, prev_shard, journal in zip(
+            self.shards, prev_shards, journals
+        ):
+            shard.attach_buffer_cache(
+                per_shard, counters, prev=prev_shard, delta=journal
+            )
+
+    # -- retrieval (scatter-gather) ---------------------------------------
+
+    def fetch_postings(self, word: str) -> tuple[list[int], int]:
+        """One word's live doc ids merged across all shards, plus the
+        summed read ops.  Identical to what a single volume holding the
+        whole collection would return."""
+        fetch, counter = scatter.scatter_fetch(
+            [shard.fetch_postings for shard in self.shards]
+        )
+        return fetch(word), counter[0]
+
+    def _deleted_union(self) -> set[int]:
+        dead: set[int] = set()
+        for shard in self.shards:
+            dead |= shard.deletions.deleted
+        return dead
+
+    def search_boolean(self, query: str) -> QueryAnswer:
+        """Fetch-level scatter: merge each term's posting fragments and
+        run the unchanged boolean evaluator over the *global* universe —
+        which is what keeps ``NOT``'s complement correct (a per-shard
+        complement would admit other shards' documents)."""
+        fetch, counter = scatter.scatter_fetch(
+            [shard.fetch_postings for shard in self.shards]
+        )
+        docs = boolean_query.evaluate(query, fetch, self.ndocs)
+        # Per-shard fetches are deletion-filtered, but NOT's complement
+        # still contains deleted ids (paper §3: filter every answer).
+        dead = self._deleted_union()
+        docs = [d for d in docs if d not in dead] if dead else list(docs)
+        self._last_read_ops = counter[0]
+        return QueryAnswer(doc_ids=docs, read_ops=counter[0])
+
+    def search_streamed(self, query: str) -> QueryAnswer:
+        """Answer-level scatter: flat AND/OR is decided by a document's
+        own contents, so each shard streams its slice lazily (keeping the
+        early-exit economy local) and the disjoint answers merge."""
+        streaming_query.parse_flat(query)  # uniform rejection up front
+        answers = [shard.search_streamed(query) for shard in self.shards]
+        docs, read_ops = scatter.gather_answers(
+            [(a.doc_ids, a.read_ops) for a in answers]
+        )
+        self._last_read_ops = read_ops
+        return QueryAnswer(doc_ids=docs, read_ops=read_ops)
+
+    def search_vector(
+        self, weights: dict[str, float], top_k: int = 10
+    ) -> list[ScoredDocument]:
+        ranked, _ = self.search_vector_counted(weights, top_k=top_k)
+        return ranked
+
+    def search_vector_counted(
+        self, weights: dict[str, float], top_k: int = 10
+    ) -> tuple[list[ScoredDocument], int]:
+        """Fetch-level scatter under the unchanged ranker: idf uses the
+        global ``ndocs``, so scores are bit-identical to one volume."""
+        fetch, counter = scatter.scatter_fetch(
+            [shard.fetch_postings for shard in self.shards]
+        )
+        ranked = vector_query.rank(
+            weights, fetch, self.ndocs, top_k=top_k
+        )
+        self._last_read_ops = counter[0]
+        return ranked, counter[0]
+
+    @property
+    def last_read_ops(self) -> int:
+        return self._last_read_ops
+
+    # -- introspection ----------------------------------------------------
+
+    def document_frequency(self, word: str) -> int:
+        return sum(shard.document_frequency(word) for shard in self.shards)
+
+    def shard_stats(self) -> list:
+        """Per-shard :class:`~repro.core.index.IndexStats`."""
+        return [shard.stats() for shard in self.shards]
+
+
+def build_text_index(
+    config: IndexConfig | None = None,
+    tokenizer_config=None,
+    region_rules=None,
+    *,
+    shards: int = 1,
+    router_seed: int = 0,
+    flush_jobs: int = 1,
+    flush_executor: str = "thread",
+):
+    """Build a single-volume or sharded text index behind one signature.
+
+    ``shards <= 1`` returns a plain :class:`TextDocumentIndex` — the
+    exact pre-sharding code path, so defaults change nothing.
+    """
+    if shards <= 1:
+        return TextDocumentIndex(
+            config,
+            tokenizer_config=tokenizer_config,
+            region_rules=region_rules,
+        )
+    return ShardedTextIndex(
+        config,
+        tokenizer_config=tokenizer_config,
+        region_rules=region_rules,
+        shards=shards,
+        router_seed=router_seed,
+        flush_jobs=flush_jobs,
+        flush_executor=flush_executor,
+    )

@@ -14,6 +14,13 @@ from .experiment import Experiment, ExperimentConfig, PolicyRun, default_scale
 from .invert import InvertIndexProcess
 from .profiling import HitMissCounters, StageTimings
 from .rebuild import PeriodicRebuildBaseline, RebuildResult
+from .sharding import (
+    ShardedExperiment,
+    ShardedPolicyReport,
+    ShardRunMetrics,
+    split_update,
+    split_updates,
+)
 from .stats import CorpusStats, corpus_stats
 from .sweep import PolicySweep, SweepPolicyReport, SweepReport
 
@@ -38,10 +45,15 @@ __all__ = [
     "PolicyRun",
     "PolicySweep",
     "RebuildResult",
+    "ShardRunMetrics",
+    "ShardedExperiment",
+    "ShardedPolicyReport",
     "StageTimings",
     "SweepPolicyReport",
     "SweepReport",
     "build_content_index",
     "corpus_stats",
     "default_scale",
+    "split_update",
+    "split_updates",
 ]

@@ -1,0 +1,252 @@
+"""Document-partitioned variant of the evaluation pipeline.
+
+``repro experiment --shards N`` models what sharding (see
+:mod:`repro.core.sharded`) does to the paper's workload: the batch
+updates are split as if every document had been routed to one of N
+independent volumes by the stable doc-id hash, and each shard then runs
+its own ComputeBuckets → ComputeDisks pipeline under the *same*
+provisioning as a full volume — exactly how the serving layer builds a
+:class:`~repro.core.sharded.ShardedTextIndex`, where every shard carries
+a complete :class:`~repro.core.index.IndexConfig` of its own.
+
+The split is at the update level.  A day's :class:`BatchUpdate` records,
+per word, the number of documents containing it; document-hash routing
+scatters those documents across shards, so each word's count splits into
+per-shard counts that sum to the original.  The split is deterministic
+in ``(day, word, router_seed)`` — repeated runs and any job count
+produce identical shard workloads — and exact per "document slot" for
+small counts, with large counts split evenly plus a hashed remainder
+(what a multinomial concentrates to).
+
+Reported metrics keep the paper's cost model meaningful per shard: each
+shard's long-list I/O is its own Figure-9 series, the total is the work
+the whole collection costs, and the *critical path* (the largest
+per-shard total) is what a parallel flush would wait for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.policy import Policy
+from ..core.shard import shard_of
+from ..text.batchupdate import BatchUpdate
+from .compute_buckets import ComputeBucketsProcess
+from .compute_disks import ComputeDisksProcess
+from .experiment import Experiment
+
+#: Counts up to this size are split slot-by-slot (exact document-hash
+#: model); above it, evenly with a hashed remainder (indistinguishable
+#: in aggregate, O(nshards) instead of O(count)).
+_EXACT_SPLIT_MAX = 64
+
+
+def _slot(day: int, word: int, j: int, nshards: int, seed: int) -> int:
+    """Shard owning the ``j``-th document slot of ``word`` on ``day``.
+
+    Feeds a synthetic doc identity through the same stable mix the
+    serving router uses, so the model inherits its distribution.
+    """
+    return shard_of((day * 1_000_003 + word) * 97 + j, nshards, seed)
+
+
+def split_update(
+    update: BatchUpdate, nshards: int, seed: int = 0
+) -> list[BatchUpdate]:
+    """Split one day's update into per-shard updates.
+
+    Per word, the per-shard counts are non-negative and sum to the
+    original count; per-shard pair lists stay sorted by word id.  With
+    ``nshards <= 1`` the original update is returned unchanged.
+    """
+    if nshards <= 1:
+        return [update]
+    pairs: list[list[tuple[int, int]]] = [[] for _ in range(nshards)]
+    for word, count in update.pairs:
+        counts = [0] * nshards
+        if count > _EXACT_SPLIT_MAX:
+            base, rem = divmod(count, nshards)
+            for s in range(nshards):
+                counts[s] = base
+            for j in range(rem):
+                counts[_slot(update.day, word, j, nshards, seed)] += 1
+        else:
+            for j in range(count):
+                counts[_slot(update.day, word, j, nshards, seed)] += 1
+        for s in range(nshards):
+            if counts[s]:
+                pairs[s].append((word, counts[s]))
+    ndocs = [0] * nshards
+    for j in range(update.ndocs):
+        ndocs[_slot(update.day, 0, j, nshards, seed)] += 1
+    return [
+        BatchUpdate(day=update.day, pairs=pairs[s], ndocs=ndocs[s])
+        for s in range(nshards)
+    ]
+
+
+def split_updates(
+    updates: list[BatchUpdate], nshards: int, seed: int = 0
+) -> list[list[BatchUpdate]]:
+    """Per-shard update streams: ``result[s]`` is shard ``s``'s days."""
+    streams: list[list[BatchUpdate]] = [[] for _ in range(max(1, nshards))]
+    for update in updates:
+        for s, part in enumerate(split_update(update, nshards, seed)):
+            streams[s].append(part)
+    return streams
+
+
+@dataclass
+class ShardRunMetrics:
+    """One shard's pipeline outcome under one policy."""
+
+    shard: int
+    npostings: int
+    io_ops: int
+    utilization: float
+    avg_reads_per_list: float
+    in_place_updates: int
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "npostings": self.npostings,
+            "io_ops": self.io_ops,
+            "utilization": round(self.utilization, 6),
+            "avg_reads_per_list": round(self.avg_reads_per_list, 4),
+            "in_place_updates": self.in_place_updates,
+        }
+
+
+@dataclass
+class ShardedPolicyReport:
+    """Aggregate of one policy's per-shard pipeline runs."""
+
+    policy: str
+    nshards: int
+    router_seed: int
+    shards: list[ShardRunMetrics] = field(default_factory=list)
+
+    @property
+    def io_ops_total(self) -> int:
+        """Work the whole collection costs (sum over shards)."""
+        return sum(m.io_ops for m in self.shards)
+
+    @property
+    def io_ops_critical_path(self) -> int:
+        """What a parallel flush waits for (largest shard total)."""
+        return max((m.io_ops for m in self.shards), default=0)
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Total work over the critical path: the ideal speedup of
+        flushing all shards concurrently."""
+        critical = self.io_ops_critical_path
+        return self.io_ops_total / critical if critical else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Posting-weighted mean long-list utilization."""
+        total = sum(m.npostings for m in self.shards)
+        if not total:
+            return 0.0
+        return (
+            sum(m.utilization * m.npostings for m in self.shards) / total
+        )
+
+    @property
+    def avg_reads_per_list(self) -> float:
+        """Posting-weighted mean reads per long list."""
+        total = sum(m.npostings for m in self.shards)
+        if not total:
+            return 0.0
+        return (
+            sum(m.avg_reads_per_list * m.npostings for m in self.shards)
+            / total
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "nshards": self.nshards,
+            "router_seed": self.router_seed,
+            "io_ops_total": self.io_ops_total,
+            "io_ops_critical_path": self.io_ops_critical_path,
+            "parallel_speedup": round(self.parallel_speedup, 4),
+            "utilization": round(self.utilization, 6),
+            "avg_reads_per_list": round(self.avg_reads_per_list, 4),
+            "shards": [m.as_dict() for m in self.shards],
+        }
+
+
+class ShardedExperiment:
+    """Run the evaluation pipeline per shard and aggregate.
+
+    Wraps an :class:`~repro.pipeline.experiment.Experiment` for its
+    (cached) workload generation; the per-shard bucket stages are
+    computed once and shared across policies, mirroring the unsharded
+    runner's staging economy.
+    """
+
+    def __init__(
+        self, experiment: Experiment, nshards: int, router_seed: int = 0
+    ) -> None:
+        if nshards < 2:
+            raise ValueError(
+                "ShardedExperiment needs nshards >= 2; use Experiment "
+                "for the single-volume pipeline"
+            )
+        self.experiment = experiment
+        self.nshards = nshards
+        self.router_seed = router_seed
+        self._streams: list[list[BatchUpdate]] | None = None
+        self._traces: list | None = None
+
+    def shard_streams(self) -> list[list[BatchUpdate]]:
+        if self._streams is None:
+            self._streams = split_updates(
+                self.experiment.updates(), self.nshards, self.router_seed
+            )
+        return self._streams
+
+    def _shard_traces(self) -> list:
+        """Per-shard bucket-stage traces (policy-independent, run once)."""
+        if self._traces is None:
+            config = self.experiment.config
+            traces = []
+            for stream in self.shard_streams():
+                process = ComputeBucketsProcess(
+                    config.nbuckets,
+                    config.bucket_size,
+                    watch_buckets=config.watch_buckets,
+                )
+                traces.append(process.run(stream).trace)
+            self._traces = traces
+        return self._traces
+
+    def run_policy(self, policy: Policy) -> ShardedPolicyReport:
+        """ComputeDisks per shard under ``policy``; aggregate report."""
+        report = ShardedPolicyReport(
+            policy=policy.name,
+            nshards=self.nshards,
+            router_seed=self.router_seed,
+        )
+        streams = self.shard_streams()
+        for s, trace in enumerate(self._shard_traces()):
+            process = ComputeDisksProcess(
+                self.experiment.disk_stage_config(policy)
+            )
+            disks = process.run(trace)
+            report.shards.append(
+                ShardRunMetrics(
+                    shard=s,
+                    npostings=sum(u.npostings for u in streams[s]),
+                    io_ops=disks.series.io_ops[-1]
+                    if disks.series.io_ops
+                    else 0,
+                    utilization=disks.final_utilization,
+                    avg_reads_per_list=disks.final_avg_reads,
+                    in_place_updates=disks.counters.in_place_updates,
+                )
+            )
+        return report

@@ -11,9 +11,11 @@ from .boolean import (
 from .cost import BooleanWorkload, QueryCostModel, VectorWorkload
 from .positional import phrase_docs, positions_within, proximity_docs, region_docs
 from .reference import BruteForceIndex, materialized_blocks
+from .scatter import gather_answers, merge_disjoint, scatter_fetch
 from .streaming import (
     ListCursor,
     StreamStats,
+    parse_flat,
     stream_intersect,
     stream_union,
     streamed_and,
@@ -32,10 +34,14 @@ __all__ = [
     "VectorWorkload",
     "difference",
     "evaluate",
+    "gather_answers",
     "idf",
     "intersect",
     "materialized_blocks",
+    "merge_disjoint",
     "parse",
+    "parse_flat",
+    "scatter_fetch",
     "phrase_docs",
     "positions_within",
     "proximity_docs",

@@ -24,6 +24,28 @@ from ..core.index import DualStructureIndex
 from ..storage.block import blocks_for_postings
 
 
+def parse_flat(query: str) -> tuple[list[str], set[str]]:
+    """Parse a flat ``a AND b AND c`` / ``a OR b OR c`` query.
+
+    Returns the lowercased words and the (single-element) operator set;
+    raises :class:`ValueError` on anything that needs the full boolean
+    evaluator.  Shared by the facade and the scatter-gather layer so both
+    reject exactly the same inputs.
+    """
+    tokens = query.split()
+    words = [t.lower() for t in tokens[::2]]
+    operators = {t.upper() for t in tokens[1::2]}
+    if len(tokens) % 2 == 0 or operators - {"AND", "OR"} or (
+        len(operators) > 1
+    ):
+        raise ValueError(
+            "search_streamed takes flat 'a AND b AND c' or "
+            "'a OR b OR c' queries; use search_boolean for general "
+            "expressions"
+        )
+    return words, operators
+
+
 @dataclass
 class StreamStats:
     """I/O actually performed by a streamed evaluation."""

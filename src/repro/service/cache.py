@@ -74,14 +74,25 @@ class CacheStats:
 
 
 class _Entry:
-    __slots__ = ("value", "terms", "universe_sensitive", "first_id", "last_id")
+    __slots__ = (
+        "value",
+        "terms",
+        "universe_sensitive",
+        "first_id",
+        "last_id",
+        "versions",
+    )
 
-    def __init__(self, value, terms, universe_sensitive, snapshot_id):
+    def __init__(self, value, terms, universe_sensitive, snapshot_id, versions):
         self.value = value
         self.terms = terms
         self.universe_sensitive = universe_sensitive
         self.first_id = snapshot_id
         self.last_id = snapshot_id
+        # The shard-snapshot vector (per-shard batch counters) of the
+        # newest snapshot this entry is valid at; publish_delta advances
+        # it alongside last_id.
+        self.versions = versions
 
 
 class QueryResultCache:
@@ -103,14 +114,35 @@ class QueryResultCache:
         with self._lock:
             return len(self._entries)
 
-    def get(self, key: CacheKey, snapshot_id: int):
+    def get(
+        self,
+        key: CacheKey,
+        snapshot_id: int,
+        versions: tuple[int, ...] | None = None,
+    ):
         """The cached value for ``key`` valid at ``snapshot_id``, or
-        ``None``; counts the outcome."""
+        ``None``; counts the outcome.
+
+        ``versions`` is the caller's shard-snapshot vector: when given
+        and the lookup lands on the entry's newest snapshot, the vectors
+        must agree — a mismatch (shard layout change, out-of-band shard
+        advance) drops the entry instead of serving it.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None or not (
                 entry.first_id <= snapshot_id <= entry.last_id
             ):
+                self._stats.misses += 1
+                return None
+            if (
+                versions is not None
+                and entry.versions is not None
+                and snapshot_id == entry.last_id
+                and entry.versions != versions
+            ):
+                del self._entries[key]
+                self._stats.entry_hits.pop(key, None)
                 self._stats.misses += 1
                 return None
             self._entries.move_to_end(key)
@@ -127,13 +159,15 @@ class QueryResultCache:
         snapshot_id: int,
         terms: frozenset = frozenset(),
         universe_sensitive: bool = False,
+        versions: tuple[int, ...] | None = None,
     ) -> None:
         """Insert an entry valid (for now) only at ``snapshot_id``.
 
         ``terms`` are the query's vocabulary terms (lowercase) and
         ``universe_sensitive`` marks answers that depend on the doc-id
-        universe; both drive :meth:`publish_delta`.  A put from a reader
-        pinned to an *older* snapshot never displaces a fresher entry.
+        universe; both drive :meth:`publish_delta`.  ``versions`` records
+        the snapshot's shard vector.  A put from a reader pinned to an
+        *older* snapshot never displaces a fresher entry.
         """
         if self.capacity == 0:
             return
@@ -145,7 +179,7 @@ class QueryResultCache:
                     return
                 self._entries.move_to_end(key)
             self._entries[key] = _Entry(
-                value, terms, universe_sensitive, snapshot_id
+                value, terms, universe_sensitive, snapshot_id, versions
             )
             while len(self._entries) > self.capacity:
                 evicted, _ = self._entries.popitem(last=False)
@@ -158,6 +192,7 @@ class QueryResultCache:
         dirty_terms: frozenset,
         universe_changed: bool,
         deletions_changed: bool,
+        versions: tuple[int, ...] | None = None,
     ) -> int:
         """Apply one publish's delta: extend clean entries to ``new_id``,
         drop dirty and stranded ones; returns the number dropped.
@@ -165,6 +200,8 @@ class QueryResultCache:
         An entry is *clean* when it was valid at ``new_id - 1``, none of
         its terms intersect ``dirty_terms``, the deletion set did not
         change, and (if universe-sensitive) no documents were added.
+        Extended entries adopt ``versions``, the new snapshot's shard
+        vector.
         """
         prev_id = new_id - 1
         with self._lock:
@@ -182,6 +219,8 @@ class QueryResultCache:
                     dropped += 1
                 else:
                     entry.last_id = new_id
+                    if versions is not None:
+                        entry.versions = versions
                     retained += 1
             self._stats.invalidations += 1
             self._stats.entries_invalidated += dropped

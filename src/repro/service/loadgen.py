@@ -96,6 +96,13 @@ class LoadConfig:
     differential: bool = False
     #: Probe queries per kind for each differential check.
     differential_probes: int = 4
+    #: Document-hash shards (1 = the single-volume code path).
+    shards: int = 1
+    #: Router seed perturbing the doc-id hash (any value is valid).
+    router_seed: int = 0
+    #: Parallel per-shard flush workers (1 = serial).
+    flush_jobs: int = 1
+    flush_executor: str = "thread"
 
     def __post_init__(self) -> None:
         if self.readers <= 0 or self.flush_cycles <= 0:
@@ -106,6 +113,8 @@ class LoadConfig:
             raise ValueError("mix must be three non-negative weights")
         if self.publish_mode not in ("clone", "cow"):
             raise ValueError("publish_mode must be 'clone' or 'cow'")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
 
     @property
     def injects_faults(self) -> bool:
@@ -204,6 +213,10 @@ class LoadGenerator:
             track_reference=self.config.verify,
             publish_mode=self.config.publish_mode,
             buffer_cache_blocks=self.config.buffer_cache_blocks,
+            shards=self.config.shards,
+            router_seed=self.config.router_seed,
+            flush_jobs=self.config.flush_jobs,
+            flush_executor=self.config.flush_executor,
         )
         self._words = [
             _word_name(i) for i in range(1, self.config.vocabulary + 1)
@@ -459,6 +472,9 @@ class LoadGenerator:
                 "buffer_cache_blocks": cfg.buffer_cache_blocks,
                 "differential": cfg.differential,
                 "differential_checks": differential_checks,
+                "shards": cfg.shards,
+                "router_seed": cfg.router_seed,
+                "flush_jobs": cfg.flush_jobs,
             },
             wall_seconds=wall,
             queries=overall.count,

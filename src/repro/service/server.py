@@ -37,7 +37,9 @@ from dataclasses import dataclass, field
 
 from ..core.checkpoint import CheckpointError
 from ..core.index import BatchResult, IndexConfig
-from ..core.invariants import InvariantError, check_index, freeze_index
+from ..core.invariants import InvariantError
+from ..core.shard import IndexShard
+from ..core.sharded import build_text_index
 from ..pipeline.profiling import (
     HitMissCounters,
     LatencyRecorder,
@@ -45,10 +47,9 @@ from ..pipeline.profiling import (
 )
 from ..query.reference import BruteForceIndex
 from ..query.vector import ScoredDocument
-from ..storage.buffercache import BlockBufferCache
 from ..storage.faults import InjectedCrash, TransientIOError
 from ..text.tokenizer import TokenizerConfig, tokenize_document
-from ..textindex import QueryAnswer, TextDocumentIndex
+from ..textindex import QueryAnswer
 from .cache import QueryResultCache
 from .snapshot import IndexSnapshot
 
@@ -124,6 +125,16 @@ class QueryService:
     ``buffer_cache_blocks`` > 0 attaches a shared LRU of decoded
     long-list chunks to every published snapshot (carried across cow
     publishes minus the batch's dirty blocks).
+
+    ``shards`` > 1 partitions the collection by stable doc-id hash
+    across that many independent dual-structure volumes (see
+    :mod:`repro.core.sharded`): the single-writer/lock-free-reader
+    protocol is unchanged — the writer still serializes on one lock and
+    a publish swaps the complete shard-snapshot vector in as one
+    reference assignment — but flushes touch only the shards a batch
+    reached (``flush_jobs`` > 1 runs them in parallel) and queries
+    scatter-gather across shards with byte-identical answers.  With the
+    default ``shards=1`` the service runs the exact single-volume path.
     """
 
     def __init__(
@@ -137,6 +148,10 @@ class QueryService:
         max_flush_retries: int = 8,
         publish_mode: str = "clone",
         buffer_cache_blocks: int = 0,
+        shards: int = 1,
+        router_seed: int = 0,
+        flush_jobs: int = 1,
+        flush_executor: str = "thread",
     ) -> None:
         if max_flush_retries < 0:
             raise ValueError("max_flush_retries must be >= 0")
@@ -144,9 +159,19 @@ class QueryService:
             raise ValueError("publish_mode must be 'clone' or 'cow'")
         if buffer_cache_blocks < 0:
             raise ValueError("buffer_cache_blocks must be >= 0")
-        self._writer = TextDocumentIndex(
-            config, tokenizer_config=tokenizer_config
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if flush_jobs < 1:
+            raise ValueError("flush_jobs must be >= 1")
+        self._writer: IndexShard = build_text_index(
+            config,
+            tokenizer_config=tokenizer_config,
+            shards=shards,
+            router_seed=router_seed,
+            flush_jobs=flush_jobs,
+            flush_executor=flush_executor,
         )
+        self.shards = shards
         self._tokenizer_config = tokenizer_config
         self._writer_lock = threading.Lock()
         self._stats_lock = threading.Lock()
@@ -158,7 +183,6 @@ class QueryService:
         self.buffer_counters = (
             HitMissCounters() if buffer_cache_blocks else None
         )
-        self._buffer_cache: BlockBufferCache | None = None
         self.stats = ServiceStats()
         self.timings = StageTimings()
         self.publish_latency = LatencyRecorder()
@@ -173,7 +197,7 @@ class QueryService:
     # -- writer API --------------------------------------------------------
 
     @property
-    def writer_index(self) -> TextDocumentIndex:
+    def writer_index(self) -> IndexShard:
         """The live index (writer-side inspection; do not query from
         reader threads — use :meth:`snapshot`)."""
         return self._writer
@@ -233,14 +257,14 @@ class QueryService:
                     # If the replay dies too, the next attempt recovers
                     # again — never re-flushes on top of partial state.
                     self.stats.flush_recoveries += 1
-                    replayed = self._writer.index.recover(replay=True)
+                    replayed = self._writer.recover(replay=True)
                     if replayed is not None:
                         return replayed
                     recovering = False
                     continue
                 return self._writer.flush_batch()
             except (InjectedCrash, TransientIOError) as exc:
-                if not self._writer.index.config.crash_safe:
+                if not self._writer.crash_safe:
                     raise
                 attempts += 1
                 if attempts > self.max_flush_retries:
@@ -273,7 +297,7 @@ class QueryService:
                     ) from exc
                 self.stats.publish_retries += 1
         if self.check_invariants:
-            report = check_index(snapshot.index.index)
+            report = snapshot.index.check()
             self.stats.invariant_checks += 1
             if not report.ok:
                 raise InvariantError(report)
@@ -313,35 +337,41 @@ class QueryService:
                     ) from exc
                 self.stats.publish_retries += 1
         if self.check_invariants:
-            report = check_index(snapshot.index.index)
+            report = snapshot.index.check()
             self.stats.invariant_checks += 1
             if not report.ok:
                 raise InvariantError(report)
         return snapshot
 
     def _finish_publish(
-        self, snapshot: IndexSnapshot, cow: bool, delta=None
+        self,
+        snapshot: IndexSnapshot,
+        cow: bool,
+        delta=None,
+        prev: IndexSnapshot | None = None,
     ) -> IndexSnapshot:
         """Publish-time finishing: freeze barrier + buffer cache wiring."""
         if self.check_invariants:
             # Debug-mode write barrier: published (and possibly shared)
             # structure must never be mutated again.
-            freeze_index(snapshot.index.index)
+            snapshot.index.freeze()
         if self.buffer_cache_blocks:
-            if cow and self._buffer_cache is not None and delta is not None:
-                cache = self._buffer_cache.successor(delta.dirty_blocks)
-            else:
-                cache = BlockBufferCache(
-                    self.buffer_cache_blocks, self.buffer_counters
-                )
-            self._buffer_cache = cache
-            snapshot.index.index.longlists.buffer_cache = cache
+            # On a cow publish each volume carries the previous
+            # snapshot's cache forward minus the delta's dirty blocks;
+            # otherwise a fresh cache is attached.
+            carry = cow and prev is not None and delta is not None
+            snapshot.index.attach_buffer_cache(
+                self.buffer_cache_blocks,
+                self.buffer_counters,
+                prev=prev.index if carry else None,
+                delta=delta if carry else None,
+            )
         return snapshot
 
     def _publish_locked(self) -> IndexSnapshot:
         prev = self._snapshot
         new_id = prev.snapshot_id + 1
-        delta = self._writer.index.delta
+        delta = self._writer.delta
         snapshot = None
         cow = False
         if self.publish_mode == "cow" and delta is not None:
@@ -354,19 +384,16 @@ class QueryService:
                 self.stats.cow_fallbacks += 1
         if snapshot is None:
             snapshot = self._build_snapshot(new_id)
-        snapshot = self._finish_publish(snapshot, cow=cow, delta=delta)
+        snapshot = self._finish_publish(snapshot, cow=cow, delta=delta, prev=prev)
         # Cache update precedes the swap so no reader can compute against
         # the new snapshot while stale entries are still resident.
         if cow:
-            dirty_terms = frozenset(
-                self._writer.vocabulary.word_of(word_id).lower()
-                for word_id in delta.dirty_words
-            )
             self.cache.publish_delta(
                 new_id,
-                dirty_terms,
+                self._writer.dirty_terms(),
                 universe_changed=snapshot.ndocs != prev.ndocs,
                 deletions_changed=delta.deletions_changed,
+                versions=snapshot.shard_versions,
             )
         else:
             self.cache.invalidate()
@@ -404,7 +431,9 @@ class QueryService:
         self._count_query("boolean")
         snapshot = snapshot or self._snapshot
         key = ("boolean", query)
-        cached = self.cache.get(key, snapshot.snapshot_id)
+        cached = self.cache.get(
+            key, snapshot.snapshot_id, snapshot.shard_versions
+        )
         if cached is not None:
             doc_ids, read_ops = cached
             return QueryAnswer(doc_ids=list(doc_ids), read_ops=read_ops)
@@ -416,6 +445,7 @@ class QueryService:
             snapshot.snapshot_id,
             terms=terms,
             universe_sensitive=universe_sensitive,
+            versions=snapshot.shard_versions,
         )
         return answer
 
@@ -426,7 +456,9 @@ class QueryService:
         self._count_query("streamed")
         snapshot = snapshot or self._snapshot
         key = ("streamed", query)
-        cached = self.cache.get(key, snapshot.snapshot_id)
+        cached = self.cache.get(
+            key, snapshot.snapshot_id, snapshot.shard_versions
+        )
         if cached is not None:
             doc_ids, read_ops = cached
             return QueryAnswer(doc_ids=list(doc_ids), read_ops=read_ops)
@@ -436,6 +468,7 @@ class QueryService:
             (tuple(answer.doc_ids), answer.read_ops),
             snapshot.snapshot_id,
             terms=_streamed_terms(query),
+            versions=snapshot.shard_versions,
         )
         return answer
 
@@ -449,7 +482,9 @@ class QueryService:
         self._count_query("vector")
         snapshot = snapshot or self._snapshot
         key = ("vector", (tuple(sorted(weights.items())), top_k))
-        cached = self.cache.get(key, snapshot.snapshot_id)
+        cached = self.cache.get(
+            key, snapshot.snapshot_id, snapshot.shard_versions
+        )
         if cached is not None:
             return list(cached)
         ranked = snapshot.search_vector(weights, top_k=top_k)
@@ -460,5 +495,6 @@ class QueryService:
             snapshot.snapshot_id,
             terms=frozenset(w.lower() for w in weights),
             universe_sensitive=True,
+            versions=snapshot.shard_versions,
         )
         return ranked

@@ -2,31 +2,37 @@
 
 The paper's concurrency story (§1: queries keep running while daily
 NetNews batches are absorbed) is realized here as *snapshot isolation*:
-the writer clones the whole text index at a batch boundary through the
-checkpoint machinery (:meth:`repro.textindex.TextDocumentIndex.clone`) and
-publishes the clone.  Readers therefore evaluate against a structure the
-writer never touches again — no reader can see a half-flushed bucket or a
-partially relocated long list, because the clone was serialized from a
-consistent batch-boundary state.
+the writer clones the index at a batch boundary and publishes the clone.
+Readers therefore evaluate against a structure the writer never touches
+again — no reader can see a half-flushed bucket or a partially relocated
+long list, because the clone was taken from a consistent batch-boundary
+state.
+
+The snapshot holds any :class:`~repro.core.shard.IndexShard` — a single
+:class:`~repro.textindex.TextDocumentIndex` volume or a
+:class:`~repro.core.sharded.ShardedTextIndex` vector of them.  For a
+sharded writer the publish clones *every* shard first and swaps the
+completed vector in as one reference assignment, so readers always see a
+mutually consistent set of shard states (identified by
+:attr:`shard_versions`, the per-shard batch counters).
 
 A snapshot is shared by many reader threads at once, so its query methods
-keep *all* accounting local to the call: unlike the facade's
-``last_read_ops`` counter, read-op totals here live in per-query closures.
-(The underlying simulated disks do mutate benign bookkeeping — head
-positions, I/O counters — under concurrent reads; none of that affects
-answers, which derive only from the immutable block payloads.)
+keep *all* accounting local to the call — the shard protocol's
+``search_*`` methods guarantee per-call read-op counters.  (The
+underlying simulated disks do mutate benign bookkeeping — head positions,
+I/O counters — under concurrent reads; none of that affects answers,
+which derive only from the immutable block payloads.)
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Mapping
 
-from ..query import boolean as boolean_query
-from ..query import vector as vector_query
 from ..query.vector import ScoredDocument
-from ..textindex import QueryAnswer, TextDocumentIndex
+from ..textindex import QueryAnswer
 
 if TYPE_CHECKING:
+    from ..core.shard import IndexShard
     from ..query.reference import BruteForceIndex
 
 
@@ -34,28 +40,31 @@ class IndexSnapshot:
     """One published, immutable-by-convention state of the index.
 
     ``snapshot_id`` increases by one per publication; ``batch`` is the
-    number of batch updates the snapshot has absorbed.  ``reference`` is
-    an optionally attached :class:`~repro.query.reference.BruteForceIndex`
-    frozen at the same boundary (stress tests compare every served answer
-    against it).
+    number of batch updates the snapshot has absorbed and
+    ``shard_versions`` the per-shard batch counters (a one-element vector
+    for a single volume) — the identity the result cache keys on.
+    ``reference`` is an optionally attached
+    :class:`~repro.query.reference.BruteForceIndex` frozen at the same
+    boundary (stress tests compare every served answer against it).
     """
 
     def __init__(
         self,
-        index: TextDocumentIndex,
+        index: "IndexShard",
         snapshot_id: int,
         reference: "BruteForceIndex | None" = None,
     ) -> None:
         self.index = index
         self.snapshot_id = snapshot_id
-        self.batch = index.index.batches
+        self.batch = index.batches
+        self.shard_versions = index.shard_versions
         self.ndocs = index.ndocs
         self.reference = reference
 
     @classmethod
     def publish_from(
         cls,
-        writer: TextDocumentIndex,
+        writer: "IndexShard",
         snapshot_id: int,
         reference: "BruteForceIndex | None" = None,
     ) -> "IndexSnapshot":
@@ -65,7 +74,7 @@ class IndexSnapshot:
     @classmethod
     def publish_incremental(
         cls,
-        writer: TextDocumentIndex,
+        writer: "IndexShard",
         prev: "IndexSnapshot",
         delta,
         snapshot_id: int,
@@ -76,71 +85,36 @@ class IndexSnapshot:
 
         Raises :class:`~repro.core.checkpoint.CheckpointError` when the
         delta cannot cover the gap (recovery, structural rebuild, config
-        mismatch); the service falls back to :meth:`publish_from`.
+        mismatch); the service falls back to :meth:`publish_from`.  A
+        sharded writer falls back *per shard* instead of raising.
         """
         clone = writer.clone_incremental(prev.index, delta)
         return cls(clone, snapshot_id, reference=reference)
 
     # -- retrieval (thread-safe: no shared accounting) --------------------
 
-    def _fetch_counted(self, counter: list[int]):
-        """A fetcher closure whose read-op total lives in ``counter``."""
-        index = self.index
-
-        def fetch(word: str) -> list[int]:
-            word_id = index.vocabulary.lookup(word)
-            if word_id is None:
-                return []
-            postings, read_ops = index.index.fetch(word_id)
-            counter[0] += read_ops
-            return index.deletions.filter(postings.doc_ids)
-
-        return fetch
-
     def search_boolean(self, query: str) -> QueryAnswer:
         """Evaluate a boolean query against this snapshot."""
-        counter = [0]
-        docs = boolean_query.evaluate(
-            query, self._fetch_counted(counter), self.index.index.ndocs
-        )
-        docs = self.index.deletions.filter(docs)
-        return QueryAnswer(doc_ids=docs, read_ops=counter[0])
+        return self.index.search_boolean(query)
 
     def search_streamed(self, query: str) -> QueryAnswer:
-        """Evaluate a flat AND/OR query lazily against this snapshot.
-
-        Delegates to the facade: the streamed path already keeps its
-        accounting in per-call :class:`~repro.query.streaming.StreamStats`.
-        """
+        """Evaluate a flat AND/OR query lazily against this snapshot."""
         return self.index.search_streamed(query)
 
     def search_vector(
         self, weights: Mapping[str, float], top_k: int = 10
     ) -> list[ScoredDocument]:
         """Rank documents for a weighted vector query."""
-        counter = [0]
-        return vector_query.rank(
-            weights,
-            self._fetch_counted(counter),
-            self.index.index.ndocs,
-            top_k=top_k,
-        )
+        return self.index.search_vector(weights, top_k=top_k)
 
     def search_vector_counted(
         self, weights: Mapping[str, float], top_k: int = 10
     ) -> tuple[list[ScoredDocument], int]:
         """:meth:`search_vector` plus the read ops it charged."""
-        counter = [0]
-        ranked = vector_query.rank(
-            weights,
-            self._fetch_counted(counter),
-            self.index.index.ndocs,
-            top_k=top_k,
-        )
-        return ranked, counter[0]
+        return self.index.search_vector_counted(weights, top_k=top_k)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"IndexSnapshot(id={self.snapshot_id}, batch={self.batch}, "
-            f"ndocs={self.ndocs})"
+            f"shards={self.shard_versions}, ndocs={self.ndocs})"
         )

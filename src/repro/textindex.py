@@ -67,11 +67,14 @@ class TextDocumentIndex:
 
     # -- ingest ---------------------------------------------------------------
 
-    def add_document(self, text: str) -> int:
+    def add_document(self, text: str, doc_id: int | None = None) -> int:
         """Tokenize and index one document; returns its doc id.
 
         On a positional index (``IndexConfig(positional=True)``) every
         posting also records the word's offsets and region flags.
+        ``doc_id`` pins an explicit (non-decreasing) identifier — used by
+        the sharded router, which assigns global ids and hands each shard
+        an increasing subsequence of them.
         """
         if self.index.config.positional:
             occurrences = [
@@ -80,10 +83,12 @@ class TextDocumentIndex:
                     text, self.tokenizer_config, self.region_rules
                 )
             ]
-            return self.index.add_document_occurrences(occurrences)
+            return self.index.add_document_occurrences(
+                occurrences, doc_id=doc_id
+            )
         words = tokenize_document(text, self.tokenizer_config)
         word_ids = [self.vocabulary.id_of(w) for w in words]
-        return self.index.add_document(word_ids)
+        return self.index.add_document(word_ids, doc_id=doc_id)
 
     def flush_batch(self) -> BatchResult:
         """Flush the in-memory batch to disk (one incremental update)."""
@@ -92,6 +97,76 @@ class TextDocumentIndex:
     @property
     def ndocs(self) -> int:
         return self.index.ndocs
+
+    @property
+    def batches(self) -> int:
+        """Completed batch flushes (protocol surface for the service)."""
+        return self.index.batches
+
+    @property
+    def shard_versions(self) -> tuple[int, ...]:
+        """The shard-snapshot vector of a single volume: one component."""
+        return (self.index.batches,)
+
+    @property
+    def crash_safe(self) -> bool:
+        return self.index.config.crash_safe
+
+    @property
+    def delta(self):
+        """The writer's delta journal (``None`` in evaluation mode)."""
+        return self.index.delta
+
+    def recover(self, replay: bool = True) -> BatchResult | None:
+        """Roll back an aborted flush and optionally replay it (requires
+        ``IndexConfig(crash_safe=True)``)."""
+        return self.index.recover(replay=replay)
+
+    @property
+    def needs_recovery(self) -> bool:
+        """True while an aborted crash-safe flush awaits :meth:`recover`."""
+        return self.index._aborted_batch is not None
+
+    def dirty_terms(self) -> frozenset:
+        """Lowercased terms the current batch's delta journal touched."""
+        if self.index.delta is None:
+            return frozenset()
+        return frozenset(
+            self.vocabulary.word_of(word_id).lower()
+            for word_id in self.index.delta.dirty_words
+        )
+
+    def freeze(self) -> None:
+        """Debug write barrier over the core index (publish-time)."""
+        from .core.invariants import freeze_index
+
+        freeze_index(self.index)
+
+    def check(self):
+        """Run the dual-structure invariant checker over the core index."""
+        from .core.invariants import check_index
+
+        return check_index(self.index)
+
+    def attach_buffer_cache(
+        self, blocks: int, counters, prev=None, delta=None
+    ) -> None:
+        """Wire a decoded-chunk buffer cache into this (published) index.
+
+        With ``prev`` (the previously published index) and ``delta`` (the
+        batch's journal) the cache is carried forward minus the delta's
+        dirty blocks; otherwise a fresh cache is attached.
+        """
+        from .storage.buffercache import BlockBufferCache
+
+        prev_cache = (
+            prev.index.longlists.buffer_cache if prev is not None else None
+        )
+        if prev_cache is not None and delta is not None:
+            cache = prev_cache.successor(delta.dirty_blocks)
+        else:
+            cache = BlockBufferCache(blocks, counters)
+        self.index.longlists.buffer_cache = cache
 
     # -- deletion -----------------------------------------------------------------
 
@@ -112,22 +187,44 @@ class TextDocumentIndex:
 
     # -- retrieval ----------------------------------------------------------------
 
-    def _fetch(self, word: str) -> list[int]:
+    def fetch_postings(self, word: str) -> tuple[list[int], int]:
+        """One word's live (deletion-filtered) doc ids plus the read ops
+        charged — the per-call fetch primitive scatter-gather merges
+        across shards.  No shared accounting: safe from any thread."""
         word_id = self.vocabulary.lookup(word)
         if word_id is None:
-            return []
+            return [], 0
         postings, read_ops = self.index.fetch(word_id)
+        return self.deletions.filter(postings.doc_ids), read_ops
+
+    def _fetch(self, word: str) -> list[int]:
+        docs, read_ops = self.fetch_postings(word)
         self._last_read_ops += read_ops
-        return self.deletions.filter(postings.doc_ids)
+        return docs
+
+    def _counted_fetch(self, counter: list[int]):
+        """A fetcher whose read-op total lives in ``counter`` — query
+        accounting stays local to the call so published clones can serve
+        many reader threads at once."""
+
+        def fetch(word: str) -> list[int]:
+            docs, read_ops = self.fetch_postings(word)
+            counter[0] += read_ops
+            return docs
+
+        return fetch
 
     def search_boolean(self, query: str) -> QueryAnswer:
         """Evaluate a boolean query (AND/OR/NOT, parentheses)."""
-        self._last_read_ops = 0
-        docs = boolean_query.evaluate(query, self._fetch, self.index.ndocs)
+        counter = [0]
+        docs = boolean_query.evaluate(
+            query, self._counted_fetch(counter), self.index.ndocs
+        )
         # NOT complements against the full doc-id universe, which still
         # contains deleted ids; the answer filter removes them (§3).
         docs = self.deletions.filter(docs)
-        return QueryAnswer(doc_ids=docs, read_ops=self._last_read_ops)
+        self._last_read_ops = counter[0]
+        return QueryAnswer(doc_ids=docs, read_ops=counter[0])
 
     def search_streamed(self, query: str) -> QueryAnswer:
         """Evaluate a flat conjunction or disjunction lazily.
@@ -139,18 +236,7 @@ class TextDocumentIndex:
         chunks actually touched — for skewed conjunctions this is far
         below :meth:`search_boolean`'s cost.
         """
-        self._last_read_ops = 0
-        tokens = query.split()
-        words = [t.lower() for t in tokens[::2]]
-        operators = {t.upper() for t in tokens[1::2]}
-        if len(tokens) % 2 == 0 or operators - {"AND", "OR"} or (
-            len(operators) > 1
-        ):
-            raise ValueError(
-                "search_streamed takes flat 'a AND b AND c' or "
-                "'a OR b OR c' queries; use search_boolean for general "
-                "expressions"
-            )
+        words, operators = streaming_query.parse_flat(query)
         word_ids = [
             word_id
             for word_id in (self.vocabulary.lookup(w) for w in words)
@@ -175,10 +261,22 @@ class TextDocumentIndex:
         self, weights: dict[str, float], top_k: int = 10
     ) -> list[ScoredDocument]:
         """Rank documents for a weighted vector query."""
-        self._last_read_ops = 0
-        return vector_query.rank(
-            weights, self._fetch, self.index.ndocs, top_k=top_k
+        ranked, read_ops = self.search_vector_counted(weights, top_k=top_k)
+        return ranked
+
+    def search_vector_counted(
+        self, weights: dict[str, float], top_k: int = 10
+    ) -> tuple[list[ScoredDocument], int]:
+        """:meth:`search_vector` plus the read ops it charged."""
+        counter = [0]
+        ranked = vector_query.rank(
+            weights,
+            self._counted_fetch(counter),
+            self.index.ndocs,
+            top_k=top_k,
         )
+        self._last_read_ops = counter[0]
+        return ranked, counter[0]
 
     # -- positional conditions (paper §1) ------------------------------------------
 

@@ -1,0 +1,137 @@
+"""The sharded evaluation pipeline: update splitting and aggregation.
+
+``split_update`` models document-hash routing at the workload level, so
+its contract is conservation: per word, the per-shard counts are
+non-negative and sum exactly to the original; per shard, the pair list
+stays sorted and valid; and the split is a pure function of
+``(day, word, router_seed)``.  :class:`ShardedExperiment` then runs the
+paper's pipeline per shard and must aggregate without inventing or
+losing work.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import Limit, Policy, Style
+from repro.pipeline.experiment import Experiment, ExperimentConfig
+from repro.pipeline.sharding import (
+    ShardedExperiment,
+    split_update,
+    split_updates,
+)
+from repro.text.batchupdate import BatchUpdate
+from repro.workload.synthetic import SyntheticNewsConfig
+
+updates = st.builds(
+    BatchUpdate,
+    day=st.integers(min_value=0, max_value=30),
+    pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=400),
+            st.integers(min_value=1, max_value=300),
+        ),
+        max_size=30,
+        unique_by=lambda p: p[0],
+    ).map(lambda ps: sorted(ps)),
+    ndocs=st.integers(min_value=0, max_value=200),
+)
+
+
+class TestSplitUpdate:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        update=updates,
+        nshards=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_conserves_counts_and_stays_valid(self, update, nshards, seed):
+        parts = split_update(update, nshards, seed)
+        assert len(parts) == nshards
+        for part in parts:
+            assert part.day == update.day
+            # BatchUpdate's own validator enforces sortedness and
+            # positive counts at construction; re-assert the invariant
+            # the pipeline depends on.
+            words = [w for w, _ in part.pairs]
+            assert words == sorted(set(words))
+        for word, count in update.pairs:
+            shard_counts = [dict(p.pairs).get(word, 0) for p in parts]
+            assert all(c >= 0 for c in shard_counts)
+            assert sum(shard_counts) == count
+        assert sum(p.ndocs for p in parts) == update.ndocs
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        update=updates,
+        nshards=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_deterministic(self, update, nshards, seed):
+        first = split_update(update, nshards, seed)
+        second = split_update(update, nshards, seed)
+        assert [(p.day, p.pairs, p.ndocs) for p in first] == [
+            (p.day, p.pairs, p.ndocs) for p in second
+        ]
+
+    def test_single_shard_passthrough(self):
+        update = BatchUpdate(day=3, pairs=[(1, 5), (4, 2)], ndocs=7)
+        assert split_update(update, 1) == [update]
+
+    def test_large_counts_split_near_evenly(self):
+        update = BatchUpdate(day=0, pairs=[(1, 10_000)], ndocs=0)
+        parts = split_update(update, 4)
+        counts = [dict(p.pairs).get(1, 0) for p in parts]
+        assert sum(counts) == 10_000
+        assert max(counts) - min(counts) <= 4
+
+    def test_split_updates_streams_by_shard(self):
+        stream = [
+            BatchUpdate(day=d, pairs=[(1, 9), (2, 9)], ndocs=9)
+            for d in range(3)
+        ]
+        per_shard = split_updates(stream, 3, seed=1)
+        assert len(per_shard) == 3
+        assert all(len(s) == 3 for s in per_shard)
+        for d in range(3):
+            assert sum(s[d].ndocs for s in per_shard) == 9
+
+
+class TestShardedExperiment:
+    def _experiment(self):
+        return Experiment(
+            ExperimentConfig(
+                workload=SyntheticNewsConfig(days=6, docs_per_day=30),
+                nbuckets=16,
+                bucket_size=128,
+            )
+        )
+
+    def test_rejects_single_shard(self):
+        with pytest.raises(ValueError, match="nshards >= 2"):
+            ShardedExperiment(self._experiment(), 1)
+
+    def test_report_aggregates_consistently(self):
+        sharded = ShardedExperiment(self._experiment(), 3, router_seed=1)
+        report = sharded.run_policy(
+            Policy(style=Style.NEW, limit=Limit.ZERO)
+        )
+        assert report.nshards == 3
+        assert len(report.shards) == 3
+        assert report.io_ops_total == sum(m.io_ops for m in report.shards)
+        assert report.io_ops_critical_path == max(
+            m.io_ops for m in report.shards
+        )
+        assert 1.0 <= report.parallel_speedup <= 3.0
+        d = report.as_dict()
+        assert d["policy"] == "new 0"
+        assert len(d["shards"]) == 3
+
+    def test_shards_cover_the_whole_workload(self):
+        experiment = self._experiment()
+        sharded = ShardedExperiment(experiment, 3)
+        streams = sharded.shard_streams()
+        total = sum(u.npostings for u in experiment.updates())
+        assert (
+            sum(u.npostings for s in streams for u in s) == total
+        )
