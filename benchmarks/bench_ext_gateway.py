@@ -1,0 +1,163 @@
+"""Extension X-gateway — multi-process serving vs. in-process scatter.
+
+The acceptance claim of the gateway work: four shard-worker *processes*
+behind the asyncio scatter-gather gateway sustain open-loop read
+throughput competitive with the in-process 4-shard baseline — and win
+outright once there are cores for the workers to own.  Both arms drain
+the *identical* deterministic Poisson arrival schedule (same seed, same
+query payloads, same scheduled instants), so the comparison is offered
+load for offered load with no coordinated omission: every latency
+sample is completion minus *scheduled* arrival.
+
+On a single-CPU host the gateway's extra work (pickling frames across
+sockets, context switches between five processes) is pure overhead with
+nothing to overlap against, so the floor is honest about topology:
+parity-with-headroom at >= 4 cores, graceful degradation bounds below.
+The floor and the measured ratio are both archived, alongside a
+separate differential-probe run that must report zero divergences.
+
+The measured comparison is archived as
+``benchmarks/results/BENCH_gateway.json`` (the CI gateway-smoke job
+uploads it as a workflow artifact).
+"""
+
+import json
+import os
+
+from _common import RESULTS_DIR, report
+from repro.service.loadgen import LoadConfig, LoadGenerator
+
+SHARDS = 4
+READERS = 4
+RATE_QPS = 4000.0
+QUERIES = 1200
+FLUSH_CYCLES = 4
+DOCS_PER_BATCH = 50
+
+
+def _perf_config(gateway: bool) -> LoadConfig:
+    return LoadConfig(
+        readers=READERS,
+        flush_cycles=FLUSH_CYCLES,
+        docs_per_batch=DOCS_PER_BATCH,
+        vocabulary=160,
+        seed=9,
+        verify=False,
+        check_invariants=False,
+        shards=SHARDS,
+        gateway=gateway,
+        arrival="open",
+        arrival_rate_qps=RATE_QPS,
+        arrival_queries=QUERIES,
+        queue_limit=QUERIES,  # measure latency, don't shed the backlog
+    )
+
+
+def _arm_metrics(report_obj) -> dict:
+    doc = report_obj.as_dict()
+    return {
+        "wall_seconds": doc["wall_seconds"],
+        "throughput_qps": doc["throughput_qps"],
+        "completed": doc["open_loop"]["completed"],
+        "scheduled": doc["open_loop"]["scheduled"],
+        "shed": doc["open_loop"]["shed"],
+        "deadline_exceeded": doc["open_loop"]["deadline_exceeded"],
+        "latency_overall": doc["latency"]["overall"],
+    }
+
+
+def test_ext_gateway_open_loop_throughput(capfd):
+    cpus = os.cpu_count() or 1
+
+    # Correctness first: a short gateway run with boundary differential
+    # probes against the brute-force mirror.  Divergences here void any
+    # throughput number below.
+    probe = LoadGenerator(
+        LoadConfig(
+            readers=2,
+            flush_cycles=3,
+            docs_per_batch=30,
+            vocabulary=120,
+            seed=4,
+            verify=False,
+            differential=True,
+            delete_every=11,
+            shards=SHARDS,
+            gateway=True,
+        )
+    ).run()
+    assert probe.divergences == 0, probe.divergence_examples
+
+    inproc = LoadGenerator(_perf_config(gateway=False)).run()
+    gw = LoadGenerator(_perf_config(gateway=True)).run()
+
+    for arm_report, label in ((inproc, "in-process"), (gw, "gateway")):
+        doc = arm_report.as_dict()
+        assert (
+            doc["open_loop"]["completed"] + doc["open_loop"]["shed"]
+            + doc["open_loop"]["deadline_exceeded"]
+            == doc["open_loop"]["scheduled"]
+        ), f"{label}: arrivals leaked from the schedule"
+
+    gw_doc = gw.as_dict()
+    assert gw_doc["gateway"]["failovers"] == 0
+    ratio = gw.throughput_qps / inproc.throughput_qps
+    # >= 4 cores: each worker owns one, the gateway must win outright.
+    # 2-3 cores: partial overlap against the serialization tax — parity
+    # band.  1 core: both arms time-share one core, so the ratio at
+    # saturation *is* the frame-pickling + context-switch tax with
+    # nothing to overlap it against (~0.2x observed); the floor only
+    # bounds a regression of that tax.
+    floor = 1.1 if cpus >= 4 else 0.75 if cpus >= 2 else 0.15
+
+    doc = {
+        "workload": {
+            "shards": SHARDS,
+            "readers": READERS,
+            "offered_rate_qps": RATE_QPS,
+            "scheduled_queries": QUERIES,
+            "flush_cycles": FLUSH_CYCLES,
+            "docs_per_batch": DOCS_PER_BATCH,
+        },
+        "arms": {
+            "inprocess": _arm_metrics(inproc),
+            "gateway": _arm_metrics(gw),
+        },
+        "differential": {
+            "checks": probe.as_dict()["config"]["flush_cycles"],
+            "divergences": probe.divergences,
+        },
+        "comparison": {
+            "cpus": cpus,
+            "throughput_ratio": round(ratio, 3),
+            "floor": floor,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_gateway.json").write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        f"{'arm':>10} {'wall s':>8} {'q/s':>8} {'done':>6} "
+        f"{'shed':>5} {'p95 ms':>8}",
+    ]
+    for label, arm in (("inprocess", inproc), ("gateway", gw)):
+        m = _arm_metrics(arm)
+        p95 = m["latency_overall"].get("p95", 0.0) * 1_000
+        lines.append(
+            f"{label:>10} {m['wall_seconds']:>8.3f} "
+            f"{m['throughput_qps']:>8.1f} {m['completed']:>6} "
+            f"{m['shed']:>5} {p95:>8.2f}"
+        )
+    lines.append(
+        f"gateway/in-process throughput: {ratio:.2f}x "
+        f"(floor {floor}x, {cpus} cpu(s)); differential divergences: "
+        f"{probe.divergences}"
+    )
+    report("BENCH_gateway", "\n".join(lines), capfd)
+
+    assert ratio >= floor, (
+        f"gateway throughput ratio {ratio:.2f}x below {floor}x floor "
+        f"({cpus} cpus)"
+    )

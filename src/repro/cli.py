@@ -35,6 +35,9 @@ Five subcommands cover the library's main entry points::
     repro serve-bench [--readers N] [--cycles N] [--docs-per-batch N]
                       [--publish-mode clone|cow] [--buffer-cache BLOCKS]
                       [--shards N] [--flush-jobs N] [--differential]
+                      [--gateway] [--arrival closed|open]
+                      [--arrival-rate QPS] [--arrival-queries N]
+                      [--queue-limit N] [--shard-timeout S]
                       [--json PATH] [--no-verify]
                       [--inject-faults] [--fault-rate R] [--fault-seed S]
         Run the snapshot-isolated serving benchmark: N reader threads
@@ -47,7 +50,12 @@ Five subcommands cover the library's main entry points::
         checkpoint clone.  ``--differential`` cross-checks every published
         snapshot against a full-clone oracle.  ``--inject-faults`` crashes
         the writer mid-flush on a rotating schedule of crash points (plus
-        transient disk faults) and recovers.
+        transient disk faults) and recovers.  ``--gateway`` serves through
+        one worker process per shard behind the asyncio scatter-gather
+        gateway (per-shard deadlines, bounded-queue admission control,
+        checkpoint+oplog failover); ``--arrival open`` offers a
+        deterministic Poisson schedule at ``--arrival-rate`` whose
+        recorded latencies include queue wait.
 
     repro check INDEX.ckpt
         Load a checkpointed index and verify the dual-structure
@@ -326,6 +334,15 @@ def cmd_sweep(args) -> int:
 def cmd_serve_bench(args) -> int:
     from .service import LoadConfig, LoadGenerator
 
+    verify = not args.no_verify
+    if args.gateway and verify:
+        # Per-query reference pinning cannot cross the process boundary;
+        # differential boundary probes are the gateway's correctness net.
+        verify = False
+        print(
+            "note: --gateway disables per-query verification "
+            "(use --differential for boundary probes)"
+        )
     config = LoadConfig(
         readers=args.readers,
         flush_cycles=args.cycles,
@@ -333,9 +350,11 @@ def cmd_serve_bench(args) -> int:
         vocabulary=args.vocabulary,
         seed=args.seed,
         cache_capacity=args.cache_capacity,
-        verify=not args.no_verify,
+        verify=verify,
         delete_every=args.delete_every,
-        crash_every=4 if args.inject_faults else 0,
+        crash_every=(
+            4 if args.inject_faults and not args.gateway else 0
+        ),
         transient_rate=args.fault_rate if args.inject_faults else 0.0,
         fault_seed=args.fault_seed,
         pace_s=args.pace,
@@ -346,16 +365,33 @@ def cmd_serve_bench(args) -> int:
         router_seed=args.router_seed,
         flush_jobs=args.flush_jobs,
         flush_executor=args.flush_executor,
+        gateway=args.gateway,
+        shard_timeout_s=args.shard_timeout,
+        queue_limit=args.queue_limit,
+        arrival=args.arrival,
+        arrival_rate_qps=args.arrival_rate,
+        arrival_queries=args.arrival_queries,
     )
     report = LoadGenerator(config).run()
     overall = report.latency["overall"]
     sharding = (
         f" across {args.shards} shards" if args.shards > 1 else ""
     )
+    if args.gateway:
+        sharding += " (one worker process each)"
     print(
         f"served {report.queries} queries from {args.readers} readers over "
         f"{args.cycles} flush cycles{sharding} ({report.wall_seconds:.2f} s)"
     )
+    if report.open_loop:
+        ol = report.open_loop
+        print(
+            f"open loop:        {ol['scheduled']} arrivals offered at "
+            f"{ol['offered_rate_qps']:,.0f}/s over "
+            f"{ol['schedule_seconds']:.2f} s "
+            f"({ol['completed']} completed, {ol['shed']} shed, "
+            f"{ol['deadline_exceeded']} past deadline)"
+        )
     print(f"throughput:       {report.throughput_qps:,.0f} queries/s")
     for kind in ("boolean", "streamed", "vector", "overall"):
         summary = report.latency[kind]
@@ -390,15 +426,28 @@ def cmd_serve_bench(args) -> int:
             f"{buffers['invalidated']} delta-invalidated"
         )
     service = report.service
-    print(
-        f"writer:           {service['publishes']} snapshots published "
-        f"({service['cow_publishes']} cow, "
-        f"{service['full_clone_publishes']} full, "
-        f"{service['cow_fallbacks']} fallbacks), "
-        f"{service['documents_ingested']} docs ingested, "
-        f"{service['flush_recoveries']} crash recoveries"
-    )
-    if not args.no_verify:
+    if report.gateway:
+        gw = report.gateway
+        print(
+            f"gateway:          {gw['publishes']} worker publishes "
+            f"({gw['cow_publishes']} cow, "
+            f"{gw['full_clone_publishes']} full, "
+            f"{gw['cow_fallbacks']} fallbacks), "
+            f"{gw['failovers']} failovers, "
+            f"{gw['replayed_ops']} ops replayed, "
+            f"{gw['shed']} shed, "
+            f"{gw['deadline_exceeded']} deadline misses"
+        )
+    else:
+        print(
+            f"writer:           {service['publishes']} snapshots published "
+            f"({service['cow_publishes']} cow, "
+            f"{service['full_clone_publishes']} full, "
+            f"{service['cow_fallbacks']} fallbacks), "
+            f"{service['documents_ingested']} docs ingested, "
+            f"{service['flush_recoveries']} crash recoveries"
+        )
+    if config.verify or config.differential:
         print(f"divergences:      {report.divergences}")
     if args.json:
         report.write_json(args.json)
@@ -610,6 +659,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify",
         action="store_true",
         help="skip answer verification against the reference model",
+    )
+    p_serve.add_argument(
+        "--gateway",
+        action="store_true",
+        help="serve through one worker process per shard behind the "
+        "asyncio scatter-gather gateway (implies --no-verify; "
+        "correctness comes from --differential boundary probes)",
+    )
+    p_serve.add_argument(
+        "--arrival",
+        choices=("closed", "open"),
+        default="closed",
+        help="reader discipline: closed loop, or an open-loop Poisson "
+        "schedule whose latencies include queue wait",
+    )
+    p_serve.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=500.0,
+        metavar="QPS",
+        help="open-loop offered arrival rate",
+    )
+    p_serve.add_argument(
+        "--arrival-queries",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="open-loop total scheduled arrivals",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        metavar="N",
+        help="gateway admission-control wait-queue bound",
+    )
+    p_serve.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="gateway per-shard query deadline",
     )
     p_serve.add_argument(
         "--json", default=None, metavar="PATH",

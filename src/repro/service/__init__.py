@@ -12,21 +12,53 @@ invalidated delta-scoped at cow publishes (wholesale under clone);
 :class:`LoadGenerator` drives the mixed workload — optionally comparing
 every cow snapshot against the full-clone oracle — and reports
 throughput plus tail and publish latency.
+
+Beyond one interpreter, :mod:`repro.service.gateway` puts each shard
+behind its own OS process (:mod:`repro.service.worker`, speaking the
+:mod:`repro.service.wire` frame protocol) with an asyncio scatter-gather
+gateway in front: per-shard deadlines, bounded-queue admission control,
+and checkpoint + op-log failover when a worker dies.
 """
 
 from .cache import CacheStats, QueryResultCache
+from .gateway import (
+    AsyncShardGateway,
+    GatewayError,
+    GatewayOverloaded,
+    GatewayService,
+    GatewaySnapshot,
+    RemoteWorkerError,
+    ShardDeadlineExceeded,
+    ShardProxy,
+    WorkerDied,
+    WorkerProcess,
+)
 from .loadgen import LoadConfig, LoadGenerator, ServingReport
 from .server import QueryService, ServiceError, ServiceStats
 from .snapshot import IndexSnapshot
+from .worker import FlushOutcome, ShardWorker, WorkerSpec
 
 __all__ = [
+    "AsyncShardGateway",
     "CacheStats",
+    "FlushOutcome",
+    "GatewayError",
+    "GatewayOverloaded",
+    "GatewayService",
+    "GatewaySnapshot",
     "IndexSnapshot",
     "LoadConfig",
     "LoadGenerator",
     "QueryResultCache",
     "QueryService",
+    "RemoteWorkerError",
     "ServiceError",
     "ServiceStats",
     "ServingReport",
+    "ShardDeadlineExceeded",
+    "ShardProxy",
+    "ShardWorker",
+    "WorkerDied",
+    "WorkerProcess",
+    "WorkerSpec",
 ]

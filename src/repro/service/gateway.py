@@ -1,0 +1,1070 @@
+"""Multi-process serving: shard workers behind an async scatter-gather gateway.
+
+The sharded index of DESIGN.md §12 scatter-gathers via function calls
+inside one interpreter, so its read path is GIL-bound.  This module puts
+each shard behind its own OS process (:mod:`repro.service.worker`) and
+builds the serving front end on top:
+
+* :class:`WorkerProcess` — spawn/respawn one shard worker and its
+  socketpair; carries the synchronous request machinery.
+* :class:`ShardProxy` — a synchronous client satisfying the
+  :class:`~repro.core.shard.IndexShard` protocol, so code written against
+  the protocol (scatter merges, differential batteries) runs unchanged
+  over a remote shard.  ``clone()`` maps to a *pinned snapshot* in the
+  worker: the returned proxy addresses that immutable snapshot explicitly
+  until released.
+* :class:`AsyncShardGateway` — the asyncio front end: scatter-gather
+  fan-out over all workers, **admission control** (a bounded wait queue
+  that sheds load with :class:`GatewayOverloaded` once full),
+  **per-shard deadlines** (:class:`ShardDeadlineExceeded`, a typed
+  partial-failure error naming the shards that missed), and
+  **failover**: when a worker dies (SIGKILL, crash, broken pipe) the
+  gateway rebuilds it from the parent-side checkpoint of its last
+  published boundary plus a replayed op log, and resumes.
+* :class:`GatewayService` — a thread-safe synchronous facade with the
+  :class:`~repro.service.server.QueryService` surface, so the load
+  generator and CLI drive in-process and multi-process serving through
+  the same code.
+
+Consistency model: queries evaluate against each shard's *published*
+snapshot.  At a flush boundary (no flush in flight) the gateway's answers
+are byte-identical to an in-process
+:class:`~repro.core.sharded.ShardedTextIndex` fed the same operations —
+the differential battery pins this.  *During* a flush, per-shard
+staleness may skew: each shard's contribution to an answer is one of its
+own boundary states, but different shards may be one publish apart
+(shards partition the documents, so every per-document answer fragment is
+still exact for its boundary).  The in-process service's atomic
+vector swap is the stronger guarantee; the gateway trades it for
+multi-core execution and documents the difference.
+
+Durability/failover model: the gateway is the single writer, so it can
+journal every mutation parent-side — ``(add, doc_id, text)`` /
+``(delete, doc_id)`` / ``(flush)`` per shard — and retain each worker's
+serialized checkpoint from its last acknowledged flush
+(``checkpoint_every`` controls how often checkpoints ride the flush
+reply).  Rebuilding a dead worker is then deterministic: restore the
+checkpoint, replay the log.  No state is lost because nothing the worker
+alone knew is needed to reconstruct it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import threading
+from contextlib import asynccontextmanager
+from dataclasses import dataclass, field
+
+from ..core.index import BatchResult, IndexConfig
+from ..core.invariants import InvariantReport, Violation
+from ..core.shard import shard_of
+from ..pipeline.profiling import LatencyRecorder, StageTimings
+from ..query import boolean as boolean_query
+from ..query import scatter
+from ..query import streaming as streaming_query
+from ..query import vector as vector_query
+from ..textindex import QueryAnswer
+from . import wire
+from .cache import QueryResultCache
+from .server import ServiceStats, _boolean_terms
+from .worker import FlushOutcome, WorkerSpec, worker_main
+
+
+class GatewayError(Exception):
+    """Base class for gateway-level failures."""
+
+
+class GatewayOverloaded(GatewayError):
+    """Admission control shed this request: the bounded queue is full."""
+
+    def __init__(self, queued: int, limit: int) -> None:
+        super().__init__(
+            f"gateway overloaded: {queued} requests queued "
+            f"(limit {limit})"
+        )
+        self.queued = queued
+        self.limit = limit
+
+
+class ShardDeadlineExceeded(GatewayError):
+    """One or more shards missed their per-shard deadline.
+
+    A typed *partial failure*: ``shards`` names the offenders and
+    ``completed`` counts the sibling answers that did arrive in time —
+    enough for a caller to degrade (retry, serve partial, shed).
+    """
+
+    def __init__(
+        self, shards: tuple[int, ...], method: str, completed: int = 0
+    ) -> None:
+        super().__init__(
+            f"shard(s) {list(shards)} exceeded the deadline for "
+            f"{method!r} ({completed} sibling answers completed)"
+        )
+        self.shards = shards
+        self.method = method
+        self.completed = completed
+
+
+class WorkerDied(GatewayError):
+    """The worker's connection broke (process death or stream corruption)."""
+
+
+class RemoteWorkerError(GatewayError):
+    """The worker executed the request and reported a failure."""
+
+
+def _mp_context():
+    """Fork where available (cheap respawns, inherited socket); the
+    platform default elsewhere — sockets cross via mp's fd reduction."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+class WorkerProcess:
+    """One spawned shard-worker process plus its parent-side socket."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        parent, child = socket.socketpair()
+        ctx = _mp_context()
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(child, spec),
+            name=f"shard-worker-{spec.shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+        self.sock: socket.socket | None = parent
+        self._seq = itertools.count(1)
+        self._lock = threading.RLock()
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def take_socket(self) -> socket.socket:
+        """Hand the socket to an async owner (disables sync ``call``)."""
+        sock, self.sock = self.sock, None
+        if sock is None:
+            raise RuntimeError("worker socket already taken")
+        return sock
+
+    def call(self, method: str, *args, max_frame: int | None = None):
+        """Synchronous request/response (serialized per worker)."""
+        max_frame = max_frame or self.spec.max_frame
+        with self._lock:
+            if self.sock is None:
+                raise WorkerDied("worker socket detached or closed")
+            request_id = next(self._seq)
+            try:
+                wire.send_message(
+                    self.sock, wire.Request(request_id, method, args),
+                    max_frame,
+                )
+                while True:
+                    response = wire.recv_message(self.sock, max_frame)
+                    if response is None:
+                        raise WorkerDied(
+                            f"worker {self.spec.shard_id} closed the "
+                            f"connection during {method!r}"
+                        )
+                    if response.request_id != request_id:
+                        continue  # stale reply from an abandoned call
+                    break
+            except (ConnectionError, wire.TruncatedFrame) as exc:
+                raise WorkerDied(
+                    f"worker {self.spec.shard_id} died during "
+                    f"{method!r}: {exc}"
+                ) from exc
+        if response.ok:
+            return response.value
+        raise RemoteWorkerError(
+            f"shard {self.spec.shard_id} {method}: {response.error}"
+        )
+
+    def kill(self) -> None:
+        """SIGKILL the worker (the chaos battery's murder weapon)."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=10.0)
+
+    def close(self, graceful: bool = True) -> None:
+        """Shut the worker down and reap the process."""
+        if graceful and self.sock is not None and self.process.is_alive():
+            try:
+                self.call("shutdown")
+            except GatewayError:
+                pass
+        if self.sock is not None:
+            self.sock.close()
+            self.sock = None
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=10.0)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join(timeout=10.0)
+
+
+class ShardProxy:
+    """A synchronous :class:`IndexShard`-shaped client for one worker.
+
+    An unpinned proxy addresses the worker's latest published snapshot
+    for queries and its live writer for ingest; a pinned proxy (returned
+    by :meth:`clone`) addresses one immutable published snapshot
+    explicitly.  ``delta`` is ``None`` — journaling and copy-on-write
+    publication happen *inside* the worker, which is the point of the
+    process seam.
+    """
+
+    def __init__(
+        self, worker: WorkerProcess, snapshot_id: int | None = None
+    ) -> None:
+        self._worker = worker
+        self._snapshot_id = snapshot_id
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def ndocs(self) -> int:
+        return self._worker.call("info")["ndocs"]
+
+    @property
+    def batches(self) -> int:
+        return self._worker.call("info")["batches"]
+
+    @property
+    def shard_versions(self) -> tuple[int, ...]:
+        return (self.batches,)
+
+    @property
+    def crash_safe(self) -> bool:
+        config = self._worker.spec.index_config or IndexConfig()
+        return config.crash_safe
+
+    @property
+    def delta(self):
+        return None
+
+    @property
+    def needs_recovery(self) -> bool:
+        return False  # aborted in-worker flushes recover inside flush()
+
+    # -- ingest -----------------------------------------------------------
+
+    def add_document(self, text: str, doc_id: int | None = None) -> int:
+        return self._worker.call("add_document", text, doc_id)
+
+    def delete_document(self, doc_id: int) -> None:
+        self._worker.call("delete_document", doc_id)
+
+    def flush_batch(self) -> BatchResult:
+        outcome: FlushOutcome = self._worker.call("flush", False)
+        if outcome.result is not None:
+            return outcome.result
+        return BatchResult(outcome.version, 0, 0, 0, 0, 0, 0, 0, 0)
+
+    def recover(self, replay: bool = True):
+        return self._worker.call("recover", replay)
+
+    # -- publication ------------------------------------------------------
+
+    def clone(self) -> "ShardProxy":
+        pin = self._worker.call("publish_pin")
+        return ShardProxy(self._worker, snapshot_id=pin)
+
+    def clone_incremental(self, prev, delta) -> "ShardProxy":
+        # The worker applies cow internally per its publish mode; the
+        # remote clone surface is therefore mode-agnostic.
+        return self.clone()
+
+    def release(self) -> None:
+        """Release a pinned snapshot (no-op on the live proxy)."""
+        if self._snapshot_id is not None:
+            self._worker.call("release_pin", self._snapshot_id)
+
+    def dirty_terms(self) -> frozenset:
+        return self._worker.call("dirty_terms")
+
+    def freeze(self) -> None:
+        self._worker.call("freeze")
+
+    def check(self) -> InvariantReport:
+        return self._worker.call("check")
+
+    def attach_buffer_cache(
+        self, blocks: int, counters, prev=None, delta=None
+    ) -> None:
+        # Counters cannot cross the process boundary; the worker keeps
+        # its own and reports them through ``buffer_stats``.
+        self._worker.call("attach_buffer_cache", blocks)
+
+    # -- retrieval --------------------------------------------------------
+
+    def fetch_postings(self, word: str) -> tuple[list[int], int]:
+        return self._worker.call("fetch_postings", word, self._snapshot_id)
+
+    def search_boolean(self, query: str) -> QueryAnswer:
+        return self._worker.call("search_boolean", query, self._snapshot_id)
+
+    def search_streamed(self, query: str) -> QueryAnswer:
+        return self._worker.call(
+            "search_streamed", query, self._snapshot_id
+        )
+
+    def search_vector(self, weights, top_k: int = 10):
+        return self._worker.call(
+            "search_vector", dict(weights), top_k, self._snapshot_id
+        )
+
+    def search_vector_counted(self, weights, top_k: int = 10):
+        return self._worker.call(
+            "search_vector_counted", dict(weights), top_k, self._snapshot_id
+        )
+
+
+@dataclass(frozen=True)
+class GatewaySnapshot:
+    """An identity token for one published gateway boundary.
+
+    Unlike the in-process :class:`~repro.service.snapshot.IndexSnapshot`
+    this does not *pin* shard state — it records the boundary's identity
+    (snapshot id, universe size, deletion set) so universe-sensitive
+    evaluation (``NOT``, idf) uses a consistent published view.
+    """
+
+    snapshot_id: int
+    ndocs: int
+    deleted: frozenset
+    shard_versions: tuple[int, ...]
+    reference: object = None
+
+
+@dataclass
+class GatewayStats:
+    """Gateway-side counters (the serving report's ``gateway`` section)."""
+
+    failovers: int = 0
+    deadline_exceeded: int = 0
+    shed: int = 0
+    flushes: int = 0
+    replayed_ops: int = 0
+    worker_kills_observed: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "failovers": self.failovers,
+            "deadline_exceeded": self.deadline_exceeded,
+            "shed": self.shed,
+            "flushes": self.flushes,
+            "replayed_ops": self.replayed_ops,
+            "worker_kills_observed": self.worker_kills_observed,
+        }
+
+
+class AsyncShardGateway:
+    """Asyncio scatter-gather over N shard-worker processes."""
+
+    def __init__(
+        self,
+        config: IndexConfig | None = None,
+        tokenizer_config=None,
+        *,
+        shards: int = 2,
+        router_seed: int = 0,
+        publish_mode: str = "cow",
+        queue_limit: int = 256,
+        max_inflight: int = 0,
+        shard_timeout_s: float = 30.0,
+        checkpoint_every: int = 1,
+        check_invariants: bool = False,
+        buffer_cache_blocks: int = 0,
+        fault_plans: dict | None = None,
+        kill_on_crash: bool = False,
+        max_frame: int = wire.DEFAULT_MAX_FRAME,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("gateway needs shards >= 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if shard_timeout_s <= 0:
+            raise ValueError("shard_timeout_s must be > 0")
+        self.nshards = shards
+        self.router_seed = router_seed
+        self.queue_limit = queue_limit
+        self.max_inflight = max_inflight or 2 * shards
+        self.shard_timeout_s = shard_timeout_s
+        self.checkpoint_every = checkpoint_every
+        self.max_frame = max_frame
+        per_shard = max(1, buffer_cache_blocks // shards)
+        self._specs = [
+            WorkerSpec(
+                shard_id=i,
+                index_config=config,
+                tokenizer_config=tokenizer_config,
+                publish_mode=publish_mode,
+                fault_plan=(fault_plans or {}).get(i),
+                kill_on_crash=kill_on_crash,
+                check_invariants=check_invariants,
+                buffer_cache_blocks=(
+                    per_shard if buffer_cache_blocks else 0
+                ),
+                max_frame=max_frame,
+            )
+            for i in range(shards)
+        ]
+        self.workers: list[WorkerProcess | None] = [None] * shards
+        self._readers: list = [None] * shards
+        self._writers: list = [None] * shards
+        self._locks: list = [None] * shards
+        self._seqs = [itertools.count(1) for _ in range(shards)]
+        # Bumped on every rebuild of a shard; lets concurrent observers
+        # of one worker death agree on a single failover.
+        self._epochs = [0] * shards
+        # Failover state: last acknowledged checkpoint + ops since.
+        self._checkpoints: list[bytes | None] = [None] * shards
+        self._oplogs: list[list[tuple]] = [[] for _ in range(shards)]
+        # Writer-path state (single logical writer, asyncio-serialized).
+        self._writer_lock: asyncio.Lock | None = None
+        self._sem: asyncio.Semaphore | None = None
+        self._pending = 0
+        self._next_doc_id = 0
+        self._deleted: set[int] = set()
+        self._batches = 0
+        self._snapshot_id = 0
+        self._published_ndocs = 0
+        self._published_deleted: frozenset = frozenset()
+        self._published_versions: tuple[int, ...] = (0,) * shards
+        self.stats = GatewayStats()
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn every worker and open its stream connection."""
+        self._writer_lock = asyncio.Lock()
+        self._sem = asyncio.Semaphore(self.max_inflight)
+        await asyncio.gather(
+            *(self._spawn(i) for i in range(self.nshards))
+        )
+
+    async def _spawn(self, i: int, spec: WorkerSpec | None = None) -> None:
+        worker = WorkerProcess(spec or self._specs[i])
+        reader, writer = await asyncio.open_connection(
+            sock=worker.take_socket()
+        )
+        self.workers[i] = worker
+        self._readers[i] = reader
+        self._writers[i] = writer
+        # The lock object must survive failovers: tasks queued on it at
+        # rebuild time would otherwise race a new lock's holders onto one
+        # StreamReader.
+        if self._locks[i] is None:
+            self._locks[i] = asyncio.Lock()
+        self._seqs[i] = itertools.count(1)
+
+    async def close(self) -> None:
+        """Shut every worker down and reap the processes."""
+        for i, worker in enumerate(self.workers):
+            if worker is None:
+                continue
+            try:
+                await asyncio.wait_for(
+                    self._call_locked(i, "shutdown", ()), timeout=5.0
+                )
+            except Exception:  # noqa: BLE001 - best-effort shutdown
+                pass
+            stream_writer = self._writers[i]
+            if stream_writer is not None:
+                stream_writer.close()
+            worker.sock = None
+            worker.close(graceful=False)
+            self.workers[i] = None
+
+    # -- RPC core ---------------------------------------------------------
+
+    async def _rpc_unlocked(self, i: int, method: str, args: tuple):
+        """One request/response on shard ``i``'s stream.  Caller must
+        hold (or be the sole owner of) the shard's connection lock."""
+        request_id = next(self._seqs[i])
+        stream_writer = self._writers[i]
+        stream_writer.write(
+            wire.encode(wire.Request(request_id, method, args),
+                        self.max_frame)
+        )
+        await stream_writer.drain()
+        while True:
+            response = await wire.read_message_async(
+                self._readers[i], self.max_frame
+            )
+            if response is None:
+                raise WorkerDied(
+                    f"worker {i} closed the connection during {method!r}"
+                )
+            if response.request_id != request_id:
+                continue  # stale reply from a deadline-abandoned call
+            if response.ok:
+                return response.value
+            raise RemoteWorkerError(
+                f"shard {i} {method}: {response.error}"
+            )
+
+    async def _call_locked(self, i: int, method: str, args: tuple):
+        async with self._locks[i]:
+            return await self._rpc_unlocked(i, method, args)
+
+    async def _call(
+        self,
+        i: int,
+        method: str,
+        *args,
+        timeout: float | None = None,
+        failover: bool = True,
+    ):
+        """One RPC to shard ``i`` with deadline and failover handling.
+
+        The deadline covers the whole request: waiting for the per-shard
+        connection (a worker mid-flush queues its readers) plus execution.
+        On worker death the shard is rebuilt and — when ``failover`` —
+        the call retried once against the replacement.
+        """
+        epoch = self._epochs[i]
+        try:
+            coro = self._call_locked(i, method, args)
+            if timeout is not None:
+                return await asyncio.wait_for(coro, timeout)
+            return await coro
+        except asyncio.TimeoutError:
+            self.stats.deadline_exceeded += 1
+            raise ShardDeadlineExceeded((i,), method) from None
+        except (
+            WorkerDied,
+            ConnectionError,
+            BrokenPipeError,
+            wire.TruncatedFrame,
+        ) as exc:
+            self.stats.worker_kills_observed += 1
+            await self._failover(i, epoch)
+            if not failover:
+                raise WorkerDied(
+                    f"worker {i} died during {method!r}: {exc}"
+                ) from exc
+            return await self._call(
+                i, method, *args, timeout=timeout, failover=False
+            )
+
+    # -- failover ---------------------------------------------------------
+
+    async def _failover(self, i: int, epoch: int) -> None:
+        """Rebuild shard ``i`` from its checkpoint + replayed op log.
+
+        ``epoch`` is the shard generation the caller observed before its
+        call failed: concurrent observers of one death all arrive here,
+        the first rebuilds, the rest see the bumped epoch and return.
+        The connection lock is held for the whole rebuild so no query
+        reaches the replacement mid-replay.
+        """
+        async with self._locks[i]:
+            if self._epochs[i] != epoch:
+                return  # a sibling observer already rebuilt this shard
+            self._epochs[i] += 1
+            self.stats.failovers += 1
+            worker = self.workers[i]
+            if worker is not None:
+                stream_writer = self._writers[i]
+                if stream_writer is not None:
+                    stream_writer.close()
+                worker.sock = None
+                worker.close(graceful=False)
+            spec = self._specs[i].respawn_spec()
+            spec.restore = self._checkpoints[i]
+            await self._spawn(i, spec)
+            for op in list(self._oplogs[i]):
+                self.stats.replayed_ops += 1
+                if op[0] == "add":
+                    await self._rpc_unlocked(
+                        i, "add_document", (op[2], op[1])
+                    )
+                elif op[0] == "delete":
+                    await self._rpc_unlocked(
+                        i, "delete_document", (op[1],)
+                    )
+                else:  # ("flush",)
+                    await self._rpc_unlocked(i, "flush", (False,))
+
+    # -- admission control ------------------------------------------------
+
+    @asynccontextmanager
+    async def _admit(self):
+        """Bounded admission: at most ``max_inflight`` queries execute
+        and at most ``queue_limit`` wait; beyond that, shed immediately
+        (an overloaded open-loop arrival process must fail fast, not
+        build an unbounded backlog)."""
+        if self._pending >= self.max_inflight + self.queue_limit:
+            self.stats.shed += 1
+            raise GatewayOverloaded(self._pending, self.queue_limit)
+        self._pending += 1
+        try:
+            await self._sem.acquire()
+            try:
+                yield
+            finally:
+                self._sem.release()
+        finally:
+            self._pending -= 1
+
+    # -- writer path (single logical writer) ------------------------------
+
+    def route(self, doc_id: int) -> int:
+        return shard_of(doc_id, self.nshards, self.router_seed)
+
+    async def add_document(self, text: str) -> int:
+        async with self._writer_lock:
+            doc_id = self._next_doc_id
+            shard = self.route(doc_id)
+            # Journal before sending: if the worker dies mid-call, the
+            # failover replay performs this very op, so no retry here.
+            self._oplogs[shard].append(("add", doc_id, text))
+            try:
+                await self._call(
+                    shard, "add_document", text, doc_id, failover=False
+                )
+            except WorkerDied:
+                pass  # the failover replay already applied the op
+            self._next_doc_id = doc_id + 1
+            return doc_id
+
+    async def delete_document(self, doc_id: int) -> None:
+        if not 0 <= doc_id < self._next_doc_id:
+            raise ValueError(
+                f"doc id {doc_id} outside [0, {self._next_doc_id})"
+            )
+        async with self._writer_lock:
+            shard = self.route(doc_id)
+            self._oplogs[shard].append(("delete", doc_id))
+            try:
+                await self._call(
+                    shard, "delete_document", doc_id, failover=False
+                )
+            except WorkerDied:
+                pass  # replayed by the failover
+            self._deleted.add(doc_id)
+
+    async def flush(self) -> tuple[BatchResult, GatewaySnapshot]:
+        """Flush every shard (scatter), publish the new boundary, and
+        return the aggregated batch result plus the boundary token."""
+        async with self._writer_lock:
+            self._batches += 1
+            self.stats.flushes += 1
+            include_checkpoint = self._batches % self.checkpoint_every == 0
+            for i in range(self.nshards):
+                self._oplogs[i].append(("flush",))
+            outcomes = await asyncio.gather(
+                *(
+                    self._flush_shard(i, include_checkpoint)
+                    for i in range(self.nshards)
+                )
+            )
+            self._published_ndocs = self._next_doc_id
+            self._published_deleted = frozenset(self._deleted)
+            self._published_versions = tuple(
+                outcome.version for outcome in outcomes
+            )
+            self._snapshot_id += 1
+            results = [
+                outcome.result
+                for outcome in outcomes
+                if outcome.result is not None
+            ]
+            aggregate = BatchResult(
+                batch=self._batches,
+                nwords=sum(r.nwords for r in results),
+                npostings=sum(r.npostings for r in results),
+                new_words=sum(r.new_words for r in results),
+                bucket_words=sum(r.bucket_words for r in results),
+                long_words=sum(r.long_words for r in results),
+                migrations=sum(r.migrations for r in results),
+                io_ops=sum(r.io_ops for r in results),
+                in_place_updates=sum(r.in_place_updates for r in results),
+            )
+            self.last_publish_seconds = max(
+                (outcome.publish_seconds for outcome in outcomes),
+                default=0.0,
+            )
+            return aggregate, self.snapshot()
+
+    async def _flush_shard(
+        self, i: int, include_checkpoint: bool
+    ) -> FlushOutcome:
+        try:
+            outcome: FlushOutcome = await self._call(
+                i, "flush", include_checkpoint, failover=False
+            )
+        except WorkerDied:
+            # The failover replay (checkpoint + op log ending in the
+            # journaled flush marker) already completed this flush; ask
+            # the rebuilt worker for a fresh checkpoint of the result.
+            blob = await self._call(i, "checkpoint", failover=False)
+            self._checkpoints[i] = blob
+            self._oplogs[i].clear()
+            info = await self._call(i, "info", failover=False)
+            return FlushOutcome(
+                result=None,
+                version=info["batches"],
+                snapshot_version=info["snapshot_version"],
+                ndocs=info["ndocs"],
+            )
+        if outcome.checkpoint is not None:
+            self._checkpoints[i] = outcome.checkpoint
+            self._oplogs[i].clear()
+            outcome.checkpoint = None  # don't hold two copies
+        return outcome
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> GatewaySnapshot:
+        """The current published boundary's identity token (no RPC)."""
+        return GatewaySnapshot(
+            snapshot_id=self._snapshot_id,
+            ndocs=self._published_ndocs,
+            deleted=self._published_deleted,
+            shard_versions=self._published_versions,
+        )
+
+    # -- read path (scatter-gather) ---------------------------------------
+
+    def _universe(
+        self, snapshot: GatewaySnapshot | None
+    ) -> tuple[int, frozenset]:
+        if snapshot is not None:
+            return snapshot.ndocs, snapshot.deleted
+        return self._published_ndocs, self._published_deleted
+
+    async def _scatter_words(self, words) -> tuple:
+        """Fetch every word from every shard concurrently.
+
+        Returns ``(fetch, counter)`` mirroring
+        :func:`repro.query.scatter.scatter_fetch`: ``fetch(word)`` serves
+        the pre-merged posting list and charges the word's summed scatter
+        cost into ``counter[0]`` *per call* — the evaluators fetch once
+        per word occurrence, and read-op parity with the in-process path
+        requires charging exactly as often as they fetch.
+        """
+        words = sorted(set(words))
+        tasks = [
+            self._call(
+                i, "fetch_postings", word, None,
+                timeout=self.shard_timeout_s,
+            )
+            for word in words
+            for i in range(self.nshards)
+        ]
+        fetched = await self._gather_with_deadlines(
+            tasks, "fetch_postings"
+        )
+        merged: dict[str, tuple[list[int], int]] = {}
+        for w, word in enumerate(words):
+            runs = []
+            cost = 0
+            for i in range(self.nshards):
+                docs, read_ops = fetched[w * self.nshards + i]
+                cost += read_ops
+                if docs:
+                    runs.append(docs)
+            merged[word] = (scatter.merge_disjoint(runs), cost)
+        counter = [0]
+
+        def fetch(word: str) -> list[int]:
+            docs, cost = merged.get(word, ([], 0))
+            counter[0] += cost
+            return docs
+
+        return fetch, counter
+
+    async def _gather_with_deadlines(self, tasks, method: str) -> list:
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        late = tuple(
+            sorted(
+                {
+                    shard
+                    for result in results
+                    if isinstance(result, ShardDeadlineExceeded)
+                    for shard in result.shards
+                }
+            )
+        )
+        if late:
+            completed = sum(
+                not isinstance(result, Exception) for result in results
+            )
+            raise ShardDeadlineExceeded(late, method, completed)
+        for result in results:
+            if isinstance(result, Exception):
+                raise result
+        return list(results)
+
+    async def search_boolean(
+        self, query: str, snapshot: GatewaySnapshot | None = None
+    ) -> QueryAnswer:
+        async with self._admit():
+            terms, _ = _boolean_terms(query)
+            ndocs, deleted = self._universe(snapshot)
+            fetch, counter = await self._scatter_words(terms)
+            docs = boolean_query.evaluate(query, fetch, ndocs)
+            # Per-shard fetches are deletion-filtered, but NOT's
+            # complement still contains deleted ids (paper §3: filter
+            # every answer).
+            if deleted:
+                docs = [d for d in docs if d not in deleted]
+            else:
+                docs = list(docs)
+            return QueryAnswer(doc_ids=docs, read_ops=counter[0])
+
+    async def search_streamed(
+        self, query: str, snapshot: GatewaySnapshot | None = None
+    ) -> QueryAnswer:
+        async with self._admit():
+            streaming_query.parse_flat(query)  # uniform rejection up front
+            tasks = [
+                self._call(
+                    i, "search_streamed", query, None,
+                    timeout=self.shard_timeout_s,
+                )
+                for i in range(self.nshards)
+            ]
+            answers = await self._gather_with_deadlines(
+                tasks, "search_streamed"
+            )
+            docs, read_ops = scatter.gather_answers(
+                [(a.doc_ids, a.read_ops) for a in answers]
+            )
+            return QueryAnswer(doc_ids=docs, read_ops=read_ops)
+
+    async def search_vector(
+        self,
+        weights,
+        top_k: int = 10,
+        snapshot: GatewaySnapshot | None = None,
+    ):
+        ranked, _ = await self.search_vector_counted(
+            weights, top_k=top_k, snapshot=snapshot
+        )
+        return ranked
+
+    async def search_vector_counted(
+        self,
+        weights,
+        top_k: int = 10,
+        snapshot: GatewaySnapshot | None = None,
+    ):
+        async with self._admit():
+            ndocs, _ = self._universe(snapshot)
+            # The ranker skips zero-weight terms without fetching them;
+            # prefetch exactly what it will fetch (raw keys — vocabulary
+            # lookup owns normalization).
+            terms = [w for w, weight in weights.items() if weight != 0.0]
+            fetch, counter = await self._scatter_words(terms)
+            ranked = vector_query.rank(weights, fetch, ndocs, top_k=top_k)
+            return ranked, counter[0]
+
+    async def ping(
+        self,
+        shard: int = 0,
+        delay: float = 0.0,
+        timeout: float | None = None,
+        admit: bool = False,
+    ) -> dict:
+        """Worker liveness probe; ``delay`` blocks the worker loop that
+        long first (the deadline/backpressure tests lean on this)."""
+        if admit:
+            async with self._admit():
+                if delay:
+                    return await self._call(
+                        shard, "debug_sleep", delay, timeout=timeout
+                    )
+                return await self._call(shard, "ping", timeout=timeout)
+        if delay:
+            return await self._call(
+                shard, "debug_sleep", delay, timeout=timeout
+            )
+        return await self._call(shard, "ping", timeout=timeout)
+
+    # -- introspection ----------------------------------------------------
+
+    async def check(self) -> InvariantReport:
+        """Invariant-check every worker's published snapshot; merged
+        report with shard-prefixed violations."""
+        subreports = await asyncio.gather(
+            *(self._call(i, "check") for i in range(self.nshards))
+        )
+        report = InvariantReport()
+        for i, sub in enumerate(subreports):
+            report.checks += sub.checks
+            for violation in sub.violations:
+                report.violations.append(
+                    Violation(
+                        violation.code, f"shard {i}: {violation.detail}"
+                    )
+                )
+        return report
+
+    async def worker_stats(self) -> list[dict]:
+        return list(
+            await asyncio.gather(
+                *(self._call(i, "stats") for i in range(self.nshards))
+            )
+        )
+
+    async def buffer_stats(self) -> list[dict]:
+        return list(
+            await asyncio.gather(
+                *(
+                    self._call(i, "buffer_stats")
+                    for i in range(self.nshards)
+                )
+            )
+        )
+
+
+class GatewayService:
+    """Thread-safe synchronous facade over :class:`AsyncShardGateway`.
+
+    Presents the :class:`~repro.service.server.QueryService` surface —
+    ``add_document`` / ``delete_document`` / ``flush_and_publish`` /
+    ``snapshot`` / ``search_*`` plus ``stats`` / ``timings`` /
+    ``publish_latency`` — so :class:`~repro.service.loadgen.LoadGenerator`
+    and the CLI drive both serving stacks through one code path.  The
+    asyncio loop runs on a dedicated thread; every public method is safe
+    to call from any thread.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        self.gateway = AsyncShardGateway(*args, **kwargs)
+        self.shards = self.gateway.nshards
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="gateway-loop", daemon=True
+        )
+        self._thread.start()
+        self.stats = ServiceStats()
+        self.timings = StageTimings()
+        self.publish_latency = LatencyRecorder()
+        # The gateway serves without a parent-side result cache (workers
+        # are the authority); an idle cache keeps the report shape.
+        self.cache = QueryResultCache(1)
+        self.buffer_counters = None
+        self._stats_lock = threading.Lock()
+        self._closed = False
+        self._run(self.gateway.start())
+
+    def _run(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    # -- writer API -------------------------------------------------------
+
+    def add_document(self, text: str) -> int:
+        with self.timings.stage("serve.ingest"):
+            doc_id = self._run(self.gateway.add_document(text))
+        with self._stats_lock:
+            self.stats.documents_ingested += 1
+        return doc_id
+
+    def delete_document(self, doc_id: int) -> None:
+        self._run(self.gateway.delete_document(doc_id))
+        with self._stats_lock:
+            self.stats.documents_deleted += 1
+
+    def flush_and_publish(self) -> tuple[BatchResult, GatewaySnapshot]:
+        with self.timings.stage("serve.flush"):
+            result, snapshot = self._run(self.gateway.flush())
+        self.publish_latency.record(self.gateway.last_publish_seconds)
+        with self._stats_lock:
+            self.stats.publishes += 1
+        return result, snapshot
+
+    # -- reader API -------------------------------------------------------
+
+    def snapshot(self) -> GatewaySnapshot:
+        return self.gateway.snapshot()
+
+    def _count_query(self, kind: str) -> None:
+        with self._stats_lock:
+            self.stats.queries[kind] = self.stats.queries.get(kind, 0) + 1
+
+    def search_boolean(
+        self, query: str, snapshot: GatewaySnapshot | None = None
+    ) -> QueryAnswer:
+        self._count_query("boolean")
+        return self._run(self.gateway.search_boolean(query, snapshot))
+
+    def search_streamed(
+        self, query: str, snapshot: GatewaySnapshot | None = None
+    ) -> QueryAnswer:
+        self._count_query("streamed")
+        return self._run(self.gateway.search_streamed(query, snapshot))
+
+    def search_vector(
+        self,
+        weights,
+        top_k: int = 10,
+        snapshot: GatewaySnapshot | None = None,
+    ):
+        self._count_query("vector")
+        return self._run(
+            self.gateway.search_vector(weights, top_k=top_k, snapshot=snapshot)
+        )
+
+    # -- introspection / lifecycle ----------------------------------------
+
+    def check(self) -> InvariantReport:
+        report = self._run(self.gateway.check())
+        with self._stats_lock:
+            self.stats.invariant_checks += 1
+        return report
+
+    def gateway_stats(self) -> dict:
+        workers = self._run(self.gateway.worker_stats())
+        merged = self.gateway.stats.as_dict()
+        merged["workers"] = workers
+        for key in (
+            "publishes",
+            "cow_publishes",
+            "full_clone_publishes",
+            "cow_fallbacks",
+            "flush_recoveries",
+        ):
+            merged[key] = sum(w.get(key, 0) for w in workers)
+        return merged
+
+    def buffer_stats(self) -> list[dict]:
+        return self._run(self.gateway.buffer_stats())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._run(self.gateway.close())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            self._loop.close()
+
+    def __enter__(self) -> "GatewayService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

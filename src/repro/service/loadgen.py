@@ -19,6 +19,24 @@ published batch boundary) and fails the run's report.  With
 ``crash_every > 0`` the generator installs a crash plan before every Nth
 flush, cycling through the registered flush/checkpoint crash points, so
 publication is exercised across writer crashes and recoveries.
+
+Two arrival disciplines drive the readers:
+
+* ``arrival="closed"`` (default): each reader issues its next query the
+  moment the previous one returns — the classic closed loop, whose
+  latency percentiles silently exclude the time a slow system makes the
+  *next* request wait (coordinated omission).
+* ``arrival="open"``: a deterministic Poisson schedule of
+  ``arrival_queries`` arrivals at ``arrival_rate_qps`` is precomputed
+  from the seed, and every recorded latency is ``completion −
+  scheduled_arrival`` — queue wait included, so an overloaded system
+  shows its true tail instead of throttling the load that measures it.
+
+With ``gateway=True`` the service is a multi-process
+:class:`~repro.service.gateway.GatewayService` (one worker process per
+shard); per-query verification is unavailable across the process
+boundary (``verify=False`` is required) and correctness is covered by
+boundary differential probes against a parent-side brute-force mirror.
 """
 
 from __future__ import annotations
@@ -103,6 +121,23 @@ class LoadConfig:
     #: Parallel per-shard flush workers (1 = serial).
     flush_jobs: int = 1
     flush_executor: str = "thread"
+    #: Serve through one worker process per shard behind the asyncio
+    #: scatter-gather gateway instead of in-process scatter.
+    gateway: bool = False
+    #: Gateway per-shard query deadline (seconds).
+    shard_timeout_s: float = 30.0
+    #: Gateway admission-control wait-queue bound.
+    queue_limit: int = 256
+    #: Concurrently executing gateway queries (0 = 2 × shards).
+    max_inflight: int = 0
+    #: Parent-side worker checkpoint cadence, in flushes.
+    checkpoint_every: int = 1
+    #: Reader arrival discipline: "closed" or "open" (see module doc).
+    arrival: str = "closed"
+    #: Open-loop offered rate (arrivals per second).
+    arrival_rate_qps: float = 500.0
+    #: Open-loop total scheduled arrivals.
+    arrival_queries: int = 2000
 
     def __post_init__(self) -> None:
         if self.readers <= 0 or self.flush_cycles <= 0:
@@ -115,6 +150,26 @@ class LoadConfig:
             raise ValueError("publish_mode must be 'clone' or 'cow'")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.arrival not in ("closed", "open"):
+            raise ValueError("arrival must be 'closed' or 'open'")
+        if self.arrival == "open" and (
+            self.arrival_rate_qps <= 0 or self.arrival_queries <= 0
+        ):
+            raise ValueError(
+                "open arrivals need arrival_rate_qps and "
+                "arrival_queries > 0"
+            )
+        if self.gateway and self.verify:
+            raise ValueError(
+                "gateway mode cannot pin per-query reference snapshots "
+                "across the process boundary; set verify=False "
+                "(boundary differential probes still cover correctness)"
+            )
+        if self.gateway and self.crash_every:
+            raise ValueError(
+                "gateway mode injects crashes per worker via fault "
+                "plans (see the chaos battery), not crash_every"
+            )
 
     @property
     def injects_faults(self) -> bool:
@@ -141,6 +196,41 @@ class LoadConfig:
         )
 
 
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled open-loop arrival."""
+
+    at_s: float  # offset from the run's start
+    kind: str  # "boolean" | "streamed" | "vector"
+    query: object  # the query string or weight map
+
+
+def open_loop_arrivals(
+    rate_qps: float,
+    count: int,
+    seed: int,
+    mix: tuple[float, float, float],
+    make_query,
+) -> list[Arrival]:
+    """A deterministic Poisson arrival schedule.
+
+    Inter-arrival gaps are exponential with mean ``1/rate_qps``; kinds
+    are drawn from ``mix``; ``make_query(kind, rng)`` builds each
+    payload.  Everything — times, kinds, payloads — is a pure function
+    of the seed, so two runs offered the same schedule are comparable
+    sample-for-sample.
+    """
+    rng = random.Random(seed * 65537 + 11)
+    kinds = ("boolean", "streamed", "vector")
+    t = 0.0
+    arrivals: list[Arrival] = []
+    for _ in range(count):
+        t += rng.expovariate(rate_qps)
+        kind = rng.choices(kinds, weights=mix)[0]
+        arrivals.append(Arrival(t, kind, make_query(kind, rng)))
+    return arrivals
+
+
 @dataclass
 class ServingReport:
     """Machine-readable outcome of one load-generation run."""
@@ -156,6 +246,8 @@ class ServingReport:
     divergences: int
     divergence_examples: list[str] = field(default_factory=list)
     buffer_cache: dict = field(default_factory=dict)
+    open_loop: dict = field(default_factory=dict)
+    gateway: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -170,6 +262,8 @@ class ServingReport:
             "stage_seconds": self.stage_seconds,
             "divergences": self.divergences,
             "divergence_examples": self.divergence_examples[:5],
+            "open_loop": self.open_loop,
+            "gateway": self.gateway,
         }
 
     def write_json(self, path) -> None:
@@ -195,6 +289,8 @@ class _ReaderState:
             for kind in ("boolean", "streamed", "vector")
         }
         self.divergences: list[str] = []
+        self.shed = 0
+        self.deadline_exceeded = 0
 
 
 class LoadGenerator:
@@ -206,21 +302,48 @@ class LoadGenerator:
         service: QueryService | None = None,
     ) -> None:
         self.config = config or LoadConfig()
-        self.service = service or QueryService(
-            self.config.index_config(),
-            cache_capacity=self.config.cache_capacity,
-            check_invariants=self.config.check_invariants,
-            track_reference=self.config.verify,
-            publish_mode=self.config.publish_mode,
-            buffer_cache_blocks=self.config.buffer_cache_blocks,
-            shards=self.config.shards,
-            router_seed=self.config.router_seed,
-            flush_jobs=self.config.flush_jobs,
-            flush_executor=self.config.flush_executor,
-        )
+        self._owns_service = service is None
+        if service is not None:
+            self.service = service
+        elif self.config.gateway:
+            from .gateway import GatewayService
+
+            self.service = GatewayService(
+                self.config.index_config(),
+                shards=self.config.shards,
+                router_seed=self.config.router_seed,
+                publish_mode=self.config.publish_mode,
+                queue_limit=self.config.queue_limit,
+                max_inflight=self.config.max_inflight,
+                shard_timeout_s=self.config.shard_timeout_s,
+                checkpoint_every=self.config.checkpoint_every,
+                check_invariants=self.config.check_invariants,
+                buffer_cache_blocks=self.config.buffer_cache_blocks,
+            )
+        else:
+            self.service = QueryService(
+                self.config.index_config(),
+                cache_capacity=self.config.cache_capacity,
+                check_invariants=self.config.check_invariants,
+                track_reference=self.config.verify,
+                publish_mode=self.config.publish_mode,
+                buffer_cache_blocks=self.config.buffer_cache_blocks,
+                shards=self.config.shards,
+                router_seed=self.config.router_seed,
+                flush_jobs=self.config.flush_jobs,
+                flush_executor=self.config.flush_executor,
+            )
         self._words = [
             _word_name(i) for i in range(1, self.config.vocabulary + 1)
         ]
+        # Parent-side mirror for gateway differential probes: gateway
+        # workers cannot hand the parent a clone oracle, so the probes
+        # compare against a brute-force model of everything ingested.
+        self._mirror = None
+        if self.config.gateway and self.config.differential:
+            from ..query.reference import BruteForceIndex
+
+            self._mirror = BruteForceIndex()
 
     # -- deterministic generators -----------------------------------------
 
@@ -256,6 +379,24 @@ class LoadGenerator:
             self._skewed_word(rng): float(rng.randint(1, 3))
             for _ in range(rng.randint(2, 5))
         }
+
+    def _make_query(self, kind: str, rng: random.Random):
+        if kind == "boolean":
+            return self._boolean_query(rng)
+        if kind == "streamed":
+            return self._streamed_query(rng)
+        return self._vector_query(rng)
+
+    def open_schedule(self) -> list[Arrival]:
+        """This run's deterministic open-loop arrival schedule."""
+        cfg = self.config
+        return open_loop_arrivals(
+            cfg.arrival_rate_qps,
+            cfg.arrival_queries,
+            cfg.seed,
+            cfg.mix,
+            self._make_query,
+        )
 
     # -- reader threads ----------------------------------------------------
 
@@ -318,6 +459,81 @@ class LoadGenerator:
                     )
             if self.config.verify:
                 self._verify(kind, query, got, snapshot, state)
+
+    # -- open-loop readers -------------------------------------------------
+
+    def _open_reader_loop(
+        self,
+        reader_id: int,
+        arrivals: list[Arrival],
+        cursor: list[int],
+        cursor_lock: threading.Lock,
+        t0: float,
+        state: _ReaderState,
+    ) -> None:
+        try:
+            self._open_reader_queries(
+                arrivals, cursor, cursor_lock, t0, state
+            )
+        except Exception as exc:  # noqa: BLE001 - must surface in report
+            state.divergences.append(f"reader {reader_id} died: {exc!r}")
+
+    def _open_reader_queries(
+        self,
+        arrivals: list[Arrival],
+        cursor: list[int],
+        cursor_lock: threading.Lock,
+        t0: float,
+        state: _ReaderState,
+    ) -> None:
+        """Serve scheduled arrivals until the schedule is drained.
+
+        Each latency sample is ``completion − scheduled_arrival``: when
+        the service (or this reader pool) falls behind, the backlog wait
+        lands *in* the measurement instead of silently delaying the
+        offered load — the open-loop answer to coordinated omission.
+        """
+        from .gateway import GatewayOverloaded, ShardDeadlineExceeded
+
+        while True:
+            with cursor_lock:
+                i = cursor[0]
+                if i >= len(arrivals):
+                    return
+                cursor[0] = i + 1
+            arrival = arrivals[i]
+            now = time.perf_counter() - t0
+            if now < arrival.at_s:
+                time.sleep(arrival.at_s - now)
+            snapshot = self.service.snapshot()
+            try:
+                if arrival.kind == "boolean":
+                    got = self.service.search_boolean(
+                        arrival.query, snapshot
+                    )
+                elif arrival.kind == "streamed":
+                    got = self.service.search_streamed(
+                        arrival.query, snapshot
+                    )
+                else:
+                    got = self.service.search_vector(
+                        arrival.query,
+                        top_k=self.config.top_k,
+                        snapshot=snapshot,
+                    )
+            except GatewayOverloaded:
+                state.shed += 1  # a typed overload outcome, not a bug
+                continue
+            except ShardDeadlineExceeded:
+                state.deadline_exceeded += 1
+                continue
+            state.recorders[arrival.kind].record(
+                time.perf_counter() - t0 - arrival.at_s
+            )
+            if self.config.verify:
+                self._verify(
+                    arrival.kind, arrival.query, got, snapshot, state
+                )
 
     # -- the writer + the run ---------------------------------------------
 
@@ -384,33 +600,108 @@ class LoadGenerator:
                     f"served {got!r}, oracle {want!r}"
                 )
 
+    def _differential_check_gateway(
+        self, cycle: int, divergences: list[str]
+    ) -> None:
+        """Gateway-mode differential: probe the published boundary
+        against the parent-side brute-force mirror of every ingested
+        operation.  Runs on the writer thread right after a flush, so
+        the mirror and the workers' published snapshots coincide."""
+        snapshot = self.service.snapshot()
+        mirror = self._mirror
+        rng = random.Random(self.config.seed * 104729 + cycle)
+        for _ in range(self.config.differential_probes):
+            query = self._boolean_query(rng)
+            got = self.service.search_boolean(query, snapshot).doc_ids
+            want = mirror.search_boolean(query)
+            if got != want:
+                divergences.append(
+                    f"cycle {cycle} differential boolean {query!r}: "
+                    f"served {got!r}, mirror {want!r}"
+                )
+        for _ in range(self.config.differential_probes):
+            query = self._streamed_query(rng)
+            got = self.service.search_streamed(query, snapshot).doc_ids
+            want = mirror.search_streamed(query)
+            if got != want:
+                divergences.append(
+                    f"cycle {cycle} differential streamed {query!r}: "
+                    f"served {got!r}, mirror {want!r}"
+                )
+        for _ in range(self.config.differential_probes):
+            weights = self._vector_query(rng)
+            got = [
+                (d.doc_id, d.score)
+                for d in self.service.search_vector(
+                    weights, top_k=self.config.top_k, snapshot=snapshot
+                )
+            ]
+            want = [
+                (d.doc_id, d.score)
+                for d in mirror.search_vector(
+                    weights, top_k=self.config.top_k
+                )
+            ]
+            if got != want:
+                divergences.append(
+                    f"cycle {cycle} differential vector {weights!r}: "
+                    f"served {got!r}, mirror {want!r}"
+                )
+
     def run(self) -> ServingReport:
         """Execute the workload; returns the measured report."""
+        try:
+            return self._run()
+        finally:
+            if self._owns_service:
+                closer = getattr(self.service, "close", None)
+                if closer is not None:
+                    closer()
+
+    def _run(self) -> ServingReport:
         cfg = self.config
         stop = threading.Event()
         states = [_ReaderState(cfg.seed, i) for i in range(cfg.readers)]
-        threads = [
-            threading.Thread(
-                target=self._reader_loop,
-                args=(i, stop, states[i]),
-                name=f"reader-{i}",
-                daemon=True,
-            )
-            for i in range(cfg.readers)
-        ]
+        arrivals: list[Arrival] = []
+        cursor = [0]
+        cursor_lock = threading.Lock()
+        if cfg.arrival == "open":
+            arrivals = self.open_schedule()
+        start = time.perf_counter()
+        if cfg.arrival == "open":
+            threads = [
+                threading.Thread(
+                    target=self._open_reader_loop,
+                    args=(i, arrivals, cursor, cursor_lock, start,
+                          states[i]),
+                    name=f"reader-{i}",
+                    daemon=True,
+                )
+                for i in range(cfg.readers)
+            ]
+        else:
+            threads = [
+                threading.Thread(
+                    target=self._reader_loop,
+                    args=(i, stop, states[i]),
+                    name=f"reader-{i}",
+                    daemon=True,
+                )
+                for i in range(cfg.readers)
+            ]
         writer_rng = random.Random(cfg.seed)
         deleted = 0
         differential_divergences: list[str] = []
         differential_checks = 0
-        start = time.perf_counter()
         for thread in threads:
             thread.start()
         try:
             for cycle in range(cfg.flush_cycles):
                 for _ in range(cfg.docs_per_batch):
-                    doc_id = self.service.add_document(
-                        self._document(writer_rng)
-                    )
+                    text = self._document(writer_rng)
+                    doc_id = self.service.add_document(text)
+                    if self._mirror is not None:
+                        self._mirror.add_document(doc_id, text.split())
                     if (
                         cfg.delete_every
                         and doc_id
@@ -418,6 +709,8 @@ class LoadGenerator:
                     ):
                         victim = writer_rng.randrange(doc_id)
                         self.service.delete_document(victim)
+                        if self._mirror is not None:
+                            self._mirror.delete_document(victim)
                         deleted += 1
                 crashing = self._maybe_crash_plan(cycle)
                 try:
@@ -426,14 +719,23 @@ class LoadGenerator:
                     if crashing:
                         faults.uninstall()
                 if cfg.differential:
-                    self._differential_check(cycle, differential_divergences)
+                    if cfg.gateway:
+                        self._differential_check_gateway(
+                            cycle, differential_divergences
+                        )
+                    else:
+                        self._differential_check(
+                            cycle, differential_divergences
+                        )
                     differential_checks += 1
                 if cfg.pace_s:
                     time.sleep(cfg.pace_s)
         finally:
             stop.set()
+            # Open-loop readers exit when the schedule drains (they must
+            # serve every scheduled arrival, writer done or not).
             for thread in threads:
-                thread.join(timeout=30.0)
+                thread.join(timeout=120.0)
         wall = time.perf_counter() - start
 
         overall = LatencyRecorder()
@@ -456,6 +758,30 @@ class LoadGenerator:
         # query percentiles, but the batch-size scaling story
         # (BENCH_publish) is read off exactly this summary.
         latency["publish"] = self.service.publish_latency.summary()
+        open_loop: dict = {}
+        if cfg.arrival == "open":
+            shed = sum(state.shed for state in states)
+            deadline = sum(state.deadline_exceeded for state in states)
+            open_loop = {
+                "scheduled": len(arrivals),
+                "completed": overall.count,
+                "shed": shed,
+                "deadline_exceeded": deadline,
+                "offered_rate_qps": cfg.arrival_rate_qps,
+                "schedule_seconds": round(arrivals[-1].at_s, 6)
+                if arrivals
+                else 0.0,
+            }
+        gateway_stats: dict = {}
+        buffer_cache: dict = {}
+        if cfg.gateway:
+            gateway_stats = self.service.gateway_stats()
+            for worker in self.service.buffer_stats():
+                for key, value in worker.items():
+                    if isinstance(value, (int, float)):
+                        buffer_cache[key] = buffer_cache.get(key, 0) + value
+        elif self.service.buffer_counters is not None:
+            buffer_cache = self.service.buffer_counters.as_dict()
         return ServingReport(
             config={
                 "readers": cfg.readers,
@@ -475,6 +801,12 @@ class LoadGenerator:
                 "shards": cfg.shards,
                 "router_seed": cfg.router_seed,
                 "flush_jobs": cfg.flush_jobs,
+                "gateway": cfg.gateway,
+                "arrival": cfg.arrival,
+                "arrival_rate_qps": cfg.arrival_rate_qps,
+                "arrival_queries": cfg.arrival_queries,
+                "queue_limit": cfg.queue_limit,
+                "shard_timeout_s": cfg.shard_timeout_s,
             },
             wall_seconds=wall,
             queries=overall.count,
@@ -485,9 +817,7 @@ class LoadGenerator:
             stage_seconds=self.service.timings.as_dict(),
             divergences=len(divergences),
             divergence_examples=divergences,
-            buffer_cache=(
-                self.service.buffer_counters.as_dict()
-                if self.service.buffer_counters is not None
-                else {}
-            ),
+            buffer_cache=buffer_cache,
+            open_loop=open_loop,
+            gateway=gateway_stats,
         )

@@ -1,0 +1,192 @@
+"""Length-prefixed wire protocol between the gateway and shard workers.
+
+One frame carries one message::
+
+    +-------+----------+------------------+
+    | magic | length   | payload          |
+    | 4 B   | 4 B (BE) | ``length`` bytes |
+    +-------+----------+------------------+
+
+The payload is a pickled :class:`Request` or :class:`Response`.  Pickle is
+acceptable here because both ends of every connection are processes this
+library spawned itself (a ``socketpair`` shared with a child) — the wire
+is a private process boundary, not a network service.  What the framing
+layer *does* defend against is a sick peer: every decoder rejects frames
+with a bad magic, frames whose declared length exceeds the receiver's
+budget (:class:`FrameTooLarge` — an oversized frame is refused before a
+byte of its payload is read), and streams that end mid-frame
+(:class:`TruncatedFrame` — a worker that died mid-write must surface as a
+typed error, not a hang or a garbage unpickle).
+
+A clean EOF *between* frames is not an error: readers return ``None`` so
+callers can distinguish "the peer closed the conversation" from "the peer
+died mid-sentence".
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+MAGIC = b"RSW1"
+_HEADER = struct.Struct(">4sI")
+HEADER_BYTES = _HEADER.size
+
+#: Default ceiling on one frame's payload.  Checkpoint blobs of the test
+#: corpora are well under a megabyte; 64 MiB leaves room for real ones.
+DEFAULT_MAX_FRAME = 64 * 1024 * 1024
+
+
+class WireError(Exception):
+    """Base class for framing-level failures."""
+
+
+class BadFrame(WireError):
+    """The frame header's magic bytes are wrong (desynchronized stream)."""
+
+
+class FrameTooLarge(WireError):
+    """A frame's declared payload exceeds the receiver's budget."""
+
+
+class TruncatedFrame(WireError):
+    """The stream ended in the middle of a frame (peer died mid-write)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One method invocation sent to a shard worker."""
+
+    request_id: int
+    method: str
+    args: tuple = ()
+
+
+@dataclass(frozen=True)
+class Response:
+    """A worker's reply; ``error`` carries ``TypeName: detail`` on failure."""
+
+    request_id: int
+    ok: bool
+    value: Any = None
+    error: str | None = None
+
+
+def encode(message, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Serialize one message into a complete frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > max_frame:
+        raise FrameTooLarge(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{max_frame}-byte frame budget"
+        )
+    return _HEADER.pack(MAGIC, len(payload)) + payload
+
+
+def decode_header(header: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> int:
+    """Validate a frame header; returns the payload length it declares."""
+    if len(header) != HEADER_BYTES:
+        raise TruncatedFrame(
+            f"{len(header)}-byte header (need {HEADER_BYTES})"
+        )
+    magic, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise BadFrame(f"bad frame magic {magic!r}")
+    if length > max_frame:
+        raise FrameTooLarge(
+            f"declared payload of {length} bytes exceeds the "
+            f"{max_frame}-byte frame budget"
+        )
+    return length
+
+
+def decode_payload(payload: bytes):
+    """Unpickle one complete frame payload."""
+    return pickle.loads(payload)
+
+
+def decode(frame: bytes, max_frame: int = DEFAULT_MAX_FRAME):
+    """Decode one complete frame (header + payload) into its message."""
+    length = decode_header(frame[:HEADER_BYTES], max_frame)
+    payload = frame[HEADER_BYTES:]
+    if len(payload) < length:
+        raise TruncatedFrame(
+            f"frame declares {length} payload bytes, got {len(payload)}"
+        )
+    return decode_payload(payload[:length])
+
+
+# -- blocking socket I/O (worker side) -----------------------------------------
+
+
+def _recv_exact(sock, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise TruncatedFrame(
+                f"stream ended {remaining} bytes short of a "
+                f"{n}-byte read"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock, max_frame: int = DEFAULT_MAX_FRAME):
+    """Read one message from a blocking socket.
+
+    Returns ``None`` on a clean EOF between frames; raises
+    :class:`TruncatedFrame` when the stream dies inside one.
+    """
+    header = _recv_exact(sock, HEADER_BYTES)
+    if header is None:
+        return None
+    length = decode_header(header, max_frame)
+    payload = _recv_exact(sock, length) if length else b""
+    if length and payload is None:
+        raise TruncatedFrame(f"EOF before a {length}-byte payload")
+    return decode_payload(payload)
+
+
+def send_message(sock, message, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+    """Write one message to a blocking socket as a single frame."""
+    sock.sendall(encode(message, max_frame))
+
+
+# -- asyncio stream I/O (gateway side) -----------------------------------------
+
+
+async def read_message_async(reader, max_frame: int = DEFAULT_MAX_FRAME):
+    """Read one message from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on a clean EOF between frames; raises
+    :class:`TruncatedFrame` when the worker died mid-frame.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise TruncatedFrame(
+            f"EOF after {len(exc.partial)} header bytes"
+        ) from exc
+    length = decode_header(header, max_frame)
+    if not length:
+        return decode_payload(b"")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedFrame(
+            f"EOF {length - len(exc.partial)} bytes short of a "
+            f"{length}-byte payload"
+        ) from exc
+    return decode_payload(payload)

@@ -1,0 +1,326 @@
+"""Gateway unit tests: the shard-worker seam, deadlines, backpressure,
+and checkpoint+oplog failover.
+
+The tentpole claims pinned here:
+
+* :class:`ShardProxy` *is* an :class:`IndexShard` — the runtime-checkable
+  protocol seam holds across the process boundary, including pinned
+  remote clones.
+* A per-shard deadline surfaces as the typed partial failure
+  :class:`ShardDeadlineExceeded` naming the late shards, and the
+  connection survives (the stale response is discarded, not misread as
+  the next call's reply).
+* Admission control sheds load with :class:`GatewayOverloaded` once the
+  bounded wait queue fills — it never queues unboundedly.
+* A SIGKILLed worker is rebuilt from the parent-side checkpoint plus the
+  replayed op log with no acknowledged operation lost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.index import IndexConfig
+from repro.core.shard import IndexShard
+from repro.core.sharded import ShardedTextIndex
+from repro.service.gateway import (
+    AsyncShardGateway,
+    GatewayOverloaded,
+    GatewayService,
+    RemoteWorkerError,
+    ShardDeadlineExceeded,
+    ShardProxy,
+    WorkerProcess,
+)
+from repro.service.worker import WorkerSpec
+
+
+def small_config(**overrides) -> IndexConfig:
+    defaults = dict(
+        nbuckets=16,
+        bucket_size=64,
+        block_postings=8,
+        ndisks=2,
+        nblocks_override=100_000,
+        store_contents=True,
+    )
+    defaults.update(overrides)
+    return IndexConfig(**defaults)
+
+
+DOCS = [
+    "apple banana cherry",
+    "banana date elderberry",
+    "cherry fig grape",
+    "apple grape honeydew",
+    "kiwi lemon apple banana",
+    "mango banana cherry date",
+    "nectarine apple fig",
+    "banana cherry lemon mango",
+]
+
+
+@pytest.fixture
+def worker():
+    process = WorkerProcess(
+        WorkerSpec(shard_id=0, index_config=small_config())
+    )
+    yield process
+    process.close()
+
+
+class TestShardProxy:
+    def test_satisfies_index_shard_protocol(self, worker):
+        assert isinstance(ShardProxy(worker), IndexShard)
+
+    def test_ingest_flush_query(self, worker):
+        proxy = ShardProxy(worker)
+        for doc_id, text in enumerate(DOCS):
+            assert proxy.add_document(text, doc_id) == doc_id
+        result = proxy.flush_batch()
+        assert result.batch == 0  # the volume's own 0-based batch number
+        assert proxy.ndocs == len(DOCS)
+        assert proxy.batches == 1
+        assert proxy.shard_versions == (1,)
+        answer = proxy.search_boolean("apple AND banana")
+        assert answer.doc_ids == [0, 4]
+        assert proxy.fetch_postings("banana")[0] == [0, 1, 4, 5, 7]
+
+    def test_matches_local_index_exactly(self, worker):
+        from repro.textindex import TextDocumentIndex
+
+        proxy = ShardProxy(worker)
+        local = TextDocumentIndex(small_config())
+        for doc_id, text in enumerate(DOCS):
+            proxy.add_document(text, doc_id)
+            local.add_document(text)
+        proxy.delete_document(2)
+        local.delete_document(2)
+        proxy.flush_batch()
+        local.flush_batch()
+        for query in ("apple AND banana", "NOT banana", "fig OR lemon"):
+            remote = proxy.search_boolean(query)
+            want = local.search_boolean(query)
+            assert remote.doc_ids == want.doc_ids
+            assert remote.read_ops == want.read_ops
+
+    def test_pinned_clone_is_immutable(self, worker):
+        proxy = ShardProxy(worker)
+        for doc_id, text in enumerate(DOCS[:3]):
+            proxy.add_document(text, doc_id)
+        proxy.flush_batch()
+        pinned = proxy.clone()
+        before = pinned.search_boolean("cherry").doc_ids
+        proxy.add_document("cherry cherry cherry", 3)
+        proxy.flush_batch()
+        # The live proxy sees the new document; the pin does not.
+        assert 3 in proxy.search_boolean("cherry").doc_ids
+        assert pinned.search_boolean("cherry").doc_ids == before
+        pinned.release()
+
+    def test_clone_incremental_matches_clone(self, worker):
+        proxy = ShardProxy(worker)
+        proxy.add_document(DOCS[0], 0)
+        proxy.flush_batch()
+        pinned = proxy.clone_incremental(None, None)
+        assert pinned.search_boolean("apple").doc_ids == [0]
+        pinned.release()
+
+    def test_check_and_dirty_terms_cross_the_wire(self, worker):
+        proxy = ShardProxy(worker)
+        proxy.add_document(DOCS[0], 0)
+        proxy.flush_batch()
+        report = proxy.check()
+        assert report.ok and report.checks > 0
+        assert proxy.dirty_terms() == frozenset()
+
+    def test_remote_errors_are_typed(self, worker):
+        proxy = ShardProxy(worker)
+        with pytest.raises(RemoteWorkerError, match="ValueError"):
+            proxy.delete_document(999)
+        with pytest.raises(RemoteWorkerError, match="UnknownMethod"):
+            worker.call("no_such_method")
+        # The connection survives a handler error.
+        assert proxy.ndocs == 0
+
+
+def run_gateway(coro_fn, **gateway_kwargs):
+    """Run an async test body against a started gateway, then close it."""
+
+    async def main():
+        gateway_kwargs.setdefault("config", small_config())
+        gateway = AsyncShardGateway(**gateway_kwargs)
+        await gateway.start()
+        try:
+            return await coro_fn(gateway)
+        finally:
+            await gateway.close()
+
+    return asyncio.run(main())
+
+
+class TestDeadlines:
+    def test_slow_shard_raises_typed_partial_failure(self):
+        async def body(gateway):
+            with pytest.raises(ShardDeadlineExceeded) as info:
+                await gateway.ping(shard=0, delay=1.0, timeout=0.1)
+            assert info.value.shards == (0,)
+            assert gateway.stats.deadline_exceeded == 1
+            # The stale response is discarded: the next call on the same
+            # connection gets its own reply, not the sleeper's.
+            pong = await gateway.ping(shard=0)
+            assert pong["shard"] == 0
+
+        run_gateway(body, shards=2)
+
+    def test_deadline_covers_queue_wait(self):
+        async def body(gateway):
+            # Occupy the single-threaded worker; the query behind it
+            # must count its wait against the deadline.
+            sleeper = asyncio.create_task(
+                gateway.ping(shard=0, delay=0.6)
+            )
+            await asyncio.sleep(0.05)
+            gateway.shard_timeout_s = 0.15
+            with pytest.raises(ShardDeadlineExceeded) as info:
+                await gateway.search_boolean("apple AND banana")
+            assert 0 in info.value.shards
+            await sleeper
+
+        run_gateway(body, shards=2)
+
+
+class TestAdmissionControl:
+    def test_bounded_queue_sheds_load(self):
+        async def body(gateway):
+            first = asyncio.create_task(
+                gateway.ping(shard=0, delay=0.5, admit=True)
+            )
+            await asyncio.sleep(0.05)
+            second = asyncio.create_task(
+                gateway.ping(shard=0, delay=0.0, admit=True)
+            )
+            await asyncio.sleep(0.05)
+            # max_inflight=1 is executing, queue_limit=1 is waiting: the
+            # third arrival must be shed immediately, not queued.
+            with pytest.raises(GatewayOverloaded):
+                await gateway.ping(shard=0, admit=True)
+            assert gateway.stats.shed == 1
+            await first
+            await second
+
+        run_gateway(body, shards=1, max_inflight=1, queue_limit=1)
+
+    def test_admission_recovers_after_drain(self):
+        async def body(gateway):
+            blocker = asyncio.create_task(
+                gateway.ping(shard=0, delay=0.2, admit=True)
+            )
+            await asyncio.sleep(0.05)
+            queued = asyncio.create_task(
+                gateway.ping(shard=0, admit=True)
+            )
+            await asyncio.sleep(0.05)
+            with pytest.raises(GatewayOverloaded):
+                await gateway.ping(shard=0, admit=True)
+            await blocker
+            await queued
+            # Once the queue drains, admission resumes.
+            pong = await gateway.ping(shard=0, admit=True)
+            assert pong["shard"] == 0
+
+        run_gateway(body, shards=1, max_inflight=1, queue_limit=1)
+
+
+class TestFailover:
+    def test_sigkill_then_query_recovers_acked_state(self):
+        async def body(gateway):
+            local = ShardedTextIndex(small_config(), shards=2)
+            for text in DOCS:
+                await gateway.add_document(text)
+                local.add_document(text)
+            await gateway.flush()
+            local.flush_batch()
+            # Unflushed tail: these live only in worker memory + oplog.
+            await gateway.add_document("papaya quince apple")
+            local.add_document("papaya quince apple")
+            gateway.workers[0].process.kill()
+            gateway.workers[1].process.kill()
+            answer = await gateway.search_boolean("apple AND banana")
+            want = local.search_boolean("apple AND banana")
+            assert answer.doc_ids == want.doc_ids
+            assert gateway.stats.failovers == 2
+            # The unflushed tail survived the murder: flush and see it.
+            await gateway.flush()
+            local.flush_batch()
+            got = await gateway.search_boolean("papaya")
+            assert got.doc_ids == local.search_boolean("papaya").doc_ids
+            report = await gateway.check()
+            assert report.ok
+
+        run_gateway(body, shards=2)
+
+    def test_failover_respects_checkpoint_cadence(self):
+        async def body(gateway):
+            local = ShardedTextIndex(small_config(), shards=2)
+            for cycle in range(3):
+                for text in DOCS[cycle * 2 : cycle * 2 + 2]:
+                    await gateway.add_document(text)
+                    local.add_document(text)
+                await gateway.flush()
+                local.flush_batch()
+            # checkpoint_every=2: flush 3's ops are still in the log.
+            assert any(len(log) for log in gateway._oplogs)
+            gateway.workers[0].process.kill()
+            answer = await gateway.search_streamed("banana AND cherry")
+            want = local.search_streamed("banana AND cherry")
+            assert answer.doc_ids == want.doc_ids
+            assert gateway.stats.failovers == 1
+            assert gateway.stats.replayed_ops > 0
+
+        run_gateway(body, shards=2, checkpoint_every=2)
+
+
+class TestGatewayService:
+    def test_facade_roundtrip_and_stats(self):
+        service = GatewayService(small_config(), shards=2)
+        try:
+            for text in DOCS:
+                service.add_document(text)
+            service.delete_document(1)
+            result, snapshot = service.flush_and_publish()
+            assert result.batch == 1
+            assert snapshot.ndocs == len(DOCS)
+            assert snapshot.deleted == frozenset({1})
+            local = ShardedTextIndex(small_config(), shards=2)
+            for text in DOCS:
+                local.add_document(text)
+            local.delete_document(1)
+            local.flush_batch()
+            got = service.search_boolean("banana OR fig", snapshot)
+            want = local.search_boolean("banana OR fig")
+            assert got.doc_ids == want.doc_ids
+            assert got.read_ops == want.read_ops
+            got = service.search_streamed("apple AND banana")
+            want = local.search_streamed("apple AND banana")
+            assert got.doc_ids == want.doc_ids
+            gv = service.search_vector({"banana": 2.0, "fig": 1.0}, top_k=4)
+            lv = local.search_vector({"banana": 2.0, "fig": 1.0}, top_k=4)
+            assert [(d.doc_id, d.score) for d in gv] == [
+                (d.doc_id, d.score) for d in lv
+            ]
+            assert service.check().ok
+            stats = service.gateway_stats()
+            assert stats["publishes"] == 2  # one per dirty shard
+            assert stats["failovers"] == 0
+            assert service.stats.documents_ingested == len(DOCS)
+            assert service.stats.queries_served == 3
+        finally:
+            service.close()
+
+    def test_close_is_idempotent(self):
+        service = GatewayService(small_config(), shards=1)
+        service.close()
+        service.close()
