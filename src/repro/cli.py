@@ -35,7 +35,8 @@ Five subcommands cover the library's main entry points::
     repro serve-bench [--readers N] [--cycles N] [--docs-per-batch N]
                       [--publish-mode clone|cow] [--buffer-cache BLOCKS]
                       [--shards N] [--flush-jobs N] [--differential]
-                      [--gateway] [--arrival closed|open]
+                      [--gateway] [--read-tier snapshot|immediate]
+                      [--background-merge] [--arrival closed|open]
                       [--arrival-rate QPS] [--arrival-queries N]
                       [--queue-limit N] [--shard-timeout S]
                       [--json PATH] [--no-verify]
@@ -343,6 +344,14 @@ def cmd_serve_bench(args) -> int:
             "note: --gateway disables per-query verification "
             "(use --differential for boundary probes)"
         )
+    if args.read_tier == "immediate" and verify:
+        # Immediate answers reflect the live memory tier, not a pinned
+        # reference snapshot; the mirror differential covers them.
+        verify = False
+        print(
+            "note: --read-tier immediate disables per-query "
+            "verification (use --differential for mid-buffer probes)"
+        )
     config = LoadConfig(
         readers=args.readers,
         flush_cycles=args.cycles,
@@ -353,7 +362,11 @@ def cmd_serve_bench(args) -> int:
         verify=verify,
         delete_every=args.delete_every,
         crash_every=(
-            4 if args.inject_faults and not args.gateway else 0
+            4
+            if args.inject_faults
+            and not args.gateway
+            and args.read_tier != "immediate"
+            else 0
         ),
         transient_rate=args.fault_rate if args.inject_faults else 0.0,
         fault_seed=args.fault_seed,
@@ -371,6 +384,9 @@ def cmd_serve_bench(args) -> int:
         arrival=args.arrival,
         arrival_rate_qps=args.arrival_rate,
         arrival_queries=args.arrival_queries,
+        read_tier=args.read_tier,
+        background_merge=args.background_merge,
+        visibility_probes=True,
     )
     report = LoadGenerator(config).run()
     overall = report.latency["overall"]
@@ -446,6 +462,27 @@ def cmd_serve_bench(args) -> int:
             f"{service['cow_fallbacks']} fallbacks), "
             f"{service['documents_ingested']} docs ingested, "
             f"{service['flush_recoveries']} crash recoveries"
+        )
+    vis = report.visibility
+    if vis.get("count"):
+        print(
+            f"visibility:       {vis['tier']} tier, "
+            f"p50 {vis['p50'] * 1e6:,.1f} us from ingest to first hit "
+            f"({vis['count']} probes, {vis['misses']} misses)"
+        )
+    if report.memtier:
+        mem = report.memtier
+        merge = mem.get("merger")
+        merged = (
+            f", {merge['merges']} background merges"
+            f" ({merge['errors']} errors)"
+            if merge
+            else ""
+        )
+        print(
+            f"memory tier:      {mem['seals']} seals, "
+            f"{mem['rebases']} rebases, "
+            f"{mem['buffered_postings']} postings still buffered{merged}"
         )
     if config.verify or config.differential:
         print(f"divergences:      {report.divergences}")
@@ -666,6 +703,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve through one worker process per shard behind the "
         "asyncio scatter-gather gateway (implies --no-verify; "
         "correctness comes from --differential boundary probes)",
+    )
+    p_serve.add_argument(
+        "--read-tier",
+        choices=("snapshot", "immediate"),
+        default="snapshot",
+        help="snapshot serves published boundaries only; immediate "
+        "merges the in-memory write buffer so documents are queryable "
+        "before any flush (implies --no-verify; use --differential "
+        "for mid-buffer probes against the brute-force mirror)",
+    )
+    p_serve.add_argument(
+        "--background-merge",
+        action="store_true",
+        help="drain the memory tier with a background merge thread "
+        "instead of the writer's per-cycle flush "
+        "(requires --read-tier immediate, in-process only)",
     )
     p_serve.add_argument(
         "--arrival",

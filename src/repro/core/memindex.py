@@ -27,6 +27,12 @@ class InMemoryIndex:
         self._lists: dict[int, PostingPayload] = {}
         self._ndocs = 0
         self._npostings = 0
+        # Cached ascending key list for items()/items_by_bucket — the
+        # flush hot path iterates it once per batch, and re-sorting the
+        # whole dict per call is O(W log W) for work only new words
+        # change.  None = stale (a word was inserted or the dict was
+        # replaced); rebuilt lazily on the next ordered iteration.
+        self._sorted_words: list[int] | None = None
 
     def __len__(self) -> int:
         """Number of distinct words in the batch."""
@@ -65,6 +71,7 @@ class InMemoryIndex:
             payload = lists.get(word)
             if payload is None:
                 lists[word] = DocPostings((doc_id,))
+                self._sorted_words = None
             elif type(payload) is DocPostings:
                 # Hot path: append into the existing list instead of
                 # allocating a throwaway single-element payload per posting.
@@ -100,6 +107,7 @@ class InMemoryIndex:
             payload = self._lists.get(word)
             if payload is None:
                 self._lists[word] = single
+                self._sorted_words = None
             else:
                 payload.extend(single)
             self._npostings += 1
@@ -117,6 +125,7 @@ class InMemoryIndex:
             payload = lists.get(word)
             if payload is None:
                 lists[word] = CountPostings(count)
+                self._sorted_words = None
             elif type(payload) is CountPostings:
                 payload.add_count(count)
             else:
@@ -128,14 +137,24 @@ class InMemoryIndex:
         """The in-memory list for a word, or None."""
         return self._lists.get(word)
 
+    def _ordered_words(self) -> list[int]:
+        """The cached ascending key list, rebuilt only after an insert."""
+        words = self._sorted_words
+        if words is None:
+            words = self._sorted_words = sorted(self._lists)
+        return words
+
     def items(self) -> Iterator[tuple[int, PostingPayload]]:
         """All (word, in-memory list) pairs in ascending word order.
 
         Sorted order matters operationally: the paper notes that sorting
         the in-memory lists into bucket order lets an implementation keep
-        only one bucket in memory at a time during the merge.
+        only one bucket in memory at a time during the merge.  The sort
+        itself is cached across calls and invalidated only when a new
+        word enters the batch — flushing iterates these pairs once per
+        batch, and appends to existing lists must not re-pay it.
         """
-        for word in sorted(self._lists):
+        for word in self._ordered_words():
             yield word, self._lists[word]
 
     def items_by_bucket(self, hash_fn, nbuckets: int):
@@ -153,7 +172,7 @@ class InMemoryIndex:
         skipping empty buckets.
         """
         groups: dict[int, list[tuple[int, PostingPayload]]] = {}
-        for word in sorted(self._lists):
+        for word in self._ordered_words():
             groups.setdefault(hash_fn(word) % nbuckets, []).append(
                 (word, self._lists[word])
             )
@@ -164,7 +183,10 @@ class InMemoryIndex:
         """An independent copy of the batch contents (crash recovery).
 
         Taken by the index before a flush starts mutating disk structures,
-        so an aborted batch can be re-applied after rollback.
+        so an aborted batch can be re-applied after rollback.  The copies
+        belong to whoever restores them — :meth:`restore` moves them in
+        without re-copying — so call :meth:`snapshot` again if another
+        independent copy is needed.
         """
         return (
             [(word, payload.copy()) for word, payload in self._lists.items()],
@@ -173,14 +195,26 @@ class InMemoryIndex:
         )
 
     def restore(self, snapshot: tuple) -> None:
-        """Replace the batch contents with a :meth:`snapshot` copy."""
+        """Replace the batch contents with a :meth:`snapshot`'s payloads.
+
+        **Move semantics**: :meth:`snapshot` already produced independent
+        payload copies, so restore adopts them directly instead of paying
+        a second deep copy per list.  The snapshot is *consumed* — after
+        a restore the index owns (and will mutate) those payloads, so a
+        snapshot must be restored at most once.  The crash-recovery loop
+        satisfies this by construction: ``flush_batch`` re-snapshots the
+        restored memory before touching anything, so every recovery
+        attempt replays from a fresh copy.
+        """
         lists, ndocs, npostings = snapshot
-        self._lists = {word: payload.copy() for word, payload in lists}
+        self._lists = dict(lists)
         self._ndocs = ndocs
         self._npostings = npostings
+        self._sorted_words = None
 
     def clear(self) -> None:
         """Reset after the batch has been written to disk."""
         self._lists.clear()
         self._ndocs = 0
         self._npostings = 0
+        self._sorted_words = None

@@ -1,0 +1,147 @@
+"""Two-tier query evaluation: disk snapshot ∪ memory tier ∖ tombstones.
+
+The merge layer over a published base snapshot and one
+:class:`~repro.core.memtier.MemTierView`.  The correctness backbone is
+that the two tiers partition the doc-id universe: every id below
+``view.base_ndocs`` lives (fully) in the base snapshot, every buffered id
+lives at or above it, and ids only ever grow — so the tiers' answer
+fragments are disjoint sorted runs and boolean/streamed evaluation
+*decomposes*:
+
+    immediate(Q) = (base.search(Q) ∪ mem_eval(Q over [base_ndocs, ndocs)))
+                   ∖ tombstones
+
+Set operators are pointwise on per-document membership, and a document's
+membership is decided entirely by the lists of its own tier (a buffered
+document's postings exist only in the buffer; a published document's only
+in the snapshot), so evaluating each tier against its own lists and
+unioning is exactly the post-flush evaluation over the merged lists.
+``NOT`` needs care only about the universe: the base evaluation
+complements over ``[0, base_ndocs)`` and the memory evaluation over the
+full ``[0, ndocs)`` restricted to buffered ids — together the post-flush
+complement.  The final tombstone filter applies to both fragments, the
+direct analogue of the paper's §3 rule that deletions filter answers, so
+a buffered deletion hides snapshot-resident and buffered documents alike.
+
+Vector ranking cannot delegate to the base (idf mixes the tiers through
+global ``ndocs`` and df), so it reruns :func:`repro.query.vector.rank`
+over the *merged* per-term fetch with the merged universe — the same
+accumulation order as a post-flush ranking, hence bit-identical scores.
+
+Read-op accounting: memory postings are free of I/O charge, the same
+Figure-10 convention the core applies to the unflushed batch, so every
+function here charges exactly the read ops the base snapshot alone
+charged — an immediate answer costs what its snapshot-tier evaluation
+would (the differential tests pin this equality).
+"""
+
+from __future__ import annotations
+
+from ..textindex import QueryAnswer
+from . import boolean as boolean_query
+from . import streaming as streaming_query
+from . import vector as vector_query
+
+__all__ = [
+    "fetch_postings",
+    "search_boolean",
+    "search_streamed",
+    "search_vector_counted",
+]
+
+
+def _mem_fetch(view):
+    """A fetch over the buffered postings only (term -> ascending ids).
+
+    Lookup is exact-match, mirroring ``Vocabulary.lookup``: the boolean
+    and streamed parsers lowercase words before fetching, vector weights
+    pass raw keys, and the buffer's terms are tokenizer-lowercased — so
+    a query key that would miss the vocabulary misses the buffer too.
+    """
+
+    def fetch(word: str) -> list[int]:
+        return view.postings(word)
+
+    return fetch
+
+
+def _filter_tombstones(docs, tombstones) -> list[int]:
+    if not tombstones:
+        return list(docs)
+    return [d for d in docs if d not in tombstones]
+
+
+def fetch_postings(view, word: str) -> tuple[list[int], int]:
+    """One word's live doc ids across both tiers, plus read ops charged.
+
+    The base fragment is already deletion-filtered by the snapshot; the
+    buffered fragment sits wholly above it, so concatenation preserves
+    order; buffered tombstones filter both.
+    """
+    base_docs, read_ops = view.base.fetch_postings(word)
+    docs = list(base_docs)
+    docs.extend(view.postings(word))
+    return _filter_tombstones(docs, view.tombstones), read_ops
+
+
+def search_boolean(view, query: str) -> QueryAnswer:
+    """Boolean AND/OR/NOT over both tiers; byte-identical to post-flush."""
+    base_answer = view.base.search_boolean(query)
+    docs = list(base_answer.doc_ids)
+    if view.buffered_docs:
+        base_ndocs = view.base_ndocs
+        mem_docs = boolean_query.evaluate(
+            query, _mem_fetch(view), view.ndocs
+        )
+        docs.extend(d for d in mem_docs if d >= base_ndocs)
+    docs = _filter_tombstones(docs, view.tombstones)
+    return QueryAnswer(doc_ids=docs, read_ops=base_answer.read_ops)
+
+
+def search_streamed(view, query: str) -> QueryAnswer:
+    """Flat AND/OR over both tiers with the streamed evaluator's economy.
+
+    The base tier streams lazily inside the snapshot (early-exit I/O
+    intact); the buffered tier is pure memory, merged by plain sorted-set
+    arithmetic.  A conjunct that misses both tiers empties the answer
+    with zero I/O, exactly like the facade.
+    """
+    words, operators = streaming_query.parse_flat(query)
+    base_answer = view.base.search_streamed(query)
+    docs = list(base_answer.doc_ids)
+    if view.buffered_docs:
+        base_ndocs = view.base_ndocs
+        runs = [
+            [d for d in view.postings(word) if d >= base_ndocs]
+            for word in words
+        ]
+        if operators == {"OR"} or len(words) == 1:
+            merged: set[int] = set()
+            for run in runs:
+                merged.update(run)
+            docs.extend(sorted(merged))
+        else:
+            live = [set(run) for run in runs]
+            conjunction = set.intersection(*live) if live else set()
+            docs.extend(sorted(conjunction))
+    docs = _filter_tombstones(docs, view.tombstones)
+    return QueryAnswer(doc_ids=docs, read_ops=base_answer.read_ops)
+
+
+def search_vector_counted(view, weights, top_k: int = 10):
+    """Ranked vector query over the merged tiers plus read ops charged.
+
+    Reruns the ranker with a merged per-term fetch and the global
+    universe size, so idf and score accumulation are exactly what a
+    post-flush ranking computes — including the sorted-term iteration
+    that pins float addition order.
+    """
+    counter = [0]
+
+    def fetch(word: str) -> list[int]:
+        docs, read_ops = fetch_postings(view, word)
+        counter[0] += read_ops
+        return docs
+
+    ranked = vector_query.rank(weights, fetch, view.ndocs, top_k=top_k)
+    return ranked, counter[0]

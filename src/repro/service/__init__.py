@@ -18,6 +18,13 @@ behind its own OS process (:mod:`repro.service.worker`, speaking the
 :mod:`repro.service.wire` frame protocol) with an asyncio scatter-gather
 gateway in front: per-shard deadlines, bounded-queue admission control,
 and checkpoint + op-log failover when a worker dies.
+
+With ``read_tier="immediate"`` the service additionally keeps a
+:class:`~repro.core.memtier.MemTier` — a compressed in-memory write
+buffer absorbed into every answer through :mod:`repro.query.twotier` —
+so ingested documents are queryable *before* any flush;
+:class:`~repro.service.server.BackgroundMerger` drains the buffer
+through the ordinary flush/publish path on a background thread.
 """
 
 from .cache import CacheStats, QueryResultCache
@@ -34,12 +41,18 @@ from .gateway import (
     WorkerProcess,
 )
 from .loadgen import LoadConfig, LoadGenerator, ServingReport
-from .server import QueryService, ServiceError, ServiceStats
+from .server import (
+    BackgroundMerger,
+    QueryService,
+    ServiceError,
+    ServiceStats,
+)
 from .snapshot import IndexSnapshot
 from .worker import FlushOutcome, ShardWorker, WorkerSpec
 
 __all__ = [
     "AsyncShardGateway",
+    "BackgroundMerger",
     "CacheStats",
     "FlushOutcome",
     "GatewayError",

@@ -25,6 +25,18 @@ snapshot ids; :meth:`publish_delta` extends clean entries to the new id
 and drops the rest.  Readers pinned to an older snapshot simply miss —
 an entry is never returned for a snapshot outside its interval.
 
+Immediate-tier entries (DESIGN.md §14) additionally carry the memory-tier
+*epoch* they were computed at.  The memory tier mutates between
+publishes, so snapshot-interval validity is not enough; instead of
+invalidating eagerly on every buffered write, a lookup whose epoch moved
+on *revalidates* the entry against the tier's per-term epoch ledger
+(``epoch_clean`` callback): if no term the answer read was buffered
+since, the deletion set did not change, and (for universe-sensitive
+answers) no document arrived, the entry is stamped with the current
+epoch and served — otherwise it is dropped.  This is exactly
+:meth:`publish_delta`'s cleanliness rule applied lazily per entry, with
+the tier's epoch ledger standing in for the writer's delta journal.
+
 Thread model: many reader threads share one cache; every operation takes
 the internal lock (the critical sections are dictionary operations, far
 cheaper than the query evaluation a hit saves).
@@ -50,6 +62,8 @@ class CacheStats:
     invalidations: int = 0
     entries_invalidated: int = 0
     entries_retained: int = 0
+    epoch_revalidations: int = 0
+    epoch_invalidations: int = 0
     #: hits per live entry (dropped with the entries themselves).
     entry_hits: dict[CacheKey, int] = field(default_factory=dict)
 
@@ -69,6 +83,8 @@ class CacheStats:
             "invalidations": self.invalidations,
             "entries_invalidated": self.entries_invalidated,
             "entries_retained": self.entries_retained,
+            "epoch_revalidations": self.epoch_revalidations,
+            "epoch_invalidations": self.epoch_invalidations,
             "hit_rate": round(self.hit_rate, 6),
         }
 
@@ -81,9 +97,12 @@ class _Entry:
         "first_id",
         "last_id",
         "versions",
+        "epoch",
     )
 
-    def __init__(self, value, terms, universe_sensitive, snapshot_id, versions):
+    def __init__(
+        self, value, terms, universe_sensitive, snapshot_id, versions, epoch
+    ):
         self.value = value
         self.terms = terms
         self.universe_sensitive = universe_sensitive
@@ -93,6 +112,10 @@ class _Entry:
         # newest snapshot this entry is valid at; publish_delta advances
         # it alongside last_id.
         self.versions = versions
+        # Memory-tier epoch the answer was computed at (None for
+        # snapshot-tier entries); advanced in place when a lookup
+        # revalidates the entry against the tier's epoch ledger.
+        self.epoch = epoch
 
 
 class QueryResultCache:
@@ -119,6 +142,8 @@ class QueryResultCache:
         key: CacheKey,
         snapshot_id: int,
         versions: tuple[int, ...] | None = None,
+        epoch: int | None = None,
+        epoch_clean=None,
     ):
         """The cached value for ``key`` valid at ``snapshot_id``, or
         ``None``; counts the outcome.
@@ -127,6 +152,13 @@ class QueryResultCache:
         and the lookup lands on the entry's newest snapshot, the vectors
         must agree — a mismatch (shard layout change, out-of-band shard
         advance) drops the entry instead of serving it.
+
+        ``epoch`` is the live memory-tier epoch for immediate-tier
+        lookups.  When it differs from the entry's recorded epoch the
+        entry is lazily revalidated via ``epoch_clean(terms, since_epoch,
+        universe_sensitive)`` — the tier's per-term ledger check; a clean
+        entry is re-stamped and served, a dirty one dropped.  Without a
+        callback an epoch mismatch simply drops the entry.
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -145,6 +177,22 @@ class QueryResultCache:
                 self._stats.entry_hits.pop(key, None)
                 self._stats.misses += 1
                 return None
+            if epoch is not None and entry.epoch != epoch:
+                clean = (
+                    entry.epoch is not None
+                    and epoch_clean is not None
+                    and epoch_clean(
+                        entry.terms, entry.epoch, entry.universe_sensitive
+                    )
+                )
+                if not clean:
+                    del self._entries[key]
+                    self._stats.entry_hits.pop(key, None)
+                    self._stats.epoch_invalidations += 1
+                    self._stats.misses += 1
+                    return None
+                entry.epoch = epoch
+                self._stats.epoch_revalidations += 1
             self._entries.move_to_end(key)
             self._stats.hits += 1
             self._stats.entry_hits[key] = (
@@ -160,14 +208,16 @@ class QueryResultCache:
         terms: frozenset = frozenset(),
         universe_sensitive: bool = False,
         versions: tuple[int, ...] | None = None,
+        epoch: int | None = None,
     ) -> None:
         """Insert an entry valid (for now) only at ``snapshot_id``.
 
         ``terms`` are the query's vocabulary terms (lowercase) and
         ``universe_sensitive`` marks answers that depend on the doc-id
         universe; both drive :meth:`publish_delta`.  ``versions`` records
-        the snapshot's shard vector.  A put from a reader pinned to an
-        *older* snapshot never displaces a fresher entry.
+        the snapshot's shard vector, ``epoch`` the memory-tier epoch for
+        immediate-tier answers.  A put from a reader pinned to an *older*
+        snapshot never displaces a fresher entry.
         """
         if self.capacity == 0:
             return
@@ -179,7 +229,7 @@ class QueryResultCache:
                     return
                 self._entries.move_to_end(key)
             self._entries[key] = _Entry(
-                value, terms, universe_sensitive, snapshot_id, versions
+                value, terms, universe_sensitive, snapshot_id, versions, epoch
             )
             while len(self._entries) > self.capacity:
                 evicted, _ = self._entries.popitem(last=False)
@@ -248,5 +298,7 @@ class QueryResultCache:
                 invalidations=self._stats.invalidations,
                 entries_invalidated=self._stats.entries_invalidated,
                 entries_retained=self._stats.entries_retained,
+                epoch_revalidations=self._stats.epoch_revalidations,
+                epoch_invalidations=self._stats.epoch_invalidations,
                 entry_hits=dict(self._stats.entry_hits),
             )

@@ -350,6 +350,10 @@ class GatewaySnapshot:
     deleted: frozenset
     shard_versions: tuple[int, ...]
     reference: object = None
+    #: Per-shard memory-tier epochs at this boundary (empty when the
+    #: gateway serves the snapshot tier only) — they ride the version
+    #: vector so cache layers can scope invalidation to buffered terms.
+    mem_epochs: tuple[int, ...] = ()
 
 
 @dataclass
@@ -394,6 +398,7 @@ class AsyncShardGateway:
         fault_plans: dict | None = None,
         kill_on_crash: bool = False,
         max_frame: int = wire.DEFAULT_MAX_FRAME,
+        read_tier: str = "snapshot",
     ) -> None:
         if shards < 1:
             raise ValueError("gateway needs shards >= 1")
@@ -403,6 +408,9 @@ class AsyncShardGateway:
             raise ValueError("checkpoint_every must be >= 1")
         if shard_timeout_s <= 0:
             raise ValueError("shard_timeout_s must be > 0")
+        if read_tier not in ("snapshot", "immediate"):
+            raise ValueError("read_tier must be 'snapshot' or 'immediate'")
+        self.read_tier = read_tier
         self.nshards = shards
         self.router_seed = router_seed
         self.queue_limit = queue_limit
@@ -424,6 +432,7 @@ class AsyncShardGateway:
                     per_shard if buffer_cache_blocks else 0
                 ),
                 max_frame=max_frame,
+                read_tier=read_tier,
             )
             for i in range(shards)
         ]
@@ -449,6 +458,9 @@ class AsyncShardGateway:
         self._published_ndocs = 0
         self._published_deleted: frozenset = frozenset()
         self._published_versions: tuple[int, ...] = (0,) * shards
+        self._published_mem_epochs: tuple[int, ...] = (
+            (0,) * shards if read_tier == "immediate" else ()
+        )
         self.stats = GatewayStats()
 
     # -- lifecycle --------------------------------------------------------
@@ -683,6 +695,10 @@ class AsyncShardGateway:
             self._published_versions = tuple(
                 outcome.version for outcome in outcomes
             )
+            if self.read_tier == "immediate":
+                self._published_mem_epochs = tuple(
+                    outcome.mem_epoch for outcome in outcomes
+                )
             self._snapshot_id += 1
             results = [
                 outcome.result
@@ -726,6 +742,7 @@ class AsyncShardGateway:
                 version=info["batches"],
                 snapshot_version=info["snapshot_version"],
                 ndocs=info["ndocs"],
+                mem_epoch=info.get("mem_epoch", 0),
             )
         if outcome.checkpoint is not None:
             self._checkpoints[i] = outcome.checkpoint
@@ -742,6 +759,7 @@ class AsyncShardGateway:
             ndocs=self._published_ndocs,
             deleted=self._published_deleted,
             shard_versions=self._published_versions,
+            mem_epochs=self._published_mem_epochs,
         )
 
     # -- read path (scatter-gather) ---------------------------------------
@@ -749,11 +767,20 @@ class AsyncShardGateway:
     def _universe(
         self, snapshot: GatewaySnapshot | None
     ) -> tuple[int, frozenset]:
+        """The evaluation universe: the pinned boundary's, the latest
+        published one, or — on the immediate tier — the *live* writer
+        state (every acknowledged add/delete, flushed or not), which is
+        exactly the universe the workers' buffered postings live in."""
+        if self.read_tier == "immediate":
+            return self._next_doc_id, frozenset(self._deleted)
         if snapshot is not None:
             return snapshot.ndocs, snapshot.deleted
         return self._published_ndocs, self._published_deleted
 
-    async def _scatter_words(self, words) -> tuple:
+    def _tier(self) -> str | None:
+        return "immediate" if self.read_tier == "immediate" else None
+
+    async def _scatter_words(self, words, tier: str | None = None) -> tuple:
         """Fetch every word from every shard concurrently.
 
         Returns ``(fetch, counter)`` mirroring
@@ -766,7 +793,7 @@ class AsyncShardGateway:
         words = sorted(set(words))
         tasks = [
             self._call(
-                i, "fetch_postings", word, None,
+                i, "fetch_postings", word, None, tier,
                 timeout=self.shard_timeout_s,
             )
             for word in words
@@ -822,7 +849,9 @@ class AsyncShardGateway:
         async with self._admit():
             terms, _ = _boolean_terms(query)
             ndocs, deleted = self._universe(snapshot)
-            fetch, counter = await self._scatter_words(terms)
+            fetch, counter = await self._scatter_words(
+                terms, tier=self._tier()
+            )
             docs = boolean_query.evaluate(query, fetch, ndocs)
             # Per-shard fetches are deletion-filtered, but NOT's
             # complement still contains deleted ids (paper §3: filter
@@ -840,7 +869,7 @@ class AsyncShardGateway:
             streaming_query.parse_flat(query)  # uniform rejection up front
             tasks = [
                 self._call(
-                    i, "search_streamed", query, None,
+                    i, "search_streamed", query, None, self._tier(),
                     timeout=self.shard_timeout_s,
                 )
                 for i in range(self.nshards)
@@ -876,7 +905,9 @@ class AsyncShardGateway:
             # prefetch exactly what it will fetch (raw keys — vocabulary
             # lookup owns normalization).
             terms = [w for w, weight in weights.items() if weight != 0.0]
-            fetch, counter = await self._scatter_words(terms)
+            fetch, counter = await self._scatter_words(
+                terms, tier=self._tier()
+            )
             ranked = vector_query.rank(weights, fetch, ndocs, top_k=top_k)
             return ranked, counter[0]
 
@@ -954,6 +985,7 @@ class GatewayService:
     def __init__(self, *args, **kwargs) -> None:
         self.gateway = AsyncShardGateway(*args, **kwargs)
         self.shards = self.gateway.nshards
+        self.read_tier = self.gateway.read_tier
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="gateway-loop", daemon=True
@@ -1039,6 +1071,9 @@ class GatewayService:
         workers = self._run(self.gateway.worker_stats())
         merged = self.gateway.stats.as_dict()
         merged["workers"] = workers
+        merged["read_tier"] = self.read_tier
+        if self.read_tier == "immediate":
+            merged["mem_epochs"] = list(self.gateway.snapshot().mem_epochs)
         for key in (
             "publishes",
             "cow_publishes",

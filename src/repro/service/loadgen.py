@@ -138,6 +138,17 @@ class LoadConfig:
     arrival_rate_qps: float = 500.0
     #: Open-loop total scheduled arrivals.
     arrival_queries: int = 2000
+    #: "snapshot" serves published boundaries only; "immediate" merges
+    #: the memory tier in so ingested documents are visible pre-flush.
+    read_tier: str = "snapshot"
+    #: Drain the memory tier with a background merge thread instead of
+    #: the writer's per-cycle flush (immediate tier, in-process only).
+    background_merge: bool = False
+    #: Per-cycle ingest-to-first-hit probes (one extra document per
+    #: cycle).  None probes only when ``read_tier == "immediate"``;
+    #: True forces probing (how the snapshot arm of BENCH_memtier
+    #: measures its flush-cycle visibility floor); False disables.
+    visibility_probes: bool | None = None
 
     def __post_init__(self) -> None:
         if self.readers <= 0 or self.flush_cycles <= 0:
@@ -170,6 +181,33 @@ class LoadConfig:
                 "gateway mode injects crashes per worker via fault "
                 "plans (see the chaos battery), not crash_every"
             )
+        if self.read_tier not in ("snapshot", "immediate"):
+            raise ValueError(
+                "read_tier must be 'snapshot' or 'immediate'"
+            )
+        if self.read_tier == "immediate" and self.verify:
+            raise ValueError(
+                "immediate-tier answers reflect the live memory tier, "
+                "not a pinned reference snapshot; set verify=False "
+                "(mid-buffer differential probes against the "
+                "brute-force mirror cover correctness)"
+            )
+        if self.read_tier == "immediate" and self.crash_every:
+            raise ValueError(
+                "crash recovery rebuilds the writer from durable "
+                "state, not the memory tier; use transient_rate for "
+                "immediate-tier fault injection"
+            )
+        if self.background_merge:
+            if self.read_tier != "immediate":
+                raise ValueError(
+                    "background_merge requires read_tier='immediate'"
+                )
+            if self.gateway:
+                raise ValueError(
+                    "background_merge drives the in-process "
+                    "BackgroundMerger; gateway workers merge on flush"
+                )
 
     @property
     def injects_faults(self) -> bool:
@@ -248,6 +286,10 @@ class ServingReport:
     buffer_cache: dict = field(default_factory=dict)
     open_loop: dict = field(default_factory=dict)
     gateway: dict = field(default_factory=dict)
+    #: Time-to-visibility probe digest (seconds from ingest to first hit).
+    visibility: dict = field(default_factory=dict)
+    #: Memory-tier counters (immediate tier only).
+    memtier: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -264,6 +306,8 @@ class ServingReport:
             "divergence_examples": self.divergence_examples[:5],
             "open_loop": self.open_loop,
             "gateway": self.gateway,
+            "visibility": self.visibility,
+            "memtier": self.memtier,
         }
 
     def write_json(self, path) -> None:
@@ -319,6 +363,7 @@ class LoadGenerator:
                 checkpoint_every=self.config.checkpoint_every,
                 check_invariants=self.config.check_invariants,
                 buffer_cache_blocks=self.config.buffer_cache_blocks,
+                read_tier=self.config.read_tier,
             )
         else:
             self.service = QueryService(
@@ -332,15 +377,20 @@ class LoadGenerator:
                 router_seed=self.config.router_seed,
                 flush_jobs=self.config.flush_jobs,
                 flush_executor=self.config.flush_executor,
+                read_tier=self.config.read_tier,
             )
         self._words = [
             _word_name(i) for i in range(1, self.config.vocabulary + 1)
         ]
-        # Parent-side mirror for gateway differential probes: gateway
-        # workers cannot hand the parent a clone oracle, so the probes
-        # compare against a brute-force model of everything ingested.
+        # Parent-side mirror for mirror-based differential probes:
+        # gateway workers cannot hand the parent a clone oracle, and
+        # immediate-tier answers are defined over *everything ingested*
+        # (no batch boundary to clone at) — both compare against a
+        # brute-force model of every ingested operation instead.
         self._mirror = None
-        if self.config.gateway and self.config.differential:
+        if self.config.differential and (
+            self.config.gateway or self.config.read_tier == "immediate"
+        ):
             from ..query.reference import BruteForceIndex
 
             self._mirror = BruteForceIndex()
@@ -600,13 +650,18 @@ class LoadGenerator:
                     f"served {got!r}, oracle {want!r}"
                 )
 
-    def _differential_check_gateway(
+    def _differential_check_mirror(
         self, cycle: int, divergences: list[str]
     ) -> None:
-        """Gateway-mode differential: probe the published boundary
-        against the parent-side brute-force mirror of every ingested
-        operation.  Runs on the writer thread right after a flush, so
-        the mirror and the workers' published snapshots coincide."""
+        """Mirror-based differential: probe served answers against the
+        parent-side brute-force mirror of every ingested operation.
+
+        Two callers share it.  Gateway snapshot mode runs it on the
+        writer thread right after a flush, so the mirror and the
+        workers' published snapshots coincide.  Immediate mode runs it
+        *mid-buffer*, before any flush — served answers are defined
+        over everything ingested, so they must match the mirror even
+        while documents sit unpublished in the memory tier."""
         snapshot = self.service.snapshot()
         mirror = self._mirror
         rng = random.Random(self.config.seed * 104729 + cycle)
@@ -693,10 +748,41 @@ class LoadGenerator:
         deleted = 0
         differential_divergences: list[str] = []
         differential_checks = 0
+        visibility = LatencyRecorder()
+        visibility_misses = 0
+        probing = (
+            cfg.visibility_probes
+            if cfg.visibility_probes is not None
+            else cfg.read_tier == "immediate"
+        )
+        merger = None
+        if cfg.background_merge:
+            from .server import BackgroundMerger
+
+            merger = BackgroundMerger(
+                self.service, min_buffered=cfg.docs_per_batch
+            ).start()
         for thread in threads:
             thread.start()
         try:
             for cycle in range(cfg.flush_cycles):
+                # Time-to-visibility probe: one document carrying a
+                # unique word, ingested at the top of the cycle and
+                # timed until a query first returns it.  The immediate
+                # tier answers right away; the snapshot tier cannot
+                # answer before this cycle's publish — its floor is the
+                # rest of the flush cycle (ingest + flush + publish).
+                probe_seen = None
+                if probing:
+                    probe_word = "probe" + _word_name(cycle + 1)
+                    probe_t0 = time.perf_counter()
+                    probe_id = self.service.add_document(probe_word)
+                    if self._mirror is not None:
+                        self._mirror.add_document(probe_id, [probe_word])
+                    if cfg.read_tier == "immediate":
+                        got = self.service.search_streamed(probe_word)
+                        if probe_id in got.doc_ids:
+                            probe_seen = time.perf_counter() - probe_t0
                 for _ in range(cfg.docs_per_batch):
                     text = self._document(writer_rng)
                     doc_id = self.service.add_document(text)
@@ -712,15 +798,23 @@ class LoadGenerator:
                         if self._mirror is not None:
                             self._mirror.delete_document(victim)
                         deleted += 1
-                crashing = self._maybe_crash_plan(cycle)
-                try:
-                    self.service.flush_and_publish()
-                finally:
-                    if crashing:
-                        faults.uninstall()
-                if cfg.differential:
+                if cfg.differential and cfg.read_tier == "immediate":
+                    # Mid-buffer: nothing flushed yet this cycle, but
+                    # served answers must already include everything.
+                    self._differential_check_mirror(
+                        cycle, differential_divergences
+                    )
+                    differential_checks += 1
+                if not cfg.background_merge:
+                    crashing = self._maybe_crash_plan(cycle)
+                    try:
+                        self.service.flush_and_publish()
+                    finally:
+                        if crashing:
+                            faults.uninstall()
+                if cfg.differential and cfg.read_tier != "immediate":
                     if cfg.gateway:
-                        self._differential_check_gateway(
+                        self._differential_check_mirror(
                             cycle, differential_divergences
                         )
                     else:
@@ -728,9 +822,21 @@ class LoadGenerator:
                             cycle, differential_divergences
                         )
                     differential_checks += 1
+                if probing and probe_seen is None:
+                    got = self.service.search_streamed(probe_word)
+                    if probe_id in got.doc_ids:
+                        probe_seen = time.perf_counter() - probe_t0
+                if probe_seen is not None:
+                    visibility.record(probe_seen)
+                elif probing:
+                    # Legitimate under crash plans (the batch republishes
+                    # on a later cycle); counted, not failed.
+                    visibility_misses += 1
                 if cfg.pace_s:
                     time.sleep(cfg.pace_s)
         finally:
+            if merger is not None:
+                merger.stop()
             stop.set()
             # Open-loop readers exit when the schedule drains (they must
             # serve every scheduled arrival, writer done or not).
@@ -772,6 +878,16 @@ class LoadGenerator:
                 if arrivals
                 else 0.0,
             }
+        visibility_report = {
+            "tier": cfg.read_tier,
+            "misses": visibility_misses,
+            **visibility.summary(),
+        }
+        memtier_report: dict = {}
+        if cfg.read_tier == "immediate" and not cfg.gateway:
+            memtier_report = self.service.memtier_stats()
+            if merger is not None:
+                memtier_report["merger"] = merger.stats()
         gateway_stats: dict = {}
         buffer_cache: dict = {}
         if cfg.gateway:
@@ -807,6 +923,8 @@ class LoadGenerator:
                 "arrival_queries": cfg.arrival_queries,
                 "queue_limit": cfg.queue_limit,
                 "shard_timeout_s": cfg.shard_timeout_s,
+                "read_tier": cfg.read_tier,
+                "background_merge": cfg.background_merge,
             },
             wall_seconds=wall,
             queries=overall.count,
@@ -820,4 +938,6 @@ class LoadGenerator:
             buffer_cache=buffer_cache,
             open_loop=open_loop,
             gateway=gateway_stats,
+            visibility=visibility_report,
+            memtier=memtier_report,
         )

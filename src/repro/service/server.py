@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from ..core.checkpoint import CheckpointError
 from ..core.index import BatchResult, IndexConfig
 from ..core.invariants import InvariantError
+from ..core.memtier import MemTier
 from ..core.shard import IndexShard
 from ..core.sharded import build_text_index
 from ..pipeline.profiling import (
@@ -45,6 +46,7 @@ from ..pipeline.profiling import (
     LatencyRecorder,
     StageTimings,
 )
+from ..query import twotier
 from ..query.reference import BruteForceIndex
 from ..query.vector import ScoredDocument
 from ..storage.faults import InjectedCrash, TransientIOError
@@ -152,6 +154,10 @@ class QueryService:
         router_seed: int = 0,
         flush_jobs: int = 1,
         flush_executor: str = "thread",
+        read_tier: str = "snapshot",
+        mem_codec: str = "delta",
+        mem_seal_docs: int = 256,
+        mem_seal_postings: int = 8192,
     ) -> None:
         if max_flush_retries < 0:
             raise ValueError("max_flush_retries must be >= 0")
@@ -163,6 +169,8 @@ class QueryService:
             raise ValueError("shards must be >= 1")
         if flush_jobs < 1:
             raise ValueError("flush_jobs must be >= 1")
+        if read_tier not in ("snapshot", "immediate"):
+            raise ValueError("read_tier must be 'snapshot' or 'immediate'")
         self._writer: IndexShard = build_text_index(
             config,
             tokenizer_config=tokenizer_config,
@@ -193,6 +201,19 @@ class QueryService:
         self._snapshot = self._finish_publish(
             self._build_snapshot(snapshot_id=0), cow=False
         )
+        # The immediate-access memory tier (DESIGN.md §14): a queryable
+        # compressed write buffer mirroring the writer's pending batch,
+        # rebased onto each published snapshot.  Built only when the
+        # service serves the immediate tier.
+        self.read_tier = read_tier
+        self._memtier: MemTier | None = None
+        if read_tier == "immediate":
+            self._memtier = MemTier(
+                codec=mem_codec,
+                seal_docs=mem_seal_docs,
+                seal_postings=mem_seal_postings,
+                base=self._snapshot,
+            )
 
     # -- writer API --------------------------------------------------------
 
@@ -212,6 +233,15 @@ class QueryService:
         with self._writer_lock:
             with self.timings.stage("serve.ingest"):
                 doc_id = self._writer.add_document(text)
+                if self._memtier is not None:
+                    # Immediate visibility: the buffered postings serve
+                    # reads the moment this returns (readers never see a
+                    # partially inserted document — the tier's visibility
+                    # watermark advances last).
+                    self._memtier.add_document(
+                        doc_id,
+                        tokenize_document(text, self._tokenizer_config),
+                    )
                 if self._reference is not None:
                     self._reference.add_document(
                         doc_id,
@@ -221,9 +251,12 @@ class QueryService:
             return doc_id
 
     def delete_document(self, doc_id: int) -> None:
-        """Delete a document; visible to readers at the next publish."""
+        """Delete a document; visible to readers at the next publish
+        (immediately, as a tombstone, when serving the immediate tier)."""
         with self._writer_lock:
             self._writer.delete_document(doc_id)
+            if self._memtier is not None:
+                self._memtier.delete_document(doc_id)
             if self._reference is not None:
                 self._reference.delete_document(doc_id)
             self.stats.documents_deleted += 1
@@ -402,6 +435,14 @@ class QueryService:
         # The swap is a single reference assignment (atomic under the
         # interpreter); readers holding the old snapshot finish on it.
         self._snapshot = snapshot
+        if self._memtier is not None:
+            # Rebase the memory tier onto the new snapshot: buffered
+            # postings the flush absorbed are pruned, anything the writer
+            # buffered after this batch boundary survives.  Old views
+            # remain content-equivalent (old base + buffer == new base +
+            # pruned buffer), so in-flight immediate readers are safe.
+            self._memtier.rebase(snapshot)
+            snapshot.mem_epoch = self._memtier.epoch
         self.stats.publishes += 1
         if cow:
             self.stats.cow_publishes += 1
@@ -415,20 +456,72 @@ class QueryService:
         """The currently published snapshot (atomic reference read)."""
         return self._snapshot
 
+    @property
+    def memtier(self) -> MemTier | None:
+        """The immediate-access memory tier (None on snapshot-only
+        services)."""
+        return self._memtier
+
+    def memtier_stats(self) -> dict | None:
+        """The memory tier's counters, or None when not serving it."""
+        return self._memtier.stats() if self._memtier is not None else None
+
     def _count_query(self, kind: str) -> None:
         with self._stats_lock:
             self.stats.queries[kind] = self.stats.queries.get(kind, 0) + 1
 
+    def _resolve_tier(self, tier: str | None) -> str:
+        tier = tier or self.read_tier
+        if tier not in ("snapshot", "immediate"):
+            raise ValueError("tier must be 'snapshot' or 'immediate'")
+        if tier == "immediate" and self._memtier is None:
+            raise ValueError(
+                "immediate tier requested but the service was built with "
+                "read_tier='snapshot'"
+            )
+        return tier
+
     def search_boolean(
-        self, query: str, snapshot: IndexSnapshot | None = None
+        self,
+        query: str,
+        snapshot: IndexSnapshot | None = None,
+        tier: str | None = None,
     ) -> QueryAnswer:
         """Serve a boolean query from the current snapshot (cached).
 
         Pass ``snapshot`` to pin evaluation to a snapshot the caller
         already holds (stress tests verify the answer against that exact
-        snapshot's reference model).
+        snapshot's reference model).  ``tier`` overrides the service's
+        ``read_tier`` per call; the immediate tier always evaluates
+        against the live buffer's base and ignores a snapshot pin.
         """
         self._count_query("boolean")
+        if self._resolve_tier(tier) == "immediate":
+            view = self._memtier.view()
+            base = view.base
+            key = ("imm-boolean", query)
+            cached = self.cache.get(
+                key,
+                base.snapshot_id,
+                base.shard_versions,
+                epoch=view.epoch,
+                epoch_clean=self._memtier.clean_since,
+            )
+            if cached is not None:
+                doc_ids, read_ops = cached
+                return QueryAnswer(doc_ids=list(doc_ids), read_ops=read_ops)
+            answer = twotier.search_boolean(view, query)
+            terms, universe_sensitive = _boolean_terms(query)
+            self.cache.put(
+                key,
+                (tuple(answer.doc_ids), answer.read_ops),
+                base.snapshot_id,
+                terms=terms,
+                universe_sensitive=universe_sensitive,
+                versions=base.shard_versions,
+                epoch=view.epoch,
+            )
+            return answer
         snapshot = snapshot or self._snapshot
         key = ("boolean", query)
         cached = self.cache.get(
@@ -450,10 +543,37 @@ class QueryService:
         return answer
 
     def search_streamed(
-        self, query: str, snapshot: IndexSnapshot | None = None
+        self,
+        query: str,
+        snapshot: IndexSnapshot | None = None,
+        tier: str | None = None,
     ) -> QueryAnswer:
         """Serve a flat AND/OR query from the current snapshot (cached)."""
         self._count_query("streamed")
+        if self._resolve_tier(tier) == "immediate":
+            view = self._memtier.view()
+            base = view.base
+            key = ("imm-streamed", query)
+            cached = self.cache.get(
+                key,
+                base.snapshot_id,
+                base.shard_versions,
+                epoch=view.epoch,
+                epoch_clean=self._memtier.clean_since,
+            )
+            if cached is not None:
+                doc_ids, read_ops = cached
+                return QueryAnswer(doc_ids=list(doc_ids), read_ops=read_ops)
+            answer = twotier.search_streamed(view, query)
+            self.cache.put(
+                key,
+                (tuple(answer.doc_ids), answer.read_ops),
+                base.snapshot_id,
+                terms=_streamed_terms(query),
+                versions=base.shard_versions,
+                epoch=view.epoch,
+            )
+            return answer
         snapshot = snapshot or self._snapshot
         key = ("streamed", query)
         cached = self.cache.get(
@@ -477,11 +597,39 @@ class QueryService:
         weights: dict[str, float],
         top_k: int = 10,
         snapshot: IndexSnapshot | None = None,
+        tier: str | None = None,
     ) -> list[ScoredDocument]:
         """Serve a ranked vector query from the current snapshot (cached)."""
         self._count_query("vector")
+        query_key = (tuple(sorted(weights.items())), top_k)
+        if self._resolve_tier(tier) == "immediate":
+            view = self._memtier.view()
+            base = view.base
+            key = ("imm-vector", query_key)
+            cached = self.cache.get(
+                key,
+                base.snapshot_id,
+                base.shard_versions,
+                epoch=view.epoch,
+                epoch_clean=self._memtier.clean_since,
+            )
+            if cached is not None:
+                return list(cached)
+            ranked, _ = twotier.search_vector_counted(
+                view, weights, top_k=top_k
+            )
+            self.cache.put(
+                key,
+                tuple(ranked),
+                base.snapshot_id,
+                terms=frozenset(w.lower() for w in weights),
+                universe_sensitive=True,
+                versions=base.shard_versions,
+                epoch=view.epoch,
+            )
+            return ranked
         snapshot = snapshot or self._snapshot
-        key = ("vector", (tuple(sorted(weights.items())), top_k))
+        key = ("vector", query_key)
         cached = self.cache.get(
             key, snapshot.snapshot_id, snapshot.shard_versions
         )
@@ -498,3 +646,94 @@ class QueryService:
             versions=snapshot.shard_versions,
         )
         return ranked
+
+
+class BackgroundMerger:
+    """Drains the memory tier through the normal flush/publish path.
+
+    A daemon thread that watches the service's memory tier and calls
+    :meth:`QueryService.flush_and_publish` whenever enough work has
+    accumulated (``min_sealed`` sealed segments, or ``min_buffered``
+    buffered documents).  The merge is the *existing* flush: it takes the
+    writer lock, so ingest briefly queues behind a merge, but readers
+    never block — they keep serving the memory tier's view throughout,
+    and the publish-then-rebase sequence keeps immediate answers
+    invariant across the boundary (DESIGN.md §14).
+
+    Flush failures under fault injection are counted and retried on the
+    next tick — the service's own recovery machinery already replays the
+    batch, so a failed merge leaves the tier intact and merely defers
+    visibility compaction.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        *,
+        interval: float = 0.02,
+        min_sealed: int = 1,
+        min_buffered: int | None = None,
+    ) -> None:
+        if service.memtier is None:
+            raise ValueError(
+                "background merge requires a service with "
+                "read_tier='immediate'"
+            )
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self.service = service
+        self.interval = interval
+        self.min_sealed = min_sealed
+        self.min_buffered = min_buffered
+        self.merges = 0
+        self.errors = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _due(self) -> bool:
+        view = self.service.memtier.view()
+        if view.is_empty():
+            return False
+        if len(view.sealed) >= self.min_sealed:
+            return True
+        if (
+            self.min_buffered is not None
+            and view.buffered_docs >= self.min_buffered
+        ):
+            return True
+        # Tombstones have no segment of their own; drain them too.
+        return bool(view.tombstones)
+
+    def _merge_once(self) -> bool:
+        try:
+            self.service.flush_and_publish()
+            self.merges += 1
+            return True
+        except Exception:
+            self.errors += 1
+            return False
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            if self._due():
+                self._merge_once()
+            self._stop.wait(self.interval)
+
+    def start(self) -> "BackgroundMerger":
+        self._thread = threading.Thread(
+            target=self._run, name="memtier-merger", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the merge loop; with ``drain`` flush whatever remains."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if drain and not self.service.memtier.view().is_empty():
+            self._merge_once()
+
+    def stats(self) -> dict:
+        return {"merges": self.merges, "errors": self.errors}

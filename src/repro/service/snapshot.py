@@ -60,6 +60,12 @@ class IndexSnapshot:
         self.shard_versions = index.shard_versions
         self.ndocs = index.ndocs
         self.reference = reference
+        # The memory-tier epoch at publish time (0 when the service runs
+        # snapshot-tier only).  Stamped by the publisher after rebasing
+        # the write buffer onto this snapshot; immediate-tier cache
+        # entries validate against the live epoch relative to this
+        # boundary (DESIGN.md §14).
+        self.mem_epoch = 0
 
     @classmethod
     def publish_from(
@@ -92,6 +98,12 @@ class IndexSnapshot:
         return cls(clone, snapshot_id, reference=reference)
 
     # -- retrieval (thread-safe: no shared accounting) --------------------
+
+    def fetch_postings(self, word: str) -> tuple[list[int], int]:
+        """One word's live doc ids plus read ops (the two-tier base
+        fetch primitive — :mod:`repro.query.twotier` merges buffered
+        postings on top of exactly this)."""
+        return self.index.fetch_postings(word)
 
     def search_boolean(self, query: str) -> QueryAnswer:
         """Evaluate a boolean query against this snapshot."""

@@ -40,8 +40,11 @@ from dataclasses import dataclass, field
 from ..core.checkpoint import CheckpointError
 from ..core.index import IndexConfig
 from ..core.invariants import InvariantError
+from ..core.memtier import MemTier
+from ..query import twotier
 from ..storage import faults
 from ..storage.faults import FaultPlan, InjectedCrash, TransientIOError
+from ..text.tokenizer import tokenize_document
 from ..textindex import TextDocumentIndex
 from . import wire
 
@@ -68,6 +71,9 @@ class WorkerSpec:
     #: Decoded-chunk buffer cache blocks per publish (0 = no cache).
     buffer_cache_blocks: int = 0
     max_frame: int = wire.DEFAULT_MAX_FRAME
+    #: "immediate" keeps a per-worker memory tier mirroring the pending
+    #: batch so the gateway can serve reads before the next flush.
+    read_tier: str = "snapshot"
 
     def respawn_spec(self) -> "WorkerSpec":
         """The spec a failover respawn uses: same volume shape, no fault
@@ -85,6 +91,7 @@ class WorkerSpec:
             max_flush_retries=self.max_flush_retries,
             buffer_cache_blocks=self.buffer_cache_blocks,
             max_frame=self.max_frame,
+            read_tier=self.read_tier,
         )
 
 
@@ -101,6 +108,9 @@ class FlushOutcome:
     recoveries: int = 0
     publish_seconds: float = 0.0
     checkpoint: bytes | None = None
+    #: The shard's memory-tier epoch after the post-flush rebase (0 when
+    #: the worker serves the snapshot tier only).
+    mem_epoch: int = 0
 
 
 @dataclass
@@ -139,6 +149,8 @@ class ShardWorker:
     def __init__(self, spec: WorkerSpec) -> None:
         if spec.publish_mode not in ("clone", "cow"):
             raise ValueError("publish_mode must be 'clone' or 'cow'")
+        if spec.read_tier not in ("snapshot", "immediate"):
+            raise ValueError("read_tier must be 'snapshot' or 'immediate'")
         self.spec = spec
         if spec.restore is not None:
             self.writer = TextDocumentIndex.load(io.BytesIO(spec.restore))
@@ -163,16 +175,34 @@ class ShardWorker:
         self._buffer_counters = None
         if spec.buffer_cache_blocks:
             self.attach_buffer_cache(spec.buffer_cache_blocks)
+        # The immediate-access memory tier mirrors the writer's pending
+        # batch against the published snapshot.  Doc ids are *global*
+        # (the gateway's router hands each shard an increasing
+        # subsequence), but the two-tier partition invariant holds per
+        # shard all the same: the published snapshot's ndocs is a global
+        # id watermark, and everything this shard buffers sits above it.
+        # A respawned worker rebuilds the tier naturally from the op-log
+        # replay the gateway drives through add/delete.
+        self.memtier: MemTier | None = None
+        if spec.read_tier == "immediate":
+            self.memtier = MemTier(base=self._published)
 
     # -- ingest -----------------------------------------------------------
 
     def add_document(self, text: str, doc_id: int | None = None) -> int:
         self._dirty_since_publish = True
-        return self.writer.add_document(text, doc_id=doc_id)
+        doc_id = self.writer.add_document(text, doc_id=doc_id)
+        if self.memtier is not None:
+            self.memtier.add_document(
+                doc_id, tokenize_document(text, self.spec.tokenizer_config)
+            )
+        return doc_id
 
     def delete_document(self, doc_id: int) -> None:
         self._dirty_since_publish = True
         self.writer.delete_document(doc_id)
+        if self.memtier is not None:
+            self.memtier.delete_document(doc_id)
 
     # -- flush + publish --------------------------------------------------
 
@@ -242,6 +272,11 @@ class ShardWorker:
         if journal is not None:
             journal.clear()
         self._published = snapshot
+        if self.memtier is not None:
+            # Drop the buffered postings the flush just absorbed; the
+            # single-threaded worker has no concurrent readers, but the
+            # rebase keeps the tier's answers invariant regardless.
+            self.memtier.rebase(snapshot)
         self._snapshot_version += 1
         self._dirty_since_publish = False
         self.stats.publishes += 1
@@ -266,6 +301,7 @@ class ShardWorker:
                 version=self.writer.batches,
                 snapshot_version=self._snapshot_version,
                 ndocs=self.writer.ndocs,
+                mem_epoch=self._mem_epoch(),
             )
         result = None
         recoveries = 0
@@ -285,7 +321,11 @@ class ShardWorker:
             recoveries=recoveries,
             publish_seconds=publish_seconds,
             checkpoint=checkpoint,
+            mem_epoch=self._mem_epoch(),
         )
+
+    def _mem_epoch(self) -> int:
+        return self.memtier.epoch if self.memtier is not None else 0
 
     def checkpoint(self) -> bytes:
         """The writer serialized at its current batch boundary."""
@@ -325,18 +365,43 @@ class ShardWorker:
 
     # -- retrieval (published snapshot) -----------------------------------
 
+    def _immediate_view(self):
+        if self.memtier is None:
+            raise ValueError(
+                f"shard {self.spec.shard_id} was built with "
+                "read_tier='snapshot'"
+            )
+        return self.memtier.view()
+
     def fetch_postings(
-        self, word: str, snapshot_id: int | None = None
+        self,
+        word: str,
+        snapshot_id: int | None = None,
+        tier: str | None = None,
     ) -> tuple[list[int], int]:
         self.stats.queries += 1
+        if tier == "immediate":
+            return twotier.fetch_postings(self._immediate_view(), word)
         return self._snapshot_for(snapshot_id).fetch_postings(word)
 
     def search_boolean(self, query: str, snapshot_id: int | None = None):
         self.stats.queries += 1
         return self._snapshot_for(snapshot_id).search_boolean(query)
 
-    def search_streamed(self, query: str, snapshot_id: int | None = None):
+    def search_streamed(
+        self,
+        query: str,
+        snapshot_id: int | None = None,
+        tier: str | None = None,
+    ):
+        """Per-shard flat AND/OR evaluation (every document lives wholly
+        on one shard, so the gateway may union shard answers).  The
+        immediate tier merges buffered postings over the published
+        snapshot; ``NOT``-free queries need no global universe, which is
+        why boolean and vector stay gateway-evaluated."""
         self.stats.queries += 1
+        if tier == "immediate":
+            return twotier.search_streamed(self._immediate_view(), query)
         return self._snapshot_for(snapshot_id).search_streamed(query)
 
     def search_vector(
@@ -370,6 +435,8 @@ class ShardWorker:
             "snapshot_version": self._snapshot_version,
             "published_ndocs": self._published.ndocs,
             "pins": sorted(self._pinned),
+            "read_tier": self.spec.read_tier,
+            "mem_epoch": self._mem_epoch(),
         }
 
     def dirty_terms(self) -> frozenset:

@@ -42,6 +42,84 @@ class TestDocuments:
         assert idx.npostings == 0
 
 
+class TestOrderedIterationCache:
+    def test_items_stay_sorted_as_words_arrive(self):
+        idx = InMemoryIndex()
+        idx.add_document(0, [9, 1, 5])
+        assert [w for w, _ in idx.items()] == [1, 5, 9]
+        # New words invalidate the cached order; appends to existing
+        # lists must not.
+        idx.add_document(1, [3, 9])
+        assert [w for w, _ in idx.items()] == [1, 3, 5, 9]
+        idx.add_document(2, [5, 1])
+        assert [w for w, _ in idx.items()] == [1, 3, 5, 9]
+        assert idx.get(5).doc_ids == [0, 2]
+
+    def test_append_only_batch_reuses_the_cached_order(self):
+        idx = InMemoryIndex()
+        idx.add_document(0, [2, 1])
+        list(idx.items())
+        cached = idx._sorted_words
+        assert cached == [1, 2]
+        idx.add_document(1, [1, 2])  # no new words
+        assert idx._sorted_words is cached
+        idx.add_document(2, [7])  # new word: stale
+        assert idx._sorted_words is None
+        assert [w for w, _ in idx.items()] == [1, 2, 7]
+
+    def test_items_by_bucket_matches_word_order_after_cache_reuse(self):
+        idx = InMemoryIndex()
+        for doc_id, words in enumerate([[4, 8, 15], [16, 23], [42, 4]]):
+            idx.add_document(doc_id, words)
+        grouped = [
+            word
+            for _, pairs in idx.items_by_bucket(lambda w: w, 3)
+            for word, _ in pairs
+        ]
+        assert sorted(grouped) == [w for w, _ in idx.items()]
+
+    def test_clear_resets_the_cache(self):
+        idx = InMemoryIndex()
+        idx.add_document(0, [3, 1])
+        list(idx.items())
+        idx.clear()
+        idx.add_document(0, [2])
+        assert [w for w, _ in idx.items()] == [2]
+
+
+class TestSnapshotRestore:
+    def test_restore_round_trips_contents(self):
+        idx = InMemoryIndex()
+        idx.add_document(0, [1, 2])
+        idx.add_document(1, [2, 3])
+        snap = idx.snapshot()
+        idx.add_document(2, [4])
+        idx.restore(snap)
+        assert idx.ndocs == 2
+        assert idx.npostings == 4
+        assert idx.get(4) is None
+        assert [w for w, _ in idx.items()] == [1, 2, 3]
+
+    def test_snapshot_payloads_are_independent_of_the_live_index(self):
+        idx = InMemoryIndex()
+        idx.add_document(0, [1])
+        snap = idx.snapshot()
+        idx.add_document(1, [1])  # mutates the live payload in place
+        assert idx.get(1).doc_ids == [0, 1]
+        idx.restore(snap)
+        assert idx.get(1).doc_ids == [0]
+
+    def test_restore_moves_payloads_without_recopying(self):
+        idx = InMemoryIndex()
+        idx.add_document(0, [1])
+        snap = idx.snapshot()
+        idx.clear()
+        idx.restore(snap)
+        # Move semantics: the restored payload IS the snapshot's object
+        # (the docstring's consumed-once contract).
+        assert idx.get(1) is snap[0][0][1]
+
+
 class TestCounts:
     def test_add_counts(self):
         idx = InMemoryIndex()

@@ -1,0 +1,207 @@
+"""Unit tests for the immediate-access memory tier (DESIGN.md §14)."""
+
+import threading
+
+import pytest
+
+from repro.core.compression import CODECS
+from repro.core.memtier import ActiveSegment, MemTier, SealedSegment
+
+
+class _Base:
+    """A stand-in disk snapshot: the tier only reads ``ndocs``."""
+
+    def __init__(self, ndocs: int) -> None:
+        self.ndocs = ndocs
+
+
+class TestSealedSegment:
+    def test_round_trips_every_codec(self):
+        lists = {"wa": [0, 3, 7], "wb": [3], "wc": [0, 1, 2, 3]}
+        for codec in CODECS:
+            segment = SealedSegment(lists, ndocs=4, codec=codec)
+            for term, docs in lists.items():
+                assert segment.postings(term) == docs, codec
+            assert segment.postings("missing") == []
+            assert segment.npostings == 8
+            assert segment.min_doc == 0
+            assert segment.max_doc == 7
+
+    def test_contains_and_terms(self):
+        segment = SealedSegment({"wa": [1]}, ndocs=1, codec="delta")
+        assert "wa" in segment
+        assert "wb" not in segment
+        assert set(segment.terms()) == {"wa"}
+
+
+class TestActiveSegment:
+    def test_watermark_slices_out_unpublished_tail(self):
+        active = ActiveSegment()
+        active.add(0, ["wa", "wb"])
+        active.add(1, ["wa"])
+        active.add(5, ["wa", "wc"])
+        assert active.postings_upto("wa", 1) == [0, 1]
+        assert active.postings_upto("wa", 4) == [0, 1]
+        assert active.postings_upto("wa", 5) == [0, 1, 5]
+        assert active.postings_upto("wc", 1) == []
+        assert active.postings_upto("missing", 99) == []
+
+
+class TestMemTier:
+    def test_add_is_immediately_visible(self):
+        tier = MemTier()
+        tier.add_document(0, ["Alpha", "beta", "alpha"])
+        view = tier.view()
+        assert view.postings("alpha") == [0]  # lowercased, deduped
+        assert view.postings("beta") == [0]
+        assert view.ndocs == 1
+        assert view.buffered_docs == 1
+
+    def test_doc_ids_must_ascend_past_the_watermark(self):
+        tier = MemTier(base=_Base(ndocs=5))
+        with pytest.raises(ValueError):
+            tier.add_document(4, ["wa"])  # already covered by the base
+        tier.add_document(5, ["wa"])
+        with pytest.raises(ValueError):
+            tier.add_document(5, ["wb"])
+
+    def test_seal_rotates_at_doc_threshold(self):
+        tier = MemTier(seal_docs=2)
+        tier.add_document(0, ["wa"])
+        assert tier.stats()["sealed_segments"] == 0
+        tier.add_document(1, ["wa", "wb"])
+        stats = tier.stats()
+        assert stats["sealed_segments"] == 1
+        assert stats["active_docs"] == 0
+        assert stats["seals"] == 1
+        # Sealed postings still answer, merged with later active ones.
+        tier.add_document(2, ["wa"])
+        assert tier.view().postings("wa") == [0, 1, 2]
+
+    def test_seal_rotates_at_posting_threshold(self):
+        tier = MemTier(seal_docs=1000, seal_postings=3)
+        tier.add_document(0, ["wa", "wb"])
+        assert tier.stats()["sealed_segments"] == 0
+        tier.add_document(1, ["wc"])
+        assert tier.stats()["sealed_segments"] == 1
+
+    def test_tombstones_ride_the_view_unfiltered(self):
+        tier = MemTier()
+        tier.add_document(0, ["wa"])
+        tier.delete_document(0)
+        view = tier.view()
+        # The merge layer filters; the tier just records.
+        assert view.postings("wa") == [0]
+        assert view.tombstones == frozenset({0})
+
+    def test_old_views_survive_later_mutations(self):
+        tier = MemTier(seal_docs=2)
+        tier.add_document(0, ["wa"])
+        old = tier.view()
+        tier.add_document(1, ["wa"])  # triggers a seal
+        tier.add_document(2, ["wa"])
+        tier.delete_document(0)
+        assert old.postings("wa") == [0]
+        assert old.tombstones == frozenset()
+        assert tier.view().postings("wa") == [0, 1, 2]
+
+    def test_rebase_drops_covered_and_keeps_the_rest(self):
+        tier = MemTier(seal_docs=2)
+        for doc_id in range(4):
+            tier.add_document(doc_id, ["wa"])
+        tier.delete_document(1)
+        tier.delete_document(3)
+        # The publish covered ids [0, 3); id 3 and its tombstone survive.
+        tier.rebase(_Base(ndocs=3))
+        view = tier.view()
+        assert view.postings("wa") == [3]
+        assert view.tombstones == frozenset({3})
+        assert view.base_ndocs == 3
+        assert view.ndocs == 4
+        assert tier.stats()["rebases"] == 1
+        # A full publish drains everything.
+        tier.rebase(_Base(ndocs=4))
+        view = tier.view()
+        assert view.postings("wa") == []
+        assert view.tombstones == frozenset()
+        assert view.is_empty()
+
+    def test_rebase_preserves_old_view_contents(self):
+        tier = MemTier()
+        tier.add_document(0, ["wa"])
+        tier.add_document(1, ["wb"])
+        old = tier.view()
+        tier.rebase(_Base(ndocs=2))
+        # The old view still answers from the retired structures.
+        assert old.postings("wa") == [0]
+        assert old.postings("wb") == [1]
+
+    def test_epoch_ledger_clean_since(self):
+        tier = MemTier()
+        tier.add_document(0, ["wa"])
+        e0 = tier.epoch
+        assert tier.clean_since(["wa"], e0, universe_sensitive=False)
+        assert tier.clean_since(["wb"], e0, universe_sensitive=False)
+
+        tier.add_document(1, ["wb"])
+        # wa untouched since e0; wb and the universe moved.
+        assert tier.clean_since(["wa"], e0, universe_sensitive=False)
+        assert not tier.clean_since(["wb"], e0, universe_sensitive=False)
+        assert not tier.clean_since(["wa"], e0, universe_sensitive=True)
+
+        e1 = tier.epoch
+        tier.delete_document(0)
+        # A deletion dirties every entry, terms regardless.
+        assert not tier.clean_since(["wz"], e1, universe_sensitive=False)
+
+    def test_rebase_resets_the_ledger(self):
+        tier = MemTier()
+        tier.add_document(0, ["wa"])
+        tier.delete_document(0)
+        tier.rebase(_Base(ndocs=1))
+        # Post-rebase the drained buffer is clean for any older epoch.
+        assert tier.clean_since(["wa"], 0, universe_sensitive=True)
+
+    def test_view_ndocs_tracks_the_merged_universe(self):
+        tier = MemTier(base=_Base(ndocs=10))
+        assert tier.view().ndocs == 10
+        assert tier.view().is_empty()
+        tier.add_document(12, ["wa"])  # sparse ids (sharded ingest)
+        view = tier.view()
+        assert view.ndocs == 13
+        assert view.buffered_docs == 3
+
+    def test_concurrent_readers_never_see_torn_state(self):
+        """Readers hammer view() while the writer ingests and seals; every
+        captured answer must be a prefix of the ingest stream."""
+        tier = MemTier(seal_docs=8)
+        ndocs = 300
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def read_loop():
+            while not stop.is_set():
+                view = tier.view()
+                docs = view.postings("wa")
+                if docs != list(range(len(docs))):
+                    errors.append(f"non-prefix answer {docs!r}")
+                    return
+
+        readers = [threading.Thread(target=read_loop) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        for doc_id in range(ndocs):
+            tier.add_document(doc_id, ["wa", f"w{chr(97 + doc_id % 7)}"])
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert not errors, errors[:3]
+        assert tier.view().postings("wa") == list(range(ndocs))
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            MemTier(codec="no-such-codec")
+        with pytest.raises(ValueError):
+            MemTier(seal_docs=0)
+        with pytest.raises(ValueError):
+            MemTier(seal_postings=0)
