@@ -35,7 +35,9 @@ Five subcommands cover the library's main entry points::
     repro serve-bench [--readers N] [--cycles N] [--docs-per-batch N]
                       [--publish-mode clone|cow] [--buffer-cache BLOCKS]
                       [--shards N] [--flush-jobs N] [--differential]
-                      [--gateway] [--read-tier snapshot|immediate]
+                      [--gateway] [--replicas K] [--rebuild-stagger on|off]
+                      [--grow-buckets] [--growth-threshold F]
+                      [--read-tier snapshot|immediate]
                       [--background-merge] [--arrival closed|open]
                       [--arrival-rate QPS] [--arrival-queries N]
                       [--queue-limit N] [--shard-timeout S]
@@ -387,6 +389,10 @@ def cmd_serve_bench(args) -> int:
         read_tier=args.read_tier,
         background_merge=args.background_merge,
         visibility_probes=True,
+        replicas=args.replicas,
+        rebuild_stagger=args.rebuild_stagger == "on",
+        grow_buckets=args.grow_buckets,
+        growth_threshold=args.growth_threshold,
     )
     report = LoadGenerator(config).run()
     overall = report.latency["overall"]
@@ -394,7 +400,10 @@ def cmd_serve_bench(args) -> int:
         f" across {args.shards} shards" if args.shards > 1 else ""
     )
     if args.gateway:
-        sharding += " (one worker process each)"
+        if args.replicas > 1:
+            sharding += f" ({args.replicas} worker processes each)"
+        else:
+            sharding += " (one worker process each)"
     print(
         f"served {report.queries} queries from {args.readers} readers over "
         f"{args.cycles} flush cycles{sharding} ({report.wall_seconds:.2f} s)"
@@ -454,6 +463,27 @@ def cmd_serve_bench(args) -> int:
             f"{gw['shed']} shed, "
             f"{gw['deadline_exceeded']} deadline misses"
         )
+        repl = gw.get("replication", {})
+        if repl.get("replicas", 1) > 1 or repl.get("rebuilds_started"):
+            print(
+                f"replication:      {repl['replicas']} replicas/shard, "
+                f"{repl['reads_served']} reads served "
+                f"({repl['read_failovers']} failed over, "
+                f"{repl['stale_discarded']} stale discarded, "
+                f"{repl['reads_waited_for_rebuild']} waited on rebuild), "
+                f"{repl['rebuilds_completed']}/"
+                f"{repl['rebuilds_started']} rebuilds done, "
+                f"{repl['checkpoints_deferred']} checkpoints deferred, "
+                f"{repl['replica_divergences']} divergences"
+            )
+        scheduler = repl.get("scheduler")
+        if scheduler and scheduler.get("granted"):
+            print(
+                f"rebuild sched:    {scheduler['granted']} growths "
+                f"granted over {scheduler['rounds']} rounds "
+                f"({scheduler['deferred']} deferred, "
+                f"{len(scheduler['pending'])} still queued)"
+            )
     else:
         print(
             f"writer:           {service['publishes']} snapshots published "
@@ -703,6 +733,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve through one worker process per shard behind the "
         "asyncio scatter-gather gateway (implies --no-verify; "
         "correctness comes from --differential boundary probes)",
+    )
+    p_serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="K",
+        help="worker processes per shard (requires --gateway when > 1); "
+        "reads load-balance across replicas and fail over when one "
+        "dies or lags the published version vector",
+    )
+    p_serve.add_argument(
+        "--rebuild-stagger",
+        choices=("on", "off"),
+        default="on",
+        help="serialize grow_buckets rebuilds so at most one shard "
+        "pays the rehash + full-clone publish spike per flush round "
+        "(gateway only; 'off' lets every shard grow the round its "
+        "occupancy trigger fires)",
+    )
+    p_serve.add_argument(
+        "--grow-buckets",
+        action="store_true",
+        help="build the volumes with bucket-space growth enabled "
+        "(paper §7's rebalancing strategy)",
+    )
+    p_serve.add_argument(
+        "--growth-threshold",
+        type=float,
+        default=0.75,
+        metavar="F",
+        help="bucket occupancy that triggers a growth round",
     )
     p_serve.add_argument(
         "--read-tier",

@@ -205,8 +205,12 @@ def _save(index: DualStructureIndex, fp: BinaryIO) -> None:
     faults.crash_point(CP_BEGIN_SAVE)
     fp.write(_MAGIC)
     fp.write(bytes([_VERSION]))
-    # configuration
-    _w_u32(fp, cfg.nbuckets)
+    # configuration — the bucket count is taken from the *live* manager,
+    # not the config: bucket growth enlarges the manager and re-syncs the
+    # config, but the manager is authoritative if they ever disagree (a
+    # checkpoint that under-counts buckets would rebuild a manager too
+    # small for the grown bucket ids and corrupt the restore).
+    _w_u32(fp, index.buckets.nbuckets)
     _w_u32(fp, cfg.bucket_size)
     _w_u32(fp, cfg.block_postings)
     _w_u32(fp, cfg.ndisks)

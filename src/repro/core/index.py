@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 import io
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..storage import faults
 from ..storage.diskarray import DiskArray, DiskArrayConfig
@@ -331,11 +331,8 @@ class DualStructureIndex:
             # Rebalance before the flush so the enlarged region is what
             # gets written ("expanded and written in a larger region").
             grew = self.grower.maybe_grow(self.buckets, batch=self._batches)
-            if grew is not None and self.delta is not None:
-                # Growth rehashes every resident word: the dirty set no
-                # longer bounds the divergence, so the next publish must
-                # fall back to a full clone.
-                self.delta.note_structure()
+            if grew is not None:
+                self._note_growth()
         faults.crash_point(CP_BEFORE_SHADOW_FLUSH)
         profile = self.array.profile
         self.flusher.flush(
@@ -370,6 +367,41 @@ class DualStructureIndex:
                 self.longlists.counters.in_place_updates - in_place_before
             ),
         )
+
+    def _note_growth(self) -> None:
+        """Record the consequences of a bucket-space expansion.
+
+        Growth rehashes every resident word, so the delta journal's dirty
+        set no longer bounds the divergence — the next publish must fall
+        back to a full clone.  The config is re-synced to the enlarged
+        manager (a *new* frozen instance; a config object shared across
+        shards is never mutated) so checkpoint serialization and the
+        clone fingerprint see the bucket count that is actually live.
+        """
+        if self.delta is not None:
+            self.delta.note_structure()
+        if self.config.nbuckets != self.buckets.nbuckets:
+            self.config = replace(self.config, nbuckets=self.buckets.nbuckets)
+
+    def grow_bucket_space(self, grower: BucketGrower | None = None):
+        """Expand the bucket space once, outside the flush path.
+
+        The scheduled-rebuild entry point: a caller that staggers growth
+        across shards (gateway replicas, the sharded index's rebuild
+        scheduler) disables the in-flush auto-grower and applies growth
+        explicitly between batches.  Uses ``grower`` (or this index's
+        own, or a fresh one from ``config.growth``) and returns the
+        :class:`~repro.core.rebalance.GrowthEvent`.
+        """
+        grower = grower or self.grower or BucketGrower(self.config.growth)
+        event = grower.grow(self.buckets, batch=self._batches)
+        self._note_growth()
+        if self.config.crash_safe and self._last_recovery_point is not None:
+            # Growth changed the batch-boundary state the recovery point
+            # captures; re-snapshot so a later aborted flush rolls back
+            # to the *grown* layout instead of silently undoing it.
+            self._save_recovery_point()
+        return event
 
     # -- crash recovery ----------------------------------------------------
 
@@ -416,6 +448,14 @@ class DualStructureIndex:
         self.trace = restored.trace
         self._batches = restored._batches
         self._next_doc_id = restored._next_doc_id
+        # The aborted batch may have grown the bucket space after the
+        # recovery point was taken; the rollback undid the growth, so the
+        # config must follow the restored manager back down (the replay
+        # below re-applies the growth — and the re-sync — if it re-fires).
+        if self.config.nbuckets != restored.buckets.nbuckets:
+            self.config = replace(
+                self.config, nbuckets=restored.buckets.nbuckets
+            )
         # Recovery replaced the structures the delta journal was
         # observing: re-attach the same journal *before* the replay flush
         # (so the replayed batch is recorded) and void its coverage — the

@@ -113,3 +113,68 @@ class BucketGrower:
         if self.should_grow(manager):
             return self.grow(manager, batch=batch)
         return None
+
+
+class RebuildScheduler:
+    """Staggers bucket-space rebuilds so at most ``max_concurrent``
+    shards pay one per flush round.
+
+    Growth rehashes a shard's entire bucket space and forces its next
+    publish to a full clone — an O(index) latency spike.  When every
+    shard crosses the occupancy threshold in the same flush round (the
+    common case under uniform document routing), unscheduled growth
+    makes *every* shard spike at once and the round's publish latency is
+    the sum of the spikes.  The scheduler serializes them: each round,
+    shards that want to grow enter a FIFO queue and at most
+    ``max_concurrent`` (default 1) are granted; the rest flush without
+    growing and are granted in a later round.  Deferral is safe — an
+    over-threshold shard keeps absorbing batches exactly as it did
+    before growth existed, just with more eviction pressure.
+
+    Deterministic on purpose: grants depend only on the sequence of
+    ``grant()`` calls and their ``wants`` arguments, so two executions
+    fed the same flush/occupancy history (e.g. every replica of a shard,
+    or a rebuilt replica replaying its op log) grow at identical batch
+    boundaries.
+    """
+
+    def __init__(self, max_concurrent: int = 1) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self.max_concurrent = max_concurrent
+        self._queue: list = []  # FIFO of shard ids awaiting a grant
+        self.rounds = 0
+        self.granted = 0
+        self.deferred = 0
+
+    @property
+    def pending(self) -> tuple:
+        """Shard ids queued for a future round (FIFO order)."""
+        return tuple(self._queue)
+
+    def grant(self, wants) -> frozenset:
+        """One flush round: merge ``wants`` into the queue, pop grants.
+
+        ``wants`` is the set of shard ids whose occupancy trigger fired
+        this round (re-announcing a queued shard is idempotent).
+        Returns the shard ids allowed to grow this round.
+        """
+        self.rounds += 1
+        queued = set(self._queue)
+        for shard_id in wants:
+            if shard_id not in queued:
+                self._queue.append(shard_id)
+                queued.add(shard_id)
+        grants = self._queue[: self.max_concurrent]
+        del self._queue[: self.max_concurrent]
+        self.granted += len(grants)
+        self.deferred += len(self._queue)
+        return frozenset(grants)
+
+    def as_dict(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "granted": self.granted,
+            "deferred": self.deferred,
+            "pending": list(self._queue),
+        }

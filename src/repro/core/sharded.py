@@ -49,6 +49,7 @@ from .checkpoint import CheckpointError
 from .deletion import SweepStats
 from .index import BatchResult, IndexConfig
 from .invariants import InvariantReport, Violation
+from .rebalance import RebuildScheduler
 from .shard import shard_of
 
 
@@ -140,6 +141,7 @@ class ShardedTextIndex:
         router_seed: int = 0,
         flush_jobs: int = 1,
         flush_executor: str = "thread",
+        rebuild_stagger: bool = False,
     ) -> None:
         if shards < 2:
             raise ValueError(
@@ -159,6 +161,11 @@ class ShardedTextIndex:
         self.router_seed = router_seed
         self.flush_jobs = flush_jobs
         self.flush_executor = flush_executor
+        # Serialize grow_buckets rebuilds across shards: at most one
+        # shard pays the rehash + full-clone publish per flush round.
+        self.rebuild_scheduler = (
+            RebuildScheduler() if rebuild_stagger else None
+        )
         self._next_doc_id = 0
         self._batches = 0
         # Completed per-shard results of the batch currently being
@@ -261,18 +268,53 @@ class ShardedTextIndex:
             for i, shard in enumerate(self.shards)
             if i not in self._inflight and len(shard.index.memory)
         ]
-        if self.flush_jobs > 1 and len(pending) > 1:
-            if self.flush_executor == "process":
-                self._flush_process(pending)
+        suppressed = self._stagger_rebuilds()
+        try:
+            if self.flush_jobs > 1 and len(pending) > 1:
+                if self.flush_executor == "process":
+                    self._flush_process(pending)
+                else:
+                    self._flush_thread(pending)
             else:
-                self._flush_thread(pending)
-        else:
-            for i in pending:
-                self._inflight[i] = self.shards[i].flush_batch()
+                for i in pending:
+                    self._inflight[i] = self.shards[i].flush_batch()
+        finally:
+            for i, grower in suppressed:
+                self.shards[i].index.grower = grower
         results = self._inflight
         self._inflight = {}
         self._batches += 1
         return self._aggregate(results.values())
+
+    def _stagger_rebuilds(self) -> list[tuple]:
+        """Ask the rebuild scheduler which shards may grow this round.
+
+        Occupancy only changes at a flush, so the trigger state observed
+        here equals the state at the previous flush boundary — the same
+        decision input a replicated gateway reads from its workers' last
+        flush outcomes, which keeps the two growth schedules identical.
+        Every shard *not* granted this round has its grower detached for
+        the duration (restored afterwards) — including shards below the
+        threshold right now, whose incoming batch could push them over
+        mid-flush and grow around the scheduler.  A deferred or newly
+        triggered shard re-announces itself every round until granted,
+        so no growth is lost, only delayed.
+        """
+        if self.rebuild_scheduler is None:
+            return []
+        wants = [
+            i
+            for i, shard in enumerate(self.shards)
+            if shard.index.grower is not None
+            and shard.index.grower.should_grow(shard.index.buckets)
+        ]
+        granted = self.rebuild_scheduler.grant(wants)
+        suppressed = []
+        for i, shard in enumerate(self.shards):
+            if i not in granted and shard.index.grower is not None:
+                suppressed.append((i, shard.index.grower))
+                shard.index.grower = None
+        return suppressed
 
     def _aggregate(self, results) -> BatchResult:
         """Sum per-shard flush results into one global batch result.
@@ -437,6 +479,7 @@ class ShardedTextIndex:
         # Clones are published read-only snapshots: serial flush knobs.
         copy.flush_jobs = 1
         copy.flush_executor = "thread"
+        copy.rebuild_scheduler = None
         copy._next_doc_id = self._next_doc_id
         copy._batches = self._batches
         copy._inflight = {}

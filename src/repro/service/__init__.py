@@ -17,7 +17,15 @@ Beyond one interpreter, :mod:`repro.service.gateway` puts each shard
 behind its own OS process (:mod:`repro.service.worker`, speaking the
 :mod:`repro.service.wire` frame protocol) with an asyncio scatter-gather
 gateway in front: per-shard deadlines, bounded-queue admission control,
-and checkpoint + op-log failover when a worker dies.
+and checkpoint + op-log failover when a worker dies.  With
+``replicas > 1`` each shard runs k worker processes
+(:mod:`repro.service.replication`): writes fan out to every healthy
+replica, reads rotate across them with every answer validated against
+the published version vector, and a SIGKILLed replica is rebuilt in the
+background while its siblings keep serving — a
+:class:`~repro.core.rebalance.RebuildScheduler` meanwhile staggers
+``grow_buckets`` rebuilds so at most one shard pays the rehash spike per
+flush round.
 
 With ``read_tier="immediate"`` the service additionally keeps a
 :class:`~repro.core.memtier.MemTier` — a compressed in-memory write
@@ -41,6 +49,12 @@ from .gateway import (
     WorkerProcess,
 )
 from .loadgen import LoadConfig, LoadGenerator, ServingReport
+from .replication import (
+    Replica,
+    ReplicaSet,
+    ReplicaState,
+    ReplicationStats,
+)
 from .server import (
     BackgroundMerger,
     QueryService,
@@ -65,6 +79,10 @@ __all__ = [
     "QueryResultCache",
     "QueryService",
     "RemoteWorkerError",
+    "Replica",
+    "ReplicaSet",
+    "ReplicaState",
+    "ReplicationStats",
     "ServiceError",
     "ServiceStats",
     "ServingReport",

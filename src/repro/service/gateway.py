@@ -1,8 +1,8 @@
-"""Multi-process serving: shard workers behind an async scatter-gather gateway.
+"""Multi-process serving: replicated shard workers behind an async gateway.
 
 The sharded index of DESIGN.md §12 scatter-gathers via function calls
 inside one interpreter, so its read path is GIL-bound.  This module puts
-each shard behind its own OS process (:mod:`repro.service.worker`) and
+each shard behind its own OS processes (:mod:`repro.service.worker`) and
 builds the serving front end on top:
 
 * :class:`WorkerProcess` — spawn/respawn one shard worker and its
@@ -14,13 +14,19 @@ builds the serving front end on top:
   worker: the returned proxy addresses that immutable snapshot explicitly
   until released.
 * :class:`AsyncShardGateway` — the asyncio front end: scatter-gather
-  fan-out over all workers, **admission control** (a bounded wait queue
+  fan-out over all shards, **admission control** (a bounded wait queue
   that sheds load with :class:`GatewayOverloaded` once full),
   **per-shard deadlines** (:class:`ShardDeadlineExceeded`, a typed
   partial-failure error naming the shards that missed), and
-  **failover**: when a worker dies (SIGKILL, crash, broken pipe) the
-  gateway rebuilds it from the parent-side checkpoint of its last
-  published boundary plus a replayed op log, and resumes.
+  **replicated failover** (:mod:`repro.service.replication`): each shard
+  runs ``replicas`` worker processes; writes fan out to every healthy
+  replica, reads rotate round-robin across them with every answer
+  validated against the published version vector, and a dead or lagging
+  replica is rebuilt in the background — from the shard's parent-side
+  checkpoint plus the replayed op log — while its siblings keep serving.
+  A shard-level :class:`~repro.core.rebalance.RebuildScheduler` staggers
+  ``grow_buckets`` rebuilds so at most one shard pays the rehash +
+  full-clone publish spike per flush round.
 * :class:`GatewayService` — a thread-safe synchronous facade with the
   :class:`~repro.service.server.QueryService` surface, so the load
   generator and CLI drive in-process and multi-process serving through
@@ -30,22 +36,26 @@ Consistency model: queries evaluate against each shard's *published*
 snapshot.  At a flush boundary (no flush in flight) the gateway's answers
 are byte-identical to an in-process
 :class:`~repro.core.sharded.ShardedTextIndex` fed the same operations —
-the differential battery pins this.  *During* a flush, per-shard
-staleness may skew: each shard's contribution to an answer is one of its
-own boundary states, but different shards may be one publish apart
-(shards partition the documents, so every per-document answer fragment is
-still exact for its boundary).  The in-process service's atomic
-vector swap is the stronger guarantee; the gateway trades it for
-multi-core execution and documents the difference.
+the differential battery pins this, replicated or not (replicas of one
+shard apply the same op sequence, so any of them answers identically).
+*During* a flush, per-shard staleness may skew: each shard's contribution
+to an answer is one of its own boundary states, but different shards may
+be one publish apart (shards partition the documents, so every
+per-document answer fragment is still exact for its boundary).  The
+in-process service's atomic vector swap is the stronger guarantee; the
+gateway trades it for multi-core execution and documents the difference.
 
 Durability/failover model: the gateway is the single writer, so it can
 journal every mutation parent-side — ``(add, doc_id, text)`` /
-``(delete, doc_id)`` / ``(flush)`` per shard — and retain each worker's
-serialized checkpoint from its last acknowledged flush
-(``checkpoint_every`` controls how often checkpoints ride the flush
-reply).  Rebuilding a dead worker is then deterministic: restore the
-checkpoint, replay the log.  No state is lost because nothing the worker
-alone knew is needed to reconstruct it.
+``(delete, doc_id)`` / ``(flush, grow)`` per shard — and retain one
+serialized checkpoint per shard from the last boundary at which *every*
+replica was healthy (``checkpoint_every`` controls the cadence).
+Rebuilding a dead replica is then deterministic: restore the checkpoint,
+replay the log.  No state is lost because nothing any single worker
+alone knew is needed to reconstruct it — and with ``replicas >= 2`` the
+rebuild happens entirely off the read path, so a SIGKILL mid-flush no
+longer stalls reads on that shard (the single-replica failover latency
+the PR 6 chaos battery measures becomes the k=1 degenerate case).
 """
 
 from __future__ import annotations
@@ -55,10 +65,11 @@ import itertools
 import socket
 import threading
 from contextlib import asynccontextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.index import BatchResult, IndexConfig
 from ..core.invariants import InvariantReport, Violation
+from ..core.rebalance import RebuildScheduler
 from ..core.shard import shard_of
 from ..pipeline.profiling import LatencyRecorder, StageTimings
 from ..query import boolean as boolean_query
@@ -68,6 +79,13 @@ from ..query import vector as vector_query
 from ..textindex import QueryAnswer
 from . import wire
 from .cache import QueryResultCache
+from .replication import (
+    Replica,
+    ReplicaSet,
+    ReplicaState,
+    ReplicationStats,
+    replica_specs,
+)
 from .server import ServiceStats, _boolean_terms
 from .worker import FlushOutcome, WorkerSpec, worker_main
 
@@ -378,8 +396,23 @@ class GatewayStats:
         }
 
 
+def _op_rpc(op: tuple) -> tuple[str, tuple]:
+    """Translate one journaled op into its worker RPC."""
+    if op[0] == "add":
+        return "add_document", (op[2], op[1])
+    if op[0] == "delete":
+        return "delete_document", (op[1],)
+    # ("flush", grow) — PR 6 journals carried bare ("flush",) markers.
+    grow = op[1] if len(op) > 1 else False
+    return "flush", (False, grow)
+
+
 class AsyncShardGateway:
-    """Asyncio scatter-gather over N shard-worker processes."""
+    """Asyncio scatter-gather over N shards × k replica processes."""
+
+    #: Exceptions that mean "this replica's process or stream is gone".
+    _DEATH = (WorkerDied, ConnectionError, BrokenPipeError,
+              wire.TruncatedFrame)
 
     def __init__(
         self,
@@ -387,12 +420,14 @@ class AsyncShardGateway:
         tokenizer_config=None,
         *,
         shards: int = 2,
+        replicas: int = 1,
         router_seed: int = 0,
         publish_mode: str = "cow",
         queue_limit: int = 256,
         max_inflight: int = 0,
         shard_timeout_s: float = 30.0,
         checkpoint_every: int = 1,
+        rebuild_stagger: bool = True,
         check_invariants: bool = False,
         buffer_cache_blocks: int = 0,
         fault_plans: dict | None = None,
@@ -402,6 +437,8 @@ class AsyncShardGateway:
     ) -> None:
         if shards < 1:
             raise ValueError("gateway needs shards >= 1")
+        if replicas < 1:
+            raise ValueError("gateway needs replicas >= 1")
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         if checkpoint_every < 1:
@@ -412,20 +449,21 @@ class AsyncShardGateway:
             raise ValueError("read_tier must be 'snapshot' or 'immediate'")
         self.read_tier = read_tier
         self.nshards = shards
+        self.replicas = replicas
         self.router_seed = router_seed
         self.queue_limit = queue_limit
-        self.max_inflight = max_inflight or 2 * shards
+        self.max_inflight = max_inflight or 2 * shards * replicas
         self.shard_timeout_s = shard_timeout_s
         self.checkpoint_every = checkpoint_every
         self.max_frame = max_frame
         per_shard = max(1, buffer_cache_blocks // shards)
-        self._specs = [
-            WorkerSpec(
+        self._sets: list[ReplicaSet] = []
+        for i in range(shards):
+            base = WorkerSpec(
                 shard_id=i,
                 index_config=config,
                 tokenizer_config=tokenizer_config,
                 publish_mode=publish_mode,
-                fault_plan=(fault_plans or {}).get(i),
                 kill_on_crash=kill_on_crash,
                 check_invariants=check_invariants,
                 buffer_cache_blocks=(
@@ -434,19 +472,17 @@ class AsyncShardGateway:
                 max_frame=max_frame,
                 read_tier=read_tier,
             )
-            for i in range(shards)
-        ]
-        self.workers: list[WorkerProcess | None] = [None] * shards
-        self._readers: list = [None] * shards
-        self._writers: list = [None] * shards
-        self._locks: list = [None] * shards
-        self._seqs = [itertools.count(1) for _ in range(shards)]
-        # Bumped on every rebuild of a shard; lets concurrent observers
-        # of one worker death agree on a single failover.
-        self._epochs = [0] * shards
-        # Failover state: last acknowledged checkpoint + ops since.
-        self._checkpoints: list[bytes | None] = [None] * shards
-        self._oplogs: list[list[tuple]] = [[] for _ in range(shards)]
+            self._sets.append(
+                ReplicaSet(i, replica_specs(base, replicas, fault_plans, i))
+            )
+        #: Serializes grow_buckets rebuilds across shards (None = every
+        #: shard grows the round its trigger fires, PR 5 behavior).
+        self.rebuild_scheduler = (
+            RebuildScheduler() if rebuild_stagger else None
+        )
+        #: Debug knob: hold every rebuild this long before it starts, so
+        #: tests can observe survivors serving while a victim recovers.
+        self._rebuild_hold_s = 0.0
         # Writer-path state (single logical writer, asyncio-serialized).
         self._writer_lock: asyncio.Lock | None = None
         self._sem: asyncio.Semaphore | None = None
@@ -462,57 +498,91 @@ class AsyncShardGateway:
             (0,) * shards if read_tier == "immediate" else ()
         )
         self.stats = GatewayStats()
+        self.repl = ReplicationStats()
+
+    # -- PR 6 compatibility views -----------------------------------------
+
+    @property
+    def workers(self) -> list:
+        """Primary (replica 0) worker processes, one per shard — the PR 6
+        single-replica view the existing tests and tools address."""
+        return [rs.replicas[0].worker for rs in self._sets]
+
+    @property
+    def _oplogs(self) -> list[list[tuple]]:
+        return [rs.oplog for rs in self._sets]
+
+    @property
+    def _checkpoints(self) -> list[bytes | None]:
+        return [rs.checkpoint for rs in self._sets]
 
     # -- lifecycle --------------------------------------------------------
 
     async def start(self) -> None:
-        """Spawn every worker and open its stream connection."""
+        """Spawn every replica of every shard and open its connection."""
         self._writer_lock = asyncio.Lock()
         self._sem = asyncio.Semaphore(self.max_inflight)
         await asyncio.gather(
-            *(self._spawn(i) for i in range(self.nshards))
+            *(
+                self._spawn(replica)
+                for rs in self._sets
+                for replica in rs.replicas
+            )
         )
 
-    async def _spawn(self, i: int, spec: WorkerSpec | None = None) -> None:
-        worker = WorkerProcess(spec or self._specs[i])
+    async def _spawn(
+        self, replica: Replica, spec: WorkerSpec | None = None
+    ) -> None:
+        worker = WorkerProcess(spec or replica.spec)
         reader, writer = await asyncio.open_connection(
             sock=worker.take_socket()
         )
-        self.workers[i] = worker
-        self._readers[i] = reader
-        self._writers[i] = writer
-        # The lock object must survive failovers: tasks queued on it at
+        replica.worker = worker
+        replica.reader = reader
+        replica.writer = writer
+        # The lock object must survive respawns: tasks queued on it at
         # rebuild time would otherwise race a new lock's holders onto one
         # StreamReader.
-        if self._locks[i] is None:
-            self._locks[i] = asyncio.Lock()
-        self._seqs[i] = itertools.count(1)
+        if replica.lock is None:
+            replica.lock = asyncio.Lock()
+        replica.seq = itertools.count(1)
+        replica.epoch += 1
 
     async def close(self) -> None:
-        """Shut every worker down and reap the processes."""
-        for i, worker in enumerate(self.workers):
-            if worker is None:
-                continue
-            try:
-                await asyncio.wait_for(
-                    self._call_locked(i, "shutdown", ()), timeout=5.0
-                )
-            except Exception:  # noqa: BLE001 - best-effort shutdown
-                pass
-            stream_writer = self._writers[i]
-            if stream_writer is not None:
-                stream_writer.close()
-            worker.sock = None
-            worker.close(graceful=False)
-            self.workers[i] = None
+        """Shut every replica down and reap the processes."""
+        for rs in self._sets:
+            for replica in rs.replicas:
+                task = replica.rebuild_task
+                if task is not None and not task.done():
+                    task.cancel()
+                    try:
+                        await task
+                    except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                        pass
+                if replica.worker is None:
+                    continue
+                try:
+                    await asyncio.wait_for(
+                        self._locked_rpc(replica, "shutdown", ()),
+                        timeout=5.0,
+                    )
+                except Exception:  # noqa: BLE001 - best-effort shutdown
+                    pass
+                if replica.writer is not None:
+                    replica.writer.close()
+                replica.worker.sock = None
+                replica.worker.close(graceful=False)
+                replica.worker = None
 
     # -- RPC core ---------------------------------------------------------
 
-    async def _rpc_unlocked(self, i: int, method: str, args: tuple):
-        """One request/response on shard ``i``'s stream.  Caller must
-        hold (or be the sole owner of) the shard's connection lock."""
-        request_id = next(self._seqs[i])
-        stream_writer = self._writers[i]
+    async def _rpc(self, replica: Replica, method: str, args: tuple):
+        """One request/response on a replica's stream.  Caller must hold
+        (or be the sole owner of) the replica's connection lock."""
+        request_id = next(replica.seq)
+        stream_writer = replica.writer
+        if stream_writer is None:
+            raise WorkerDied(f"{replica.name} has no connection")
         stream_writer.write(
             wire.encode(wire.Request(request_id, method, args),
                         self.max_frame)
@@ -520,102 +590,146 @@ class AsyncShardGateway:
         await stream_writer.drain()
         while True:
             response = await wire.read_message_async(
-                self._readers[i], self.max_frame
+                replica.reader, self.max_frame
             )
             if response is None:
                 raise WorkerDied(
-                    f"worker {i} closed the connection during {method!r}"
+                    f"{replica.name} closed the connection during "
+                    f"{method!r}"
                 )
             if response.request_id != request_id:
                 continue  # stale reply from a deadline-abandoned call
             if response.ok:
                 return response.value
             raise RemoteWorkerError(
-                f"shard {i} {method}: {response.error}"
+                f"{replica.name} {method}: {response.error}"
             )
 
-    async def _call_locked(self, i: int, method: str, args: tuple):
-        async with self._locks[i]:
-            return await self._rpc_unlocked(i, method, args)
+    async def _locked_rpc(self, replica: Replica, method: str, args: tuple):
+        async with replica.lock:
+            return await self._rpc(replica, method, args)
 
-    async def _call(
+    async def _call_replica(
         self,
-        i: int,
+        replica: Replica,
         method: str,
         *args,
         timeout: float | None = None,
-        failover: bool = True,
     ):
-        """One RPC to shard ``i`` with deadline and failover handling.
+        """One RPC to a specific replica with deadline accounting.
 
-        The deadline covers the whole request: waiting for the per-shard
-        connection (a worker mid-flush queues its readers) plus execution.
-        On worker death the shard is rebuilt and — when ``failover`` —
-        the call retried once against the replacement.
+        The deadline covers the whole request: waiting for the replica's
+        connection (a worker mid-flush queues its readers) plus
+        execution.  Death exceptions propagate raw — the caller decides
+        between sibling failover and rebuild-and-wait.
         """
-        epoch = self._epochs[i]
         try:
-            coro = self._call_locked(i, method, args)
+            coro = self._locked_rpc(replica, method, args)
             if timeout is not None:
                 return await asyncio.wait_for(coro, timeout)
             return await coro
         except asyncio.TimeoutError:
             self.stats.deadline_exceeded += 1
-            raise ShardDeadlineExceeded((i,), method) from None
-        except (
-            WorkerDied,
-            ConnectionError,
-            BrokenPipeError,
-            wire.TruncatedFrame,
-        ) as exc:
-            self.stats.worker_kills_observed += 1
-            await self._failover(i, epoch)
-            if not failover:
-                raise WorkerDied(
-                    f"worker {i} died during {method!r}: {exc}"
-                ) from exc
-            return await self._call(
-                i, method, *args, timeout=timeout, failover=False
-            )
+            raise ShardDeadlineExceeded(
+                (replica.shard_id,), method
+            ) from None
 
     # -- failover ---------------------------------------------------------
 
-    async def _failover(self, i: int, epoch: int) -> None:
-        """Rebuild shard ``i`` from its checkpoint + replayed op log.
+    def _mark_recovering(
+        self, rs: ReplicaSet, replica: Replica, observed_kill: bool
+    ) -> None:
+        """Transition a replica to RECOVERING and start its background
+        rebuild.  Idempotent: concurrent observers of one death arrive
+        here together and only the first transitions (state changes are
+        synchronous on the event loop, so no lock is needed)."""
+        if replica.state is ReplicaState.RECOVERING:
+            return
+        replica.state = ReplicaState.RECOVERING
+        if observed_kill:
+            self.stats.worker_kills_observed += 1
+        self.stats.failovers += 1
+        self.repl.rebuilds_started += 1
+        replica.rebuild_task = asyncio.get_running_loop().create_task(
+            self._rebuild(rs, replica)
+        )
 
-        ``epoch`` is the shard generation the caller observed before its
-        call failed: concurrent observers of one death all arrive here,
-        the first rebuilds, the rest see the bumped epoch and return.
-        The connection lock is held for the whole rebuild so no query
-        reaches the replacement mid-replay.
+    def _note_death(self, rs: ReplicaSet, replica: Replica) -> None:
+        self._mark_recovering(rs, replica, observed_kill=True)
+
+    async def _rebuild(self, rs: ReplicaSet, replica: Replica) -> None:
+        """Rebuild one replica: respawn from the shard checkpoint, then
+        catch up on the shared op log.
+
+        Runs as a background task; reads rotate to siblings meanwhile
+        and writes skip this replica (its ``log_pos`` stays behind, so
+        the catch-up loop — which re-reads ``len(oplog)`` after every
+        await — picks up everything journaled during the rebuild).  The
+        replica's lock is held throughout so no query reaches the
+        replacement mid-replay.
         """
-        async with self._locks[i]:
-            if self._epochs[i] != epoch:
-                return  # a sibling observer already rebuilt this shard
-            self._epochs[i] += 1
-            self.stats.failovers += 1
-            worker = self.workers[i]
-            if worker is not None:
-                stream_writer = self._writers[i]
-                if stream_writer is not None:
-                    stream_writer.close()
-                worker.sock = None
-                worker.close(graceful=False)
-            spec = self._specs[i].respawn_spec()
-            spec.restore = self._checkpoints[i]
-            await self._spawn(i, spec)
-            for op in list(self._oplogs[i]):
-                self.stats.replayed_ops += 1
-                if op[0] == "add":
-                    await self._rpc_unlocked(
-                        i, "add_document", (op[2], op[1])
-                    )
-                elif op[0] == "delete":
-                    await self._rpc_unlocked(
-                        i, "delete_document", (op[1],)
-                    )
-                else:  # ("flush",)
-                    await self._rpc_unlocked(i, "flush", (False,))
+        if self._rebuild_hold_s:
+            await asyncio.sleep(self._rebuild_hold_s)
+        async with replica.lock:
+            try:
+                old = replica.worker
+                if old is not None:
+                    if replica.writer is not None:
+                        replica.writer.close()
+                    old.sock = None
+                    old.close(graceful=False)
+                    replica.worker = None
+                spec = replica.spec.respawn_spec()
+                spec.restore = rs.checkpoint
+                await self._spawn(replica, spec)
+                replica.log_pos = 0
+                while True:
+                    while replica.log_pos < len(rs.oplog):
+                        op = rs.oplog[replica.log_pos]
+                        self.stats.replayed_ops += 1
+                        method, args = _op_rpc(op)
+                        await self._rpc(replica, method, args)
+                        replica.log_pos += 1
+                    info = await self._rpc(replica, "info", ())
+                    if replica.log_pos == len(rs.oplog):
+                        # Nothing landed during the info call; between
+                        # this check and the state flip there is no
+                        # await, so the stamp below cannot go stale.
+                        break
+                replica.version = info["batches"]
+                replica.mem_epoch = info.get("mem_epoch", 0)
+                replica.wants_grow = info.get("wants_grow", False)
+                replica.state = ReplicaState.HEALTHY
+                self.repl.rebuilds_completed += 1
+            except Exception:
+                replica.state = ReplicaState.FAILED
+                self.repl.rebuild_failures += 1
+                raise
+
+    async def quiesce(self) -> None:
+        """Wait for every in-flight rebuild to finish (test/bench hook)."""
+        while True:
+            tasks = [
+                replica.rebuild_task
+                for rs in self._sets
+                for replica in rs.replicas
+                if replica.rebuild_task is not None
+                and not replica.rebuild_task.done()
+            ]
+            if not tasks:
+                return
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    def kill_replica(self, shard: int, replica: int = 0) -> None:
+        """SIGKILL one replica's process (the chaos/bench murder weapon).
+
+        Nothing is marked or rebuilt here — the gateway discovers the
+        death exactly as it would a real machine failure: the next RPC
+        on the broken connection.
+        """
+        target = self._sets[shard].replicas[replica]
+        if target.worker is not None:
+            target.worker.process.kill()
 
     # -- admission control ------------------------------------------------
 
@@ -647,15 +761,12 @@ class AsyncShardGateway:
         async with self._writer_lock:
             doc_id = self._next_doc_id
             shard = self.route(doc_id)
-            # Journal before sending: if the worker dies mid-call, the
-            # failover replay performs this very op, so no retry here.
-            self._oplogs[shard].append(("add", doc_id, text))
-            try:
-                await self._call(
-                    shard, "add_document", text, doc_id, failover=False
-                )
-            except WorkerDied:
-                pass  # the failover replay already applied the op
+            rs = self._sets[shard]
+            # Journal before sending: if a replica dies mid-call, its
+            # rebuild replay performs this very op, so no retry here.
+            op = ("add", doc_id, text)
+            rs.oplog.append(op)
+            await self._fan_write(rs, op, len(rs.oplog) - 1)
             self._next_doc_id = doc_id + 1
             return doc_id
 
@@ -666,27 +777,87 @@ class AsyncShardGateway:
             )
         async with self._writer_lock:
             shard = self.route(doc_id)
-            self._oplogs[shard].append(("delete", doc_id))
-            try:
-                await self._call(
-                    shard, "delete_document", doc_id, failover=False
-                )
-            except WorkerDied:
-                pass  # replayed by the failover
+            rs = self._sets[shard]
+            op = ("delete", doc_id)
+            rs.oplog.append(op)
+            await self._fan_write(rs, op, len(rs.oplog) - 1)
             self._deleted.add(doc_id)
+
+    async def _fan_write(
+        self, rs: ReplicaSet, op: tuple, op_index: int
+    ) -> list:
+        """Apply one journaled op to every replica that can take it.
+
+        Returns the per-replica results aligned with ``rs.replicas``
+        (``None`` for replicas that skipped — mid-rebuild, dead, or
+        already caught up past this op by their replay).
+        """
+        return list(
+            await asyncio.gather(
+                *(
+                    self._write_replica(rs, replica, op, op_index)
+                    for replica in rs.replicas
+                )
+            )
+        )
+
+    async def _write_replica(
+        self, rs: ReplicaSet, replica: Replica, op: tuple, op_index: int
+    ):
+        """Send one op to one replica, guarded against double-apply.
+
+        ``log_pos`` is the arbiter: a rebuild's catch-up replay and the
+        writer's fan-out both target the same journal slot, and whichever
+        holds the replica's lock first applies it — the other observes
+        ``log_pos`` has moved past ``op_index`` and backs off.
+        """
+        if replica.state is not ReplicaState.HEALTHY:
+            return None  # the rebuild's catch-up replay covers this op
+        async with replica.lock:
+            if replica.state is not ReplicaState.HEALTHY:
+                return None
+            if replica.log_pos > op_index:
+                return None  # already applied via a rebuild replay
+            if replica.log_pos < op_index:
+                # A healthy replica behind the journal head means our
+                # bookkeeping lied (should be impossible); resync it
+                # rather than apply out of order.
+                self._mark_recovering(rs, replica, observed_kill=False)
+                return None
+            method, args = _op_rpc(op)
+            try:
+                value = await self._rpc(replica, method, args)
+            except self._DEATH:
+                self._note_death(rs, replica)
+                return None
+            replica.log_pos = op_index + 1
+            return value
 
     async def flush(self) -> tuple[BatchResult, GatewaySnapshot]:
         """Flush every shard (scatter), publish the new boundary, and
-        return the aggregated batch result plus the boundary token."""
+        return the aggregated batch result plus the boundary token.
+
+        Growth grants are decided here — one scheduler round per flush —
+        and journaled inside each shard's flush op, so all replicas of a
+        shard (and any later op-log replay) grow at the same boundary.
+        """
         async with self._writer_lock:
             self._batches += 1
             self.stats.flushes += 1
-            include_checkpoint = self._batches % self.checkpoint_every == 0
-            for i in range(self.nshards):
-                self._oplogs[i].append(("flush",))
+            wants = sorted(
+                i for i, rs in enumerate(self._sets) if rs.wants_grow
+            )
+            if self.rebuild_scheduler is not None:
+                granted = self.rebuild_scheduler.grant(wants)
+            else:
+                granted = frozenset(wants)
+            op_indexes = []
+            for i, rs in enumerate(self._sets):
+                rs.oplog.append(("flush", i in granted))
+                op_indexes.append(len(rs.oplog) - 1)
             outcomes = await asyncio.gather(
                 *(
-                    self._flush_shard(i, include_checkpoint)
+                    self._flush_shard(i, op_indexes[i])
                     for i in range(self.nshards)
                 )
             )
@@ -699,6 +870,10 @@ class AsyncShardGateway:
                 self._published_mem_epochs = tuple(
                     outcome.mem_epoch for outcome in outcomes
                 )
+            for rs, outcome in zip(self._sets, outcomes):
+                rs.expected_version = outcome.version
+                if self.read_tier == "immediate":
+                    rs.expected_mem_epoch = outcome.mem_epoch
             self._snapshot_id += 1
             results = [
                 outcome.result
@@ -720,35 +895,101 @@ class AsyncShardGateway:
                 (outcome.publish_seconds for outcome in outcomes),
                 default=0.0,
             )
+            if self._batches % self.checkpoint_every == 0:
+                await asyncio.gather(
+                    *(
+                        self._checkpoint_shard(i)
+                        for i in range(self.nshards)
+                    )
+                )
             return aggregate, self.snapshot()
 
-    async def _flush_shard(
-        self, i: int, include_checkpoint: bool
-    ) -> FlushOutcome:
+    async def _flush_shard(self, i: int, op_index: int) -> FlushOutcome:
+        """Fan one journaled flush op to shard ``i``'s replicas and pick
+        the representative outcome (healthy replicas are deterministic
+        copies, so any of them speaks for the shard)."""
+        rs = self._sets[i]
+        op = rs.oplog[op_index]
+        results = await self._fan_write(rs, op, op_index)
+        outcomes = []
+        for replica, outcome in zip(rs.replicas, results):
+            if outcome is None:
+                continue
+            replica.version = outcome.version
+            replica.mem_epoch = outcome.mem_epoch
+            replica.wants_grow = outcome.wants_grow
+            outcomes.append(outcome)
+        if outcomes:
+            head = outcomes[0]
+            for other in outcomes[1:]:
+                if (other.version, other.ndocs) != (
+                    head.version,
+                    head.ndocs,
+                ):
+                    self.repl.replica_divergences += 1
+            return head
+        # Every replica was dead or mid-rebuild: the rebuild replay ends
+        # with this very flush op, so wait one out and synthesize the
+        # outcome from the rebuilt replica's state.
+        replica = await self._await_any_rebuild(rs)
+        info = await self._call_replica(replica, "info")
+        return FlushOutcome(
+            result=None,
+            version=info["batches"],
+            snapshot_version=info["snapshot_version"],
+            ndocs=info["ndocs"],
+            mem_epoch=info.get("mem_epoch", 0),
+            wants_grow=info.get("wants_grow", False),
+            occupancy=info.get("occupancy", 0.0),
+            nbuckets=info.get("nbuckets", 0),
+        )
+
+    async def _await_any_rebuild(self, rs: ReplicaSet) -> Replica:
+        """Block until some replica of the set is serviceable again."""
+        for replica in rs.replicas:
+            if replica.state is ReplicaState.HEALTHY:
+                return replica
+            task = replica.rebuild_task
+            if task is None:
+                continue
+            try:
+                await task
+            except Exception:  # noqa: BLE001 - try the next replica
+                continue
+            if replica.state is ReplicaState.HEALTHY:
+                return replica
+        raise WorkerDied(
+            f"shard {rs.shard_id}: no replica could be rebuilt"
+        )
+
+    async def _checkpoint_shard(self, i: int) -> None:
+        """Refresh shard ``i``'s checkpoint and truncate its op log.
+
+        Requires every replica healthy and caught up — a mid-rebuild
+        replica still needs the log's tail for its catch-up replay, so
+        the round is deferred (the old checkpoint + full log stay valid).
+        The all-healthy condition is re-checked *after* the checkpoint
+        RPC returns: a sibling may die during the await, and truncating
+        under its in-flight rebuild would orphan the replay.
+        """
+        rs = self._sets[i]
+        if not rs.caught_up():
+            self.repl.checkpoints_deferred += 1
+            return
+        target = rs.replicas[0]
         try:
-            outcome: FlushOutcome = await self._call(
-                i, "flush", include_checkpoint, failover=False
-            )
-        except WorkerDied:
-            # The failover replay (checkpoint + op log ending in the
-            # journaled flush marker) already completed this flush; ask
-            # the rebuilt worker for a fresh checkpoint of the result.
-            blob = await self._call(i, "checkpoint", failover=False)
-            self._checkpoints[i] = blob
-            self._oplogs[i].clear()
-            info = await self._call(i, "info", failover=False)
-            return FlushOutcome(
-                result=None,
-                version=info["batches"],
-                snapshot_version=info["snapshot_version"],
-                ndocs=info["ndocs"],
-                mem_epoch=info.get("mem_epoch", 0),
-            )
-        if outcome.checkpoint is not None:
-            self._checkpoints[i] = outcome.checkpoint
-            self._oplogs[i].clear()
-            outcome.checkpoint = None  # don't hold two copies
-        return outcome
+            blob = await self._locked_rpc(target, "checkpoint", ())
+        except self._DEATH:
+            self._note_death(rs, target)
+            self.repl.checkpoints_deferred += 1
+            return
+        if not rs.caught_up():
+            self.repl.checkpoints_deferred += 1
+            return
+        rs.checkpoint = blob
+        rs.oplog.clear()
+        for replica in rs.replicas:
+            replica.log_pos = 0
 
     # -- snapshots ---------------------------------------------------------
 
@@ -762,7 +1003,7 @@ class AsyncShardGateway:
             mem_epochs=self._published_mem_epochs,
         )
 
-    # -- read path (scatter-gather) ---------------------------------------
+    # -- read path (replicated scatter-gather) ----------------------------
 
     def _universe(
         self, snapshot: GatewaySnapshot | None
@@ -780,6 +1021,74 @@ class AsyncShardGateway:
     def _tier(self) -> str | None:
         return "immediate" if self.read_tier == "immediate" else None
 
+    async def _read_shard(
+        self,
+        i: int,
+        method: str,
+        args: tuple,
+        _retried: bool = False,
+    ):
+        """One logical read on shard ``i``, served by any valid replica.
+
+        Rotates round-robin over the eligible replicas (healthy, caught
+        up, at the published version — the version-vector guard).  Every
+        answer arrives stamped ``(value, version, mem_epoch)`` and a
+        stamp trailing the published vector is discarded — the replica
+        lied about being current, so it is pulled from rotation and
+        resynced while the read fails over to a sibling.  Deadline
+        misses and deaths fail over the same way.  Only when no replica
+        is serviceable does the read wait for a rebuild: with one
+        replica per shard that is the (PR 6) full-recovery-latency path;
+        with two or more it never happens for a single failure.
+        """
+        rs = self._sets[i]
+        rotation = rs.rotation()
+        attempts = 0
+        timed_out = False
+        for replica in rotation:
+            attempts += 1
+            try:
+                value, version, mem_epoch = await self._call_replica(
+                    replica,
+                    "versioned_read",
+                    method,
+                    args,
+                    timeout=self.shard_timeout_s,
+                )
+            except ShardDeadlineExceeded:
+                timed_out = True
+                continue
+            except self._DEATH:
+                self._note_death(rs, replica)
+                continue
+            if (
+                version < rs.expected_version
+                or mem_epoch < rs.expected_mem_epoch
+            ):
+                # The stamp trails the published boundary: the answer
+                # cannot be trusted and neither can the replica's
+                # bookkeeping — discard and resync.
+                self.repl.stale_discarded += 1
+                self._mark_recovering(rs, replica, observed_kill=False)
+                continue
+            self.repl.reads_served += 1
+            if attempts > 1 or len(rotation) < len(rs.replicas):
+                self.repl.read_failovers += 1
+            return value
+        if timed_out:
+            # At least one live replica just ran over its deadline: this
+            # is backpressure, not data loss — surface it.
+            raise ShardDeadlineExceeded((i,), method)
+        if _retried:
+            raise WorkerDied(
+                f"shard {i} has no serviceable replica for {method!r}"
+            )
+        # Every replica is down or mid-rebuild: wait one rebuild out and
+        # retry once against the recovered set.
+        self.repl.reads_waited_for_rebuild += 1
+        await self._await_any_rebuild(rs)
+        return await self._read_shard(i, method, args, _retried=True)
+
     async def _scatter_words(self, words, tier: str | None = None) -> tuple:
         """Fetch every word from every shard concurrently.
 
@@ -792,10 +1101,7 @@ class AsyncShardGateway:
         """
         words = sorted(set(words))
         tasks = [
-            self._call(
-                i, "fetch_postings", word, None, tier,
-                timeout=self.shard_timeout_s,
-            )
+            self._read_shard(i, "fetch_postings", (word, None, tier))
             for word in words
             for i in range(self.nshards)
         ]
@@ -868,9 +1174,8 @@ class AsyncShardGateway:
         async with self._admit():
             streaming_query.parse_flat(query)  # uniform rejection up front
             tasks = [
-                self._call(
-                    i, "search_streamed", query, None, self._tier(),
-                    timeout=self.shard_timeout_s,
+                self._read_shard(
+                    i, "search_streamed", (query, None, self._tier())
                 )
                 for i in range(self.nshards)
             ]
@@ -917,57 +1222,97 @@ class AsyncShardGateway:
         delay: float = 0.0,
         timeout: float | None = None,
         admit: bool = False,
+        replica: int = 0,
     ) -> dict:
         """Worker liveness probe; ``delay`` blocks the worker loop that
-        long first (the deadline/backpressure tests lean on this)."""
+        long first (the deadline/backpressure tests lean on this).
+        Targets one specific replica — it is a probe of a process, not a
+        balanced read."""
         if admit:
             async with self._admit():
-                if delay:
-                    return await self._call(
-                        shard, "debug_sleep", delay, timeout=timeout
-                    )
-                return await self._call(shard, "ping", timeout=timeout)
-        if delay:
-            return await self._call(
-                shard, "debug_sleep", delay, timeout=timeout
+                return await self._ping_replica(
+                    shard, replica, delay, timeout
+                )
+        return await self._ping_replica(shard, replica, delay, timeout)
+
+    async def _ping_replica(
+        self, shard: int, replica_id: int, delay: float,
+        timeout: float | None,
+    ) -> dict:
+        rs = self._sets[shard]
+        target = rs.replicas[replica_id]
+        method = "debug_sleep" if delay else "ping"
+        args = (delay,) if delay else ()
+        try:
+            return await self._call_replica(
+                target, method, *args, timeout=timeout
             )
-        return await self._call(shard, "ping", timeout=timeout)
+        except self._DEATH:
+            self._note_death(rs, target)
+            await self._await_any_rebuild(rs)
+            return await self._call_replica(
+                target, method, *args, timeout=timeout
+            )
 
     # -- introspection ----------------------------------------------------
 
     async def check(self) -> InvariantReport:
-        """Invariant-check every worker's published snapshot; merged
-        report with shard-prefixed violations."""
-        subreports = await asyncio.gather(
-            *(self._call(i, "check") for i in range(self.nshards))
-        )
+        """Invariant-check every replica's published snapshot; merged
+        report with shard/replica-prefixed violations.  Quiesces first so
+        a mid-rebuild replica is checked in its recovered state."""
+        await self.quiesce()
         report = InvariantReport()
-        for i, sub in enumerate(subreports):
-            report.checks += sub.checks
-            for violation in sub.violations:
-                report.violations.append(
-                    Violation(
-                        violation.code, f"shard {i}: {violation.detail}"
+        for i, rs in enumerate(self._sets):
+            for replica in rs.replicas:
+                if replica.state is not ReplicaState.HEALTHY:
+                    continue
+                sub = await self._call_replica(replica, "check")
+                report.checks += sub.checks
+                for violation in sub.violations:
+                    report.violations.append(
+                        Violation(
+                            violation.code,
+                            f"shard {i}/r{replica.replica_id}: "
+                            f"{violation.detail}",
+                        )
                     )
-                )
         return report
 
     async def worker_stats(self) -> list[dict]:
-        return list(
-            await asyncio.gather(
-                *(self._call(i, "stats") for i in range(self.nshards))
-            )
-        )
+        stats = []
+        for i, rs in enumerate(self._sets):
+            for replica in rs.replicas:
+                if replica.state is not ReplicaState.HEALTHY:
+                    continue
+                entry = dict(
+                    await self._call_replica(replica, "stats")
+                )
+                entry["shard"] = i
+                entry["replica"] = replica.replica_id
+                stats.append(entry)
+        return stats
 
     async def buffer_stats(self) -> list[dict]:
-        return list(
-            await asyncio.gather(
-                *(
-                    self._call(i, "buffer_stats")
-                    for i in range(self.nshards)
-                )
+        stats = []
+        for rs in self._sets:
+            healthy = rs.healthy()
+            if not healthy:
+                stats.append({})
+                continue
+            stats.append(
+                await self._call_replica(healthy[0], "buffer_stats")
             )
-        )
+        return stats
+
+    def replication_stats(self) -> dict:
+        """The report's ``replication`` section (no RPC)."""
+        merged = self.repl.as_dict()
+        merged["replicas"] = self.replicas
+        merged["rebuild_stagger"] = self.rebuild_scheduler is not None
+        if self.rebuild_scheduler is not None:
+            merged["scheduler"] = self.rebuild_scheduler.as_dict()
+        merged["shards"] = [rs.describe() for rs in self._sets]
+        return merged
 
 
 class GatewayService:
@@ -985,6 +1330,7 @@ class GatewayService:
     def __init__(self, *args, **kwargs) -> None:
         self.gateway = AsyncShardGateway(*args, **kwargs)
         self.shards = self.gateway.nshards
+        self.replicas = self.gateway.replicas
         self.read_tier = self.gateway.read_tier
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -1059,6 +1405,17 @@ class GatewayService:
             self.gateway.search_vector(weights, top_k=top_k, snapshot=snapshot)
         )
 
+    # -- replication hooks ------------------------------------------------
+
+    def kill_replica(self, shard: int, replica: int = 0) -> None:
+        """SIGKILL one replica (chaos/bench hook; safe from any thread —
+        the process handle is parent-side)."""
+        self.gateway.kill_replica(shard, replica)
+
+    def wait_for_recovery(self) -> None:
+        """Block until every in-flight replica rebuild completes."""
+        self._run(self.gateway.quiesce())
+
     # -- introspection / lifecycle ----------------------------------------
 
     def check(self) -> InvariantReport:
@@ -1082,6 +1439,7 @@ class GatewayService:
             "flush_recoveries",
         ):
             merged[key] = sum(w.get(key, 0) for w in workers)
+        merged["replication"] = self.gateway.replication_stats()
         return merged
 
     def buffer_stats(self) -> list[dict]:

@@ -132,6 +132,14 @@ class LoadConfig:
     max_inflight: int = 0
     #: Parent-side worker checkpoint cadence, in flushes.
     checkpoint_every: int = 1
+    #: Worker processes per shard (gateway only; >1 adds read failover).
+    replicas: int = 1
+    #: Serialize grow_buckets rebuilds across shards (gateway only).
+    rebuild_stagger: bool = True
+    #: Build the volumes with bucket-space growth enabled.
+    grow_buckets: bool = False
+    #: Occupancy threshold that triggers a growth round.
+    growth_threshold: float = 0.75
     #: Reader arrival discipline: "closed" or "open" (see module doc).
     arrival: str = "closed"
     #: Open-loop offered rate (arrivals per second).
@@ -175,6 +183,13 @@ class LoadConfig:
                 "gateway mode cannot pin per-query reference snapshots "
                 "across the process boundary; set verify=False "
                 "(boundary differential probes still cover correctness)"
+            )
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.replicas > 1 and not self.gateway:
+            raise ValueError(
+                "replication runs worker processes behind the gateway; "
+                "set gateway=True for replicas > 1"
             )
         if self.gateway and self.crash_every:
             raise ValueError(
@@ -222,6 +237,8 @@ class LoadConfig:
             if self.transient_rate > 0.0
             else None
         )
+        from ..core.rebalance import GrowthPolicy
+
         return IndexConfig(
             nbuckets=64,
             bucket_size=256,
@@ -231,6 +248,10 @@ class LoadConfig:
             store_contents=True,
             crash_safe=self.injects_faults,
             fault_plan=plan,
+            grow_buckets=self.grow_buckets,
+            growth=GrowthPolicy(
+                occupancy_threshold=self.growth_threshold
+            ),
         )
 
 
@@ -355,6 +376,8 @@ class LoadGenerator:
             self.service = GatewayService(
                 self.config.index_config(),
                 shards=self.config.shards,
+                replicas=self.config.replicas,
+                rebuild_stagger=self.config.rebuild_stagger,
                 router_seed=self.config.router_seed,
                 publish_mode=self.config.publish_mode,
                 queue_limit=self.config.queue_limit,
@@ -925,6 +948,9 @@ class LoadGenerator:
                 "shard_timeout_s": cfg.shard_timeout_s,
                 "read_tier": cfg.read_tier,
                 "background_merge": cfg.background_merge,
+                "replicas": cfg.replicas,
+                "rebuild_stagger": cfg.rebuild_stagger,
+                "grow_buckets": cfg.grow_buckets,
             },
             wall_seconds=wall,
             queries=overall.count,

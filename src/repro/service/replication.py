@@ -1,0 +1,284 @@
+"""Shard replication: k replicas per shard behind the asyncio gateway.
+
+PR 6's gateway runs one worker process per shard, which leaves a single
+point of unavailability: a SIGKILLed worker makes its shard's documents
+unreadable until checkpoint restore + op-log replay completes.  This
+module adds the replica layer the gateway composes:
+
+* :class:`Replica` — one worker process serving one copy of a shard,
+  with its own stream connection, request sequencing, health state, and
+  bookkeeping of how far through the shard's op log it has applied.
+* :class:`ReplicaSet` — the k replicas of one shard plus the shared
+  recovery material (one op log, one checkpoint blob — the journal is a
+  property of the *shard's write history*, not of any replica) and the
+  round-robin read rotation with eligibility filtering.
+* :class:`ReplicationStats` — the counters the serving report surfaces.
+
+The replication protocol (DESIGN.md §15) in brief:
+
+**Writes** journal once per shard (journal-before-RPC, as before) and
+fan out to every ``HEALTHY`` replica.  A replica whose connection breaks
+is marked ``RECOVERING`` and rebuilt in the background — checkpoint
+restore plus catch-up replay of the shared op log — while its siblings
+keep absorbing writes and serving reads.  Per-replica ``log_pos``
+tracks exactly which journal prefix each replica has applied, so a
+write racing a rebuild can never double-apply an op: whichever path
+holds the replica's lock first applies it, and the other sees
+``log_pos`` has moved past its op.
+
+**Reads** rotate round-robin over *eligible* replicas: ``HEALTHY``,
+fully caught up on the op log, and at (or past) the published version
+vector entry — a replica lagging one publish epoch is excluded from
+rotation outright.  Every read travels the worker's ``versioned_read``
+RPC and comes back stamped ``(value, version, mem_epoch)``; the gateway
+validates the stamp against the published vector before trusting the
+answer and discards stale responses (the replica is then resynced).  A
+replica that misses its deadline or dies mid-read fails over
+transparently to a sibling; only when *no* replica of a shard is
+serviceable does a read wait for a rebuild — which is exactly the k=1
+degenerate case, i.e. PR 6's behavior.
+
+**Rebuild staggering**: each flush outcome reports whether the shard's
+bucket occupancy crossed the growth threshold; the gateway feeds those
+wants into a :class:`~repro.core.rebalance.RebuildScheduler` so at most
+one shard grows (and pays the rehash + full-clone publish spike) per
+flush round.  The grant rides the journaled flush op, so every replica
+of a shard — including one rebuilt later from checkpoint + replay —
+grows at the identical batch boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, replace as dc_replace
+
+from .worker import WorkerSpec
+
+
+class ReplicaState(enum.Enum):
+    """The failover state machine (transitions in DESIGN.md §15).
+
+    ``HEALTHY`` —(connection breaks / stale stamp)→ ``RECOVERING``
+    —(rebuild completes)→ ``HEALTHY``; a rebuild that cannot complete
+    (respawn keeps failing) parks the replica at ``FAILED``, which only
+    an explicit re-kick leaves.
+    """
+
+    HEALTHY = "healthy"
+    RECOVERING = "recovering"
+    FAILED = "failed"
+
+
+class Replica:
+    """One worker process serving one copy of a shard.
+
+    Owns the per-connection machinery (streams, request sequence,
+    serialization lock) plus the replication bookkeeping: health state,
+    the last version / mem-epoch stamp the gateway recorded for it, and
+    ``log_pos`` — how many ops of the shard's journal it has applied.
+    The asyncio plumbing that *drives* a replica lives in the gateway;
+    this object is the state it operates on.
+    """
+
+    def __init__(self, shard_id: int, replica_id: int, spec: WorkerSpec):
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.spec = spec
+        self.worker = None  # WorkerProcess, attached by the gateway
+        self.reader = None
+        self.writer = None
+        self.seq = itertools.count(1)
+        self.lock = None  # asyncio.Lock, created on the gateway's loop
+        self.state = ReplicaState.HEALTHY
+        #: Shard version (writer batch counter) after this replica's last
+        #: acknowledged flush or rebuild.
+        self.version = 0
+        #: Memory-tier epoch at the same point (immediate tier only).
+        self.mem_epoch = 0
+        #: Ops of the shard's journal this replica has applied.
+        self.log_pos = 0
+        #: Occupancy trigger from the last flush outcome.
+        self.wants_grow = False
+        #: The in-flight background rebuild, if any.
+        self.rebuild_task = None
+        #: Generation counter: bumped at every respawn so concurrent
+        #: observers of one death agree on a single rebuild.
+        self.epoch = 0
+
+    @property
+    def name(self) -> str:
+        return f"shard {self.shard_id}/r{self.replica_id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Replica({self.name}, {self.state.value}, "
+            f"version={self.version}, log_pos={self.log_pos})"
+        )
+
+
+class ReplicaSet:
+    """The k replicas of one shard plus their shared recovery material.
+
+    The op log and checkpoint blob live here — not per replica — because
+    they describe the shard's write history, which is replica-invariant:
+    any replica can be rebuilt from the one checkpoint plus the one log.
+    The log is truncated only when *every* replica is ``HEALTHY`` and
+    fully caught up (otherwise an in-flight rebuild would lose its
+    tail), so the invariant "the journal holds exactly the ops since the
+    stored checkpoint" always holds for every replica at once.
+    """
+
+    def __init__(
+        self, shard_id: int, specs: list[WorkerSpec]
+    ) -> None:
+        self.shard_id = shard_id
+        self.replicas = [
+            Replica(shard_id, j, spec) for j, spec in enumerate(specs)
+        ]
+        self.oplog: list[tuple] = []
+        self.checkpoint: bytes | None = None
+        #: Published version-vector entry for this shard; rotation
+        #: excludes replicas trailing it.
+        self.expected_version = 0
+        #: Published memory-tier epoch (immediate tier only).
+        self.expected_mem_epoch = 0
+        self._cursor = 0
+
+    @property
+    def wants_grow(self) -> bool:
+        """The shard's growth trigger: any current replica reported it.
+
+        Healthy replicas agree (same ops, same occupancy); the ``any``
+        covers windows where some replicas are mid-rebuild.
+        """
+        return any(
+            r.wants_grow
+            for r in self.replicas
+            if r.state is ReplicaState.HEALTHY
+        )
+
+    def eligible(self, replica: Replica) -> bool:
+        """May this replica serve a read right now?
+
+        Healthy and not trailing the published version vector (version
+        *and*, on the immediate tier, mem epoch) — the version-vector
+        guard that keeps a replica lagging one publish epoch out of the
+        rotation.  ``log_pos`` is deliberately *not* required to be at
+        the journal head: a healthy replica behind the head just has
+        writes in flight on its connection, and a read queues behind
+        them on the connection lock, landing on the boundary state —
+        exactly the single-worker queueing semantics.
+        """
+        return (
+            replica.state is ReplicaState.HEALTHY
+            and replica.version >= self.expected_version
+            and replica.mem_epoch >= self.expected_mem_epoch
+        )
+
+    def rotation(self) -> list[Replica]:
+        """Eligible replicas in round-robin order (read load balancing).
+
+        Each call starts one position later than the previous, so
+        consecutive reads spread across the set; ineligible replicas are
+        filtered out, preserving order.
+        """
+        n = len(self.replicas)
+        start = self._cursor
+        self._cursor = (self._cursor + 1) % n
+        ordered = [self.replicas[(start + k) % n] for k in range(n)]
+        return [r for r in ordered if self.eligible(r)]
+
+    def healthy(self) -> list[Replica]:
+        return [
+            r for r in self.replicas if r.state is ReplicaState.HEALTHY
+        ]
+
+    def caught_up(self) -> bool:
+        """Every replica healthy and at the end of the op log — the only
+        state in which the log may be truncated."""
+        return all(
+            r.state is ReplicaState.HEALTHY
+            and r.log_pos == len(self.oplog)
+            for r in self.replicas
+        )
+
+    def describe(self) -> dict:
+        return {
+            "shard": self.shard_id,
+            "replicas": [
+                {
+                    "replica": r.replica_id,
+                    "state": r.state.value,
+                    "version": r.version,
+                    "log_pos": r.log_pos,
+                    "wants_grow": r.wants_grow,
+                }
+                for r in self.replicas
+            ],
+            "oplog": len(self.oplog),
+            "expected_version": self.expected_version,
+        }
+
+
+@dataclass
+class ReplicationStats:
+    """Replication-layer counters (the report's ``replication`` section)."""
+
+    #: versioned_read answers served, by replica slot they landed on.
+    reads_served: int = 0
+    #: Reads that skipped at least one replica (death, deadline, or
+    #: ineligibility with a live sibling picking up the query).
+    read_failovers: int = 0
+    #: Stamped answers discarded because they trailed the published
+    #: version vector; each discard also resyncs the offending replica.
+    stale_discarded: int = 0
+    #: Reads that found no serviceable replica and had to wait for a
+    #: rebuild (the k=1 full-recovery-latency path).
+    reads_waited_for_rebuild: int = 0
+    rebuilds_started: int = 0
+    rebuilds_completed: int = 0
+    rebuild_failures: int = 0
+    #: Checkpoint rounds skipped because a replica was mid-rebuild (the
+    #: op log must be retained for its catch-up replay).
+    checkpoints_deferred: int = 0
+    #: Healthy replicas of one shard disagreeing on a flush outcome —
+    #: always 0 unless the determinism contract is broken.
+    replica_divergences: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "reads_served": self.reads_served,
+            "read_failovers": self.read_failovers,
+            "stale_discarded": self.stale_discarded,
+            "reads_waited_for_rebuild": self.reads_waited_for_rebuild,
+            "rebuilds_started": self.rebuilds_started,
+            "rebuilds_completed": self.rebuilds_completed,
+            "rebuild_failures": self.rebuild_failures,
+            "checkpoints_deferred": self.checkpoints_deferred,
+            "replica_divergences": self.replica_divergences,
+        }
+
+
+def replica_specs(
+    base: WorkerSpec,
+    replicas: int,
+    fault_plans: dict | None,
+    shard_id: int,
+) -> list[WorkerSpec]:
+    """Derive the per-replica specs for one shard.
+
+    ``fault_plans`` keys address a single replica: an ``int`` key is
+    shorthand for ``(shard, 0)`` (replica 0 — PR 6 compatibility, where
+    each shard *was* its replica 0), a ``(shard, replica)`` tuple is
+    precise.  The chaos battery leans on this to SIGKILL exactly one
+    replica of a replicated shard.
+    """
+    plans = fault_plans or {}
+    specs = []
+    for j in range(replicas):
+        plan = plans.get((shard_id, j))
+        if plan is None and j == 0:
+            plan = plans.get(shard_id)
+        specs.append(dc_replace(base, fault_plan=plan))
+    return specs

@@ -22,6 +22,13 @@ keep *all* accounting local to the call — the shard protocol's
 underlying simulated disks do mutate benign bookkeeping — head positions,
 I/O counters — under concurrent reads; none of that affects answers,
 which derive only from the immutable block payloads.)
+
+``shard_versions`` (plus, on the immediate tier, the per-shard memory
+epochs) is also the contract the *replicated* gateway enforces remotely:
+:mod:`repro.service.gateway` stamps every replica answer with the same
+vector entries and discards responses trailing the published boundary,
+so a replica lagging one publish epoch can never serve a reader a state
+this class would not have published (:mod:`repro.service.replication`).
 """
 
 from __future__ import annotations

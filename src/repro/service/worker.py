@@ -41,6 +41,7 @@ from ..core.checkpoint import CheckpointError
 from ..core.index import IndexConfig
 from ..core.invariants import InvariantError
 from ..core.memtier import MemTier
+from ..core.rebalance import BucketGrower
 from ..query import twotier
 from ..storage import faults
 from ..storage.faults import FaultPlan, InjectedCrash, TransientIOError
@@ -111,6 +112,16 @@ class FlushOutcome:
     #: The shard's memory-tier epoch after the post-flush rebase (0 when
     #: the worker serves the snapshot tier only).
     mem_epoch: int = 0
+    #: Bucket occupancy crossed the growth threshold: this shard asks the
+    #: gateway's rebuild scheduler for a growth grant next round (always
+    #: False when the volume was built without ``grow_buckets``).
+    wants_grow: bool = False
+    #: Bucket occupancy after this flush (diagnostics for the scheduler).
+    occupancy: float = 0.0
+    #: Live bucket count after this flush.
+    nbuckets: int = 0
+    #: This flush carried a granted growth and applied it.
+    grew: bool = False
 
 
 @dataclass
@@ -186,6 +197,17 @@ class ShardWorker:
         self.memtier: MemTier | None = None
         if spec.read_tier == "immediate":
             self.memtier = MemTier(base=self._published)
+        # Bucket growth is *gateway-scheduled*: the in-flush auto-grower
+        # is detached so replicas of one shard never grow unilaterally —
+        # the grow decision rides the journaled flush op instead, which
+        # makes every replica (and every op-log replay) grow at the same
+        # batch boundary.  The worker keeps its own grower to answer
+        # ``wants_grow`` and to apply granted growth in :meth:`flush`.
+        config = spec.index_config or IndexConfig()
+        self._grower = (
+            BucketGrower(config.growth) if config.grow_buckets else None
+        )
+        self.writer.index.grower = None
 
     # -- ingest -----------------------------------------------------------
 
@@ -286,28 +308,45 @@ class ShardWorker:
             self.stats.full_clone_publishes += 1
         return cow
 
-    def flush(self, include_checkpoint: bool = False) -> FlushOutcome:
+    def flush(
+        self, include_checkpoint: bool = False, grow: bool = False
+    ) -> FlushOutcome:
         """Flush the pending batch (if any) and publish the new boundary.
 
         A shard with nothing pending — no batched documents, no deletions
         since the last publish — skips both the flush and the publish, so
         its version vector component stands still exactly like an
         in-process :class:`~repro.core.sharded.ShardedTextIndex` shard.
+
+        ``grow=True`` carries a growth grant from the gateway's rebuild
+        scheduler: the bucket space is expanded *after* the flush lands
+        (so growth never interleaves with the flush's crash-recovery
+        retry loop) and before the publish, which therefore pays the
+        full-clone fallback this round.  The grant rides the journaled
+        flush op, so an op-log replay reproduces the growth at the same
+        boundary.  Ignored when the volume was built without
+        ``grow_buckets``.
         """
+        grow = grow and self._grower is not None
         pending = len(self.writer.index.memory) > 0
-        if not pending and not self._dirty_since_publish:
+        if not pending and not self._dirty_since_publish and not grow:
             return FlushOutcome(
                 skipped=True,
                 version=self.writer.batches,
                 snapshot_version=self._snapshot_version,
                 ndocs=self.writer.ndocs,
                 mem_epoch=self._mem_epoch(),
+                wants_grow=self._wants_grow(),
+                occupancy=self.writer.index.buckets.occupancy(),
+                nbuckets=self.writer.index.buckets.nbuckets,
             )
         result = None
         recoveries = 0
         if pending:
             result, recoveries = self._flush_with_recovery()
             self.stats.flush_recoveries += recoveries
+        if grow:
+            self.writer.index.grow_bucket_space(self._grower)
         start = time.perf_counter()
         cow = self._publish()
         publish_seconds = time.perf_counter() - start
@@ -322,6 +361,15 @@ class ShardWorker:
             publish_seconds=publish_seconds,
             checkpoint=checkpoint,
             mem_epoch=self._mem_epoch(),
+            wants_grow=self._wants_grow(),
+            occupancy=self.writer.index.buckets.occupancy(),
+            nbuckets=self.writer.index.buckets.nbuckets,
+            grew=grow,
+        )
+
+    def _wants_grow(self) -> bool:
+        return self._grower is not None and self._grower.should_grow(
+            self.writer.index.buckets
         )
 
     def _mem_epoch(self) -> int:
@@ -424,6 +472,22 @@ class ShardWorker:
         """The published snapshot's deletion set (sorted)."""
         return sorted(self._snapshot_for(snapshot_id).deletions.deleted)
 
+    def versioned_read(self, method: str, args: tuple):
+        """A read stamped with this replica's version vector entry.
+
+        The replicated gateway cannot trust an answer on the strength of
+        its own bookkeeping alone — a replica may have fallen behind the
+        published boundary between eligibility check and execution (it
+        was rebuilt, or its flush never landed).  So every read returns
+        ``(value, version, mem_epoch)`` and the gateway discards answers
+        whose stamp trails the published vector.  Only retrieval methods
+        are dispatchable; mutations must travel the journaled write path.
+        """
+        if method not in READ_METHODS:
+            raise ValueError(f"{method!r} is not a read method")
+        value = getattr(self, method)(*args)
+        return value, self.writer.batches, self._mem_epoch()
+
     # -- introspection ----------------------------------------------------
 
     def info(self) -> dict:
@@ -437,6 +501,9 @@ class ShardWorker:
             "pins": sorted(self._pinned),
             "read_tier": self.spec.read_tier,
             "mem_epoch": self._mem_epoch(),
+            "wants_grow": self._wants_grow(),
+            "occupancy": self.writer.index.buckets.occupancy(),
+            "nbuckets": self.writer.index.buckets.nbuckets,
         }
 
     def dirty_terms(self) -> frozenset:
@@ -484,6 +551,21 @@ class ShardWorker:
         return self.stats.as_dict()
 
 
+#: Methods :meth:`ShardWorker.versioned_read` may dispatch — the read
+#: surface of the wire contract (everything here is side-effect-free on
+#: index state).
+READ_METHODS = frozenset(
+    {
+        "fetch_postings",
+        "search_boolean",
+        "search_streamed",
+        "search_vector",
+        "search_vector_counted",
+        "deleted_ids",
+    }
+)
+
+
 #: RPC method name -> ShardWorker attribute (the dispatch table; every
 #: entry is part of the wire contract the gateway and proxies rely on).
 DISPATCH = {
@@ -500,6 +582,7 @@ DISPATCH = {
     "search_streamed": "search_streamed",
     "search_vector": "search_vector",
     "search_vector_counted": "search_vector_counted",
+    "versioned_read": "versioned_read",
     "deleted_ids": "deleted_ids",
     "recover": "recover",
     "dirty_terms": "dirty_terms",

@@ -324,3 +324,118 @@ class TestGatewayService:
         service = GatewayService(small_config(), shards=1)
         service.close()
         service.close()
+
+
+class TestReplicaVersionGuard:
+    """The version-vector guard: a replica lagging the published
+    boundary must be excluded from rotation, and an answer whose stamp
+    trails the vector must be discarded and the replica resynced."""
+
+    def test_lagging_replica_excluded_from_rotation(self):
+        async def body(gateway):
+            for text in DOCS[:4]:
+                await gateway.add_document(text)
+            await gateway.flush()
+            rs = gateway._sets[0]
+            lagger = rs.replicas[0]
+            # Simulate the gateway learning replica 0 trails the
+            # published vector: it must leave the read rotation.
+            real_version = lagger.version
+            lagger.version = rs.expected_version - 1
+            assert not rs.eligible(lagger)
+            before = gateway.repl.read_failovers
+            for _ in range(4):
+                got = await gateway.search_streamed("apple AND banana")
+                assert got.doc_ids == [0]
+            # Every read skipped the lagger (rotation was short-handed).
+            assert gateway.repl.read_failovers == before + 4
+            lagger.version = real_version
+            assert rs.eligible(lagger)
+
+        run_gateway(body, shards=1, replicas=2)
+
+    def test_stale_stamp_discarded_and_replica_resynced(self):
+        async def body(gateway):
+            for text in DOCS[:3]:
+                await gateway.add_document(text)
+            await gateway.flush()
+            rs = gateway._sets[0]
+            victim = rs.replicas[0]
+            # Stage a real lag: hide replica 0 from one flush's fan-out,
+            # then forge its bookkeeping back to "current" — the shape
+            # of a gateway whose ledger lies about a replica's state.
+            from repro.service.replication import ReplicaState
+
+            victim.state = ReplicaState.RECOVERING
+            victim.rebuild_task = None
+            await gateway.add_document(DOCS[3])
+            await gateway.flush()  # victim misses this publish
+            victim.state = ReplicaState.HEALTHY
+            victim.version = rs.expected_version
+            victim.log_pos = len(rs.oplog)
+            rs._cursor = 0  # next rotation starts at the forged victim
+            # "apple OR grape" distinguishes the states: doc 3 ("apple
+            # grape honeydew") exists only in the publish the victim
+            # missed, so its stale answer would be [0, 2].
+            got = await gateway.search_streamed("apple OR grape")
+            # The worker's stamp exposed the lie: answer discarded,
+            # victim pulled for resync, sibling served the true state.
+            assert got.doc_ids == [0, 2, 3]
+            assert gateway.repl.stale_discarded == 1
+            assert victim.state is not ReplicaState.HEALTHY
+            # The resync makes the liar honest again.
+            await gateway.quiesce()
+            assert victim.state is ReplicaState.HEALTHY
+            assert rs.eligible(victim)
+            rs._cursor = 0
+            got = await gateway.search_streamed("apple OR grape")
+            assert got.doc_ids == [0, 2, 3]
+            assert gateway.repl.stale_discarded == 1  # no new discards
+
+        run_gateway(body, shards=1, replicas=2, checkpoint_every=100)
+
+    def test_slow_replica_fails_over_to_sibling(self):
+        async def body(gateway):
+            for text in DOCS[:4]:
+                await gateway.add_document(text)
+            await gateway.flush()
+            # Park replica 0 behind a long debug_sleep; a read under a
+            # short deadline must fail over to the idle sibling instead
+            # of surfacing the deadline.
+            blocker = asyncio.ensure_future(
+                gateway.ping(shard=0, replica=0, delay=1.0)
+            )
+            await asyncio.sleep(0.05)
+            gateway.shard_timeout_s = 0.15
+            gateway._sets[0]._cursor = 0  # rotation starts at the slug
+            got = await gateway.search_streamed("apple AND banana")
+            assert got.doc_ids == [0]
+            assert gateway.stats.deadline_exceeded >= 1
+            assert gateway.repl.read_failovers >= 1
+            await blocker
+
+        run_gateway(body, shards=1, replicas=2)
+
+    def test_all_replicas_slow_surfaces_deadline(self):
+        async def body(gateway):
+            for text in DOCS[:4]:
+                await gateway.add_document(text)
+            await gateway.flush()
+            blockers = [
+                asyncio.ensure_future(
+                    gateway.ping(shard=0, replica=j, delay=1.0)
+                )
+                for j in range(2)
+            ]
+            await asyncio.sleep(0.05)
+            gateway.shard_timeout_s = 0.15
+            with pytest.raises(ShardDeadlineExceeded) as info:
+                await gateway.search_streamed("apple AND banana")
+            assert 0 in info.value.shards
+            await asyncio.gather(*blockers)
+            # Both replicas are alive — slow is not dead.
+            got = await gateway.search_streamed("apple AND banana")
+            assert got.doc_ids == [0]
+            assert gateway.stats.failovers == 0
+
+        run_gateway(body, shards=1, replicas=2)

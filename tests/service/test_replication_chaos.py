@@ -1,0 +1,258 @@
+"""Replication chaos battery: SIGKILL one replica mid-flush and prove
+the shard never stops answering.
+
+PR 6's chaos battery proved a *single-worker* shard recovers from a
+mid-flush SIGKILL — at the cost of reads stalling until checkpoint
+restore + op-log replay completes.  With ``replicas=2`` the same murder
+must be invisible to readers: the surviving replica completes the flush
+and keeps serving (zero divergences against the in-process twin, zero
+invariant violations) while the victim is rebuilt in the background and
+replays its op log.  The test holds the rebuild open
+(``_rebuild_hold_s``) to *prove* reads land on the survivor during the
+recovery window rather than racing past it.
+
+The k=1 degenerate case is pinned too: without a sibling, a read during
+recovery must wait out the rebuild — the full-recovery-latency path the
+replication bench quantifies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.index import IndexConfig
+from repro.core.sharded import ShardedTextIndex
+from repro.service.gateway import AsyncShardGateway
+from repro.service.replication import ReplicaState
+from repro.storage.faults import FaultPlan
+
+# One crash point per phase of the mid-flush danger window.
+CRASH_POINTS = [
+    "index.flush-begin",
+    "index.before-word-append",
+    "index.before-shadow-flush",
+    "index.before-release",
+    "index.before-clear",
+]
+
+DOCS = [
+    "apple banana cherry",
+    "banana date elderberry",
+    "cherry fig grape",
+    "apple grape honeydew",
+    "kiwi lemon apple banana",
+    "mango banana cherry date",
+    "nectarine apple fig",
+    "banana cherry lemon mango",
+    "papaya quince banana",
+    "raspberry apple cherry",
+]
+
+QUERIES = [
+    "apple AND banana",
+    "cherry OR fig",
+    "banana AND NOT apple",
+    "NOT banana",
+]
+
+
+def crash_config() -> IndexConfig:
+    return IndexConfig(
+        nbuckets=16,
+        bucket_size=64,
+        block_postings=8,
+        ndisks=2,
+        nblocks_override=100_000,
+        store_contents=True,
+        crash_safe=True,
+    )
+
+
+def _local_twin() -> ShardedTextIndex:
+    return ShardedTextIndex(crash_config(), shards=2)
+
+
+async def _assert_parity(gateway, local, context):
+    for query in QUERIES:
+        got = await gateway.search_boolean(query)
+        want = local.search_boolean(query)
+        assert got.doc_ids == want.doc_ids, (context, query)
+    for query in QUERIES[:2]:
+        got = await gateway.search_streamed(query)
+        want = local.search_streamed(query)
+        assert got.doc_ids == want.doc_ids, (context, query)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("crash_at", CRASH_POINTS)
+def test_sigkill_one_replica_mid_flush_survivor_serves(crash_at):
+    async def body():
+        gateway = AsyncShardGateway(
+            crash_config(),
+            shards=2,
+            replicas=2,
+            fault_plans={(0, 0): FaultPlan(crash_at=crash_at, crash_at_hit=1)},
+            kill_on_crash=True,
+        )
+        # Hold every rebuild open long enough that the post-crash reads
+        # demonstrably run *during* the recovery window.
+        gateway._rebuild_hold_s = 0.5
+        await gateway.start()
+        try:
+            local = _local_twin()
+            for text in DOCS[:6]:
+                await gateway.add_document(text)
+                local.add_document(text)
+            await gateway.delete_document(1)
+            local.delete_document(1)
+            # Replica (0, 0) SIGKILLs itself inside this flush; replica
+            # (0, 1) completes it, so the flush returns a real outcome
+            # without waiting for the victim's rebuild.
+            await gateway.flush()
+            local.flush_batch()
+            assert gateway.stats.failovers == 1, crash_at
+            assert gateway.stats.worker_kills_observed == 1
+            victim = gateway._sets[0].replicas[0]
+            assert victim.state is ReplicaState.RECOVERING
+            # Availability during recovery: every query answers, from
+            # the survivor, without waiting for the rebuild.
+            await _assert_parity(gateway, local, crash_at)
+            assert victim.state is ReplicaState.RECOVERING, (
+                "reads should not have waited out the rebuild"
+            )
+            assert gateway.repl.reads_waited_for_rebuild == 0
+            assert gateway.repl.read_failovers > 0
+            # The victim comes back: checkpoint restore + op-log replay.
+            await gateway.quiesce()
+            assert victim.state is ReplicaState.HEALTHY
+            assert gateway.repl.rebuilds_completed == 1
+            assert gateway.stats.replayed_ops > 0
+            # Life goes on, replicated: ingest, flush, full parity, and
+            # the rebuilt replica is back in the write fan-out.
+            for text in DOCS[6:]:
+                await gateway.add_document(text)
+                local.add_document(text)
+            await gateway.flush()
+            local.flush_batch()
+            assert gateway.stats.failovers == 1  # no new deaths
+            assert gateway.repl.replica_divergences == 0
+            await _assert_parity(gateway, local, crash_at)
+            report = await gateway.check()
+            assert report.ok, report.violations
+        finally:
+            await gateway.close()
+
+    asyncio.run(body())
+
+
+@pytest.mark.slow
+def test_unreplicated_read_waits_out_recovery():
+    """k=1 control arm: a murder with no sibling forces the next read
+    to wait for checkpoint restore + replay (PR 6 behavior, the
+    full-recovery-latency baseline the bench compares against).  The
+    kill is out-of-band so a *read* — not a flush — discovers the
+    corpse and pays the wait."""
+
+    async def body():
+        gateway = AsyncShardGateway(crash_config(), shards=2, replicas=1)
+        await gateway.start()
+        try:
+            local = _local_twin()
+            for text in DOCS[:6]:
+                await gateway.add_document(text)
+                local.add_document(text)
+            await gateway.flush()
+            local.flush_batch()
+            gateway.kill_replica(0, 0)
+            await _assert_parity(gateway, local, "k=1")
+            assert gateway.repl.reads_waited_for_rebuild > 0
+            assert gateway.repl.rebuilds_completed == 1
+            assert (await gateway.check()).ok
+        finally:
+            await gateway.close()
+
+    asyncio.run(body())
+
+
+@pytest.mark.slow
+def test_kill_replica_between_flushes_is_invisible():
+    """An out-of-band SIGKILL (no crash plan — the bench's murder
+    weapon) between flushes: reads keep flowing, the next flush fans to
+    the survivor, and the rebuilt victim rejoins with zero divergence."""
+
+    async def body():
+        gateway = AsyncShardGateway(
+            crash_config(), shards=2, replicas=2
+        )
+        await gateway.start()
+        try:
+            local = _local_twin()
+            for text in DOCS[:5]:
+                await gateway.add_document(text)
+                local.add_document(text)
+            await gateway.flush()
+            local.flush_batch()
+            gateway.kill_replica(0, 0)
+            # The gateway has not noticed yet; the next operations
+            # discover the corpse and fail over inline.
+            for text in DOCS[5:8]:
+                await gateway.add_document(text)
+                local.add_document(text)
+            await gateway.flush()
+            local.flush_batch()
+            await _assert_parity(gateway, local, "kill_replica")
+            await gateway.quiesce()
+            assert gateway.repl.rebuilds_completed == 1
+            assert gateway.repl.replica_divergences == 0
+            for text in DOCS[8:]:
+                await gateway.add_document(text)
+                local.add_document(text)
+            await gateway.flush()
+            local.flush_batch()
+            await _assert_parity(gateway, local, "kill_replica post")
+            assert (await gateway.check()).ok
+        finally:
+            await gateway.close()
+
+    asyncio.run(body())
+
+
+@pytest.mark.slow
+def test_checkpoint_deferred_while_victim_rebuilds():
+    """The op-log truncation invariant under fire: a checkpoint round
+    landing while one replica is mid-rebuild must be deferred (clearing
+    the log would orphan the victim's catch-up replay), then succeed
+    once the set is whole again."""
+
+    async def body():
+        gateway = AsyncShardGateway(
+            crash_config(), shards=1, replicas=2, checkpoint_every=1
+        )
+        gateway._rebuild_hold_s = 0.5
+        await gateway.start()
+        try:
+            for text in DOCS[:4]:
+                await gateway.add_document(text)
+            await gateway.flush()
+            assert gateway._sets[0].oplog == []  # checkpointed + cleared
+            gateway.kill_replica(0, 1)
+            for text in DOCS[4:7]:
+                await gateway.add_document(text)
+            await gateway.flush()  # discovers the corpse mid-fan-out
+            assert gateway.repl.checkpoints_deferred >= 1
+            assert len(gateway._sets[0].oplog) > 0  # log retained
+            await gateway.quiesce()
+            for text in DOCS[7:]:
+                await gateway.add_document(text)
+            await gateway.flush()  # whole again: checkpoint + truncate
+            assert gateway._sets[0].oplog == []
+            assert all(
+                r.log_pos == 0 for r in gateway._sets[0].replicas
+            )
+            assert (await gateway.check()).ok
+        finally:
+            await gateway.close()
+
+    asyncio.run(body())
