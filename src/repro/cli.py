@@ -41,6 +41,7 @@ Five subcommands cover the library's main entry points::
                       [--background-merge] [--arrival closed|open]
                       [--arrival-rate QPS] [--arrival-queries N]
                       [--queue-limit N] [--shard-timeout S]
+                      [--batch-size N] [--batch-delay-us US] [--coalesce]
                       [--json PATH] [--no-verify]
                       [--inject-faults] [--fault-rate R] [--fault-seed S]
         Run the snapshot-isolated serving benchmark: N reader threads
@@ -58,7 +59,10 @@ Five subcommands cover the library's main entry points::
         gateway (per-shard deadlines, bounded-queue admission control,
         checkpoint+oplog failover); ``--arrival open`` offers a
         deterministic Poisson schedule at ``--arrival-rate`` whose
-        recorded latencies include queue wait.
+        recorded latencies include queue wait.  Gateway reads travel in
+        adaptive micro-batches (``--batch-size``, ``--batch-delay-us``;
+        ``--batch-size 1`` restores the unbatched wire protocol) and
+        ``--coalesce`` single-flights identical concurrent queries.
 
     repro check INDEX.ckpt
         Load a checkpointed index and verify the dual-structure
@@ -393,6 +397,9 @@ def cmd_serve_bench(args) -> int:
         rebuild_stagger=args.rebuild_stagger == "on",
         grow_buckets=args.grow_buckets,
         growth_threshold=args.growth_threshold,
+        batch_size=args.batch_size,
+        batch_delay_us=args.batch_delay_us,
+        coalesce=args.coalesce,
     )
     report = LoadGenerator(config).run()
     overall = report.latency["overall"]
@@ -483,6 +490,24 @@ def cmd_serve_bench(args) -> int:
                 f"granted over {scheduler['rounds']} rounds "
                 f"({scheduler['deferred']} deferred, "
                 f"{len(scheduler['pending'])} still queued)"
+            )
+        batching = gw.get("batching", {})
+        if batching.get("batch_frames") or batching.get(
+            "single_read_frames"
+        ):
+            coalesced = ""
+            if batching.get("coalesce"):
+                coalesced = (
+                    f", coalesced {batching['coalesce_hits']} hits / "
+                    f"{batching['coalesce_misses']} misses "
+                    f"({batching['coalesce_stale_skips']} stale skips)"
+                )
+            print(
+                f"batching:         {batching['batched_reads']} reads in "
+                f"{batching['batch_frames']} batch frames "
+                f"({batching['frames_saved']} frames saved, "
+                f"{batching['single_read_frames']} unbatched)"
+                f"{coalesced}"
             )
     else:
         print(
@@ -815,6 +840,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         metavar="S",
         help="gateway per-shard query deadline",
+    )
+    p_serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=16,
+        metavar="N",
+        help="gateway read micro-batch cap (1 = unbatched wire protocol)",
+    )
+    p_serve.add_argument(
+        "--batch-delay-us",
+        type=int,
+        default=250,
+        metavar="US",
+        help="ceiling of the adaptive batch-flush delay window",
+    )
+    p_serve.add_argument(
+        "--coalesce",
+        action="store_true",
+        help="single-flight coalescing of identical concurrent queries",
     )
     p_serve.add_argument(
         "--json", default=None, metavar="PATH",

@@ -32,6 +32,32 @@ builds the serving front end on top:
   generator and CLI drive in-process and multi-process serving through
   the same code.
 
+Read-path amortization (DESIGN.md §16): every logical read used to cost
+one pickled frame per shard — at saturation the per-frame tax (pickle +
+syscall + dispatch, times shards × replicas) dominates.  Two layers buy
+it back, changing only how reads *travel*, never what they evaluate
+against:
+
+* **Adaptive micro-batching** — each replica carries a
+  :class:`_ReadBatcher` that accumulates queued reads and flushes them
+  as one :class:`~repro.service.wire.BatchRequest` frame when
+  ``max_batch_size`` is reached or an adaptive delay window expires.
+  The window is near-zero while the queue has been shallow (an unloaded
+  read still goes out on the next loop tick) and widens toward
+  ``max_batch_delay_us`` as recent batch depth grows, so saturated
+  throughput rises without taxing unloaded latency.  The worker
+  validates version/snapshot once per batch, evaluates every member
+  against that one pinned state, and isolates per-member errors;
+  deadlines and admission still account each member individually.
+  ``max_batch_size=1`` disables the layer entirely — the wire traffic
+  is then frame-for-frame identical to the unbatched protocol.
+* **Single-flight coalescing** (``coalesce=True``) — identical
+  concurrent evaluations, keyed on canonical (query, mode, read tier),
+  run once and fan the answer back out to every waiter.  A guard keyed
+  on the published version vector refuses to join a flight admitted
+  against an older vector than the waiter's own admission point, so a
+  coalesced answer can never be staler than the waiter is entitled to.
+
 Consistency model: queries evaluate against each shard's *published*
 snapshot.  At a flush boundary (no flush in flight) the gateway's answers
 are byte-identical to an in-process
@@ -65,7 +91,7 @@ import itertools
 import socket
 import threading
 from contextlib import asynccontextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.index import BatchResult, IndexConfig
 from ..core.invariants import InvariantReport, Violation
@@ -396,6 +422,228 @@ class GatewayStats:
         }
 
 
+@dataclass
+class BatchingStats:
+    """Read-batching + coalescing counters (``gateway_stats["batching"]``).
+
+    ``single_read_frames`` counts reads that traveled the unbatched
+    ``versioned_read`` path (``max_batch_size=1``); with batching on it
+    stays 0, which is exactly what the frame-parity test pins.
+    """
+
+    #: Reads sent as standalone ``versioned_read`` frames.
+    single_read_frames: int = 0
+    #: Batch envelopes sent (one frame each).
+    batch_frames: int = 0
+    #: Member reads carried inside those envelopes.
+    batched_reads: int = 0
+    #: Occurrences of each batch size, ``{size: count}``.
+    histogram: dict = field(default_factory=dict)
+    #: Waiters served from an in-flight identical evaluation.
+    coalesce_hits: int = 0
+    #: Evaluations that ran because no joinable flight existed.
+    coalesce_misses: int = 0
+    #: Flights refused because their admission token trailed the
+    #: waiter's — the single-flight staleness guard firing.
+    coalesce_stale_skips: int = 0
+
+    def record_batch(self, size: int) -> None:
+        self.batch_frames += 1
+        self.batched_reads += size
+        self.histogram[size] = self.histogram.get(size, 0) + 1
+
+    @property
+    def frames_saved(self) -> int:
+        """Frames batching avoided: each envelope of n members replaces
+        n standalone frames."""
+        return self.batched_reads - self.batch_frames
+
+    def as_dict(self) -> dict:
+        return {
+            "single_read_frames": self.single_read_frames,
+            "batch_frames": self.batch_frames,
+            "batched_reads": self.batched_reads,
+            "frames_saved": self.frames_saved,
+            "batch_size_histogram": {
+                str(size): count
+                for size, count in sorted(self.histogram.items())
+            },
+            "coalesce_hits": self.coalesce_hits,
+            "coalesce_misses": self.coalesce_misses,
+            "coalesce_stale_skips": self.coalesce_stale_skips,
+        }
+
+
+def _retrieve(future) -> None:
+    """Done-callback marking a future's exception retrieved — batch
+    members and flights can outlive every waiter (deadline abandonment),
+    and an orphaned failure must not warn at GC time."""
+    if not future.cancelled():
+        future.exception()
+
+
+class _ReadBatcher:
+    """Per-replica read micro-batcher (DESIGN.md §16).
+
+    ``enqueue`` is synchronous, so every read the scatter fan-out creates
+    in one event-loop tick — a query's words × this replica — lands in
+    the same queue before any flush task runs, and travels as one frame
+    even on an idle gateway.  The flush fires when the queue reaches
+    ``max_batch_size`` or when the adaptive delay window expires: zero
+    extra wait while recent batches have been shallow, widening toward
+    ``max_batch_delay_us`` as the depth EWMA approaches the cap (under
+    load, waiting a hair collects a much fuller frame).
+    """
+
+    def __init__(self, gateway: "AsyncShardGateway", replica: Replica):
+        self._gateway = gateway
+        self._replica = replica
+        self._queue: list = []
+        self._flusher: asyncio.Task | None = None
+        #: EWMA of recent flush depths — the load signal the delay
+        #: window adapts to.
+        self.depth_ewma = 0.0
+
+    def enqueue(self, method: str, args: tuple) -> asyncio.Future:
+        """Queue one member read; resolves to ``(value, version,
+        mem_epoch)`` or the member's / connection's failure."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        future.add_done_callback(_retrieve)
+        self._queue.append((method, args, future))
+        if len(self._queue) >= self._gateway.max_batch_size:
+            batch, self._queue = self._queue, []
+            loop.create_task(self._send(batch))
+        elif self._flusher is None:
+            self._flusher = loop.create_task(self._delayed_flush())
+        return future
+
+    def delay_s(self) -> float:
+        """The adaptive window for the next timed flush.
+
+        Zero while recent batches have filled less than half the cap — a
+        zero sleep is a plain ready-queue yield (no timer), so shallow
+        traffic still coalesces same-tick members and pays no added
+        latency.  Past the half-full mark the window widens linearly
+        toward ``max_batch_delay_us``: the queue is deep enough that
+        waiting a hair collects a much fuller frame.
+        """
+        gateway = self._gateway
+        if gateway.max_batch_delay_us <= 0:
+            return 0.0
+        fill = min(1.0, self.depth_ewma / gateway.max_batch_size)
+        if fill < 0.5:
+            return 0.0
+        return gateway.max_batch_delay_us * 1e-6 * fill
+
+    async def _delayed_flush(self) -> None:
+        try:
+            await asyncio.sleep(self.delay_s())
+        finally:
+            # Clear before sending so members enqueued during the RPC
+            # open a fresh window instead of silently queueing forever.
+            self._flusher = None
+        batch, self._queue = self._queue, []
+        if batch:
+            await self._send(batch)
+
+    async def _send(self, batch: list) -> None:
+        """Ship one batch as a single frame and distribute the answers.
+
+        Member ids are batch ordinals; the envelope's ``request_id``
+        does the reply matching on the connection.  A connection-level
+        failure fans out to every member (each waiter runs its own
+        failover); a member-level failure resolves only that member.
+        """
+        gateway = self._gateway
+        replica = self._replica
+        self.depth_ewma = 0.75 * self.depth_ewma + 0.25 * len(batch)
+        gateway.batching.record_batch(len(batch))
+        members = tuple(
+            wire.Request(ordinal, method, args)
+            for ordinal, (method, args, _) in enumerate(batch)
+        )
+        try:
+            async with replica.lock:
+                stream_writer = replica.writer
+                if stream_writer is None:
+                    raise WorkerDied(f"{replica.name} has no connection")
+                request_id = next(replica.seq)
+                header, payload = wire.encode_parts(
+                    wire.BatchRequest(request_id, members),
+                    gateway.max_frame,
+                )
+                stream_writer.write(header)
+                stream_writer.write(payload)
+                await stream_writer.drain()
+                while True:
+                    reply = await wire.read_message_async(
+                        replica.reader, gateway.max_frame
+                    )
+                    if reply is None:
+                        raise WorkerDied(
+                            f"{replica.name} closed the connection "
+                            "during a batched read"
+                        )
+                    if reply.request_id != request_id:
+                        continue  # stale reply from an abandoned call
+                    break
+        except Exception as exc:  # noqa: BLE001 - fan the failure out
+            for _, _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (method, _, future), member in zip(batch, reply.responses):
+            if future.done():
+                continue
+            if member.ok:
+                future.set_result(
+                    (member.value, reply.version, reply.mem_epoch)
+                )
+            else:
+                future.set_exception(
+                    RemoteWorkerError(
+                        f"{replica.name} {method}: {member.error}"
+                    )
+                )
+        if len(reply.responses) < len(batch):  # pragma: no cover
+            exc = WorkerDied(
+                f"{replica.name} answered {len(reply.responses)} of "
+                f"{len(batch)} batch members"
+            )
+            for _, _, future in batch[len(reply.responses):]:
+                if not future.done():
+                    future.set_exception(exc)
+
+
+class _Flight:
+    """One in-flight coalescible evaluation (a single-flight entry).
+
+    ``token`` is the admission token the leader was admitted against;
+    only waiters whose own token it covers may join (the staleness
+    guard).
+    """
+
+    __slots__ = ("token", "future")
+
+    def __init__(self, token: tuple, future: asyncio.Future) -> None:
+        self.token = token
+        self.future = future
+
+
+def _covers(flight_token: tuple, admission_token: tuple) -> bool:
+    """May a waiter admitted at ``admission_token`` join this flight?
+
+    Every token component is monotone (versions, epochs, counters), so
+    componentwise >= means the flight's answer reflects at least
+    everything the waiter's admission point is entitled to see.
+    """
+    return len(flight_token) == len(admission_token) and all(
+        mine >= theirs
+        for mine, theirs in zip(flight_token, admission_token)
+    )
+
+
 def _op_rpc(op: tuple) -> tuple[str, tuple]:
     """Translate one journaled op into its worker RPC."""
     if op[0] == "add":
@@ -434,6 +682,9 @@ class AsyncShardGateway:
         kill_on_crash: bool = False,
         max_frame: int = wire.DEFAULT_MAX_FRAME,
         read_tier: str = "snapshot",
+        max_batch_size: int = 16,
+        max_batch_delay_us: int = 250,
+        coalesce: bool = False,
     ) -> None:
         if shards < 1:
             raise ValueError("gateway needs shards >= 1")
@@ -447,6 +698,13 @@ class AsyncShardGateway:
             raise ValueError("shard_timeout_s must be > 0")
         if read_tier not in ("snapshot", "immediate"):
             raise ValueError("read_tier must be 'snapshot' or 'immediate'")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_batch_delay_us < 0:
+            raise ValueError("max_batch_delay_us must be >= 0")
+        self.max_batch_size = max_batch_size
+        self.max_batch_delay_us = max_batch_delay_us
+        self.coalesce = coalesce
         self.read_tier = read_tier
         self.nshards = shards
         self.replicas = replicas
@@ -499,6 +757,13 @@ class AsyncShardGateway:
         )
         self.stats = GatewayStats()
         self.repl = ReplicationStats()
+        self.batching = BatchingStats()
+        #: Single-flight table: coalesce key → in-flight evaluation.
+        self._flights: dict[tuple, _Flight] = {}
+        #: Debug knob: hold every flight leader this long between
+        #: evaluating and resolving its future, so the staleness-guard
+        #: regression test can interleave a flush deterministically.
+        self._coalesce_hold_s = 0.0
 
     # -- PR 6 compatibility views -----------------------------------------
 
@@ -583,10 +848,11 @@ class AsyncShardGateway:
         stream_writer = replica.writer
         if stream_writer is None:
             raise WorkerDied(f"{replica.name} has no connection")
-        stream_writer.write(
-            wire.encode(wire.Request(request_id, method, args),
-                        self.max_frame)
+        header, payload = wire.encode_parts(
+            wire.Request(request_id, method, args), self.max_frame
         )
+        stream_writer.write(header)
+        stream_writer.write(payload)
         await stream_writer.drain()
         while True:
             response = await wire.read_message_async(
@@ -1021,6 +1287,65 @@ class AsyncShardGateway:
     def _tier(self) -> str | None:
         return "immediate" if self.read_tier == "immediate" else None
 
+    # -- single-flight coalescing -----------------------------------------
+
+    def _admission_token(self) -> tuple:
+        """Everything a read's answer may depend on, each component
+        monotone: the publish counter and version vector (snapshot-tier
+        answers change only at a publish boundary) plus — on the
+        immediate tier — the published mem epochs and the live writer
+        universe (doc-id head, deletion count), since immediate answers
+        reflect every acknowledged write."""
+        token = (self._snapshot_id,) + self._published_versions
+        if self.read_tier == "immediate":
+            token += self._published_mem_epochs + (
+                self._next_doc_id,
+                len(self._deleted),
+            )
+        return token
+
+    async def _single_flight(self, key: tuple, run):
+        """Run ``run()`` once per concurrent identical evaluation.
+
+        A waiter joins an existing flight only when the flight's
+        admission token covers its own (:func:`_covers`) — the
+        correctness guard: a coalesced answer must never be stamped
+        older than the waiter's admission point.  A flight admitted
+        before a flush is therefore unjoinable after it, even while its
+        future is still unresolved.
+        """
+        if not self.coalesce:
+            return await run()
+        admission = self._admission_token()
+        flight = self._flights.get(key)
+        if flight is not None:
+            if _covers(flight.token, admission):
+                self.batching.coalesce_hits += 1
+                return await asyncio.shield(flight.future)
+            self.batching.coalesce_stale_skips += 1
+        self.batching.coalesce_misses += 1
+        future = asyncio.get_running_loop().create_future()
+        future.add_done_callback(_retrieve)
+        flight = _Flight(admission, future)
+        # Last-admitted wins the table slot: our token is the freshest,
+        # so later arrivals get the most joinable flight.
+        self._flights[key] = flight
+        try:
+            result = await run()
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+            raise
+        else:
+            if self._coalesce_hold_s:
+                await asyncio.sleep(self._coalesce_hold_s)
+            if not future.done():
+                future.set_result(result)
+            return result
+        finally:
+            if self._flights.get(key) is flight:
+                del self._flights[key]
+
     async def _read_shard(
         self,
         i: int,
@@ -1048,13 +1373,19 @@ class AsyncShardGateway:
         for replica in rotation:
             attempts += 1
             try:
-                value, version, mem_epoch = await self._call_replica(
-                    replica,
-                    "versioned_read",
-                    method,
-                    args,
-                    timeout=self.shard_timeout_s,
-                )
+                if self.max_batch_size > 1:
+                    value, version, mem_epoch = await self._batched_read(
+                        replica, method, args
+                    )
+                else:
+                    self.batching.single_read_frames += 1
+                    value, version, mem_epoch = await self._call_replica(
+                        replica,
+                        "versioned_read",
+                        method,
+                        args,
+                        timeout=self.shard_timeout_s,
+                    )
             except ShardDeadlineExceeded:
                 timed_out = True
                 continue
@@ -1088,6 +1419,31 @@ class AsyncShardGateway:
         self.repl.reads_waited_for_rebuild += 1
         await self._await_any_rebuild(rs)
         return await self._read_shard(i, method, args, _retried=True)
+
+    async def _batched_read(
+        self, replica: Replica, method: str, args: tuple
+    ):
+        """One member read via the replica's micro-batcher.
+
+        The deadline covers the member individually — the window wait,
+        queueing behind the connection's writes, and batch execution —
+        exactly the span ``_call_replica`` covers unbatched.  The future
+        is shielded because the batch RPC is shared with batchmates: one
+        member's deadline must abandon its answer, not cancel theirs.
+        """
+        batcher = replica.batcher
+        if batcher is None:
+            batcher = replica.batcher = _ReadBatcher(self, replica)
+        future = batcher.enqueue(method, args)
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future), self.shard_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.stats.deadline_exceeded += 1
+            raise ShardDeadlineExceeded(
+                (replica.shard_id,), method
+            ) from None
 
     async def _scatter_words(self, words, tier: str | None = None) -> tuple:
         """Fetch every word from every shard concurrently.
@@ -1153,39 +1509,64 @@ class AsyncShardGateway:
         self, query: str, snapshot: GatewaySnapshot | None = None
     ) -> QueryAnswer:
         async with self._admit():
-            terms, _ = _boolean_terms(query)
-            ndocs, deleted = self._universe(snapshot)
-            fetch, counter = await self._scatter_words(
-                terms, tier=self._tier()
+            terms, _ = _boolean_terms(query)  # uniform rejection up front
+            key = (
+                "boolean",
+                query,
+                self.read_tier,
+                None if snapshot is None else snapshot.snapshot_id,
             )
-            docs = boolean_query.evaluate(query, fetch, ndocs)
-            # Per-shard fetches are deletion-filtered, but NOT's
-            # complement still contains deleted ids (paper §3: filter
-            # every answer).
-            if deleted:
-                docs = [d for d in docs if d not in deleted]
-            else:
-                docs = list(docs)
-            return QueryAnswer(doc_ids=docs, read_ops=counter[0])
+            return await self._single_flight(
+                key, lambda: self._boolean_once(query, snapshot)
+            )
+
+    async def _boolean_once(
+        self, query: str, snapshot: GatewaySnapshot | None
+    ) -> QueryAnswer:
+        ndocs, deleted = self._universe(snapshot)
+        terms, _ = _boolean_terms(query)
+        fetch, counter = await self._scatter_words(
+            terms, tier=self._tier()
+        )
+        docs = boolean_query.evaluate(query, fetch, ndocs)
+        # Per-shard fetches are deletion-filtered, but NOT's
+        # complement still contains deleted ids (paper §3: filter
+        # every answer).
+        if deleted:
+            docs = [d for d in docs if d not in deleted]
+        else:
+            docs = list(docs)
+        return QueryAnswer(doc_ids=docs, read_ops=counter[0])
 
     async def search_streamed(
         self, query: str, snapshot: GatewaySnapshot | None = None
     ) -> QueryAnswer:
         async with self._admit():
             streaming_query.parse_flat(query)  # uniform rejection up front
-            tasks = [
-                self._read_shard(
-                    i, "search_streamed", (query, None, self._tier())
-                )
-                for i in range(self.nshards)
-            ]
-            answers = await self._gather_with_deadlines(
-                tasks, "search_streamed"
+            key = (
+                "streamed",
+                query,
+                self.read_tier,
+                None if snapshot is None else snapshot.snapshot_id,
             )
-            docs, read_ops = scatter.gather_answers(
-                [(a.doc_ids, a.read_ops) for a in answers]
+            return await self._single_flight(
+                key, lambda: self._streamed_once(query)
             )
-            return QueryAnswer(doc_ids=docs, read_ops=read_ops)
+
+    async def _streamed_once(self, query: str) -> QueryAnswer:
+        tasks = [
+            self._read_shard(
+                i, "search_streamed", (query, None, self._tier())
+            )
+            for i in range(self.nshards)
+        ]
+        answers = await self._gather_with_deadlines(
+            tasks, "search_streamed"
+        )
+        docs, read_ops = scatter.gather_answers(
+            [(a.doc_ids, a.read_ops) for a in answers]
+        )
+        return QueryAnswer(doc_ids=docs, read_ops=read_ops)
 
     async def search_vector(
         self,
@@ -1205,16 +1586,30 @@ class AsyncShardGateway:
         snapshot: GatewaySnapshot | None = None,
     ):
         async with self._admit():
-            ndocs, _ = self._universe(snapshot)
-            # The ranker skips zero-weight terms without fetching them;
-            # prefetch exactly what it will fetch (raw keys — vocabulary
-            # lookup owns normalization).
-            terms = [w for w, weight in weights.items() if weight != 0.0]
-            fetch, counter = await self._scatter_words(
-                terms, tier=self._tier()
+            key = (
+                "vector",
+                tuple(sorted(weights.items())),
+                top_k,
+                self.read_tier,
+                None if snapshot is None else snapshot.snapshot_id,
             )
-            ranked = vector_query.rank(weights, fetch, ndocs, top_k=top_k)
-            return ranked, counter[0]
+            return await self._single_flight(
+                key, lambda: self._vector_once(weights, top_k, snapshot)
+            )
+
+    async def _vector_once(
+        self, weights, top_k: int, snapshot: GatewaySnapshot | None
+    ):
+        ndocs, _ = self._universe(snapshot)
+        # The ranker skips zero-weight terms without fetching them;
+        # prefetch exactly what it will fetch (raw keys — vocabulary
+        # lookup owns normalization).
+        terms = [w for w, weight in weights.items() if weight != 0.0]
+        fetch, counter = await self._scatter_words(
+            terms, tier=self._tier()
+        )
+        ranked = vector_query.rank(weights, fetch, ndocs, top_k=top_k)
+        return ranked, counter[0]
 
     async def ping(
         self,
@@ -1440,6 +1835,12 @@ class GatewayService:
         ):
             merged[key] = sum(w.get(key, 0) for w in workers)
         merged["replication"] = self.gateway.replication_stats()
+        merged["batching"] = self.gateway.batching.as_dict()
+        merged["batching"]["max_batch_size"] = self.gateway.max_batch_size
+        merged["batching"]["max_batch_delay_us"] = (
+            self.gateway.max_batch_delay_us
+        )
+        merged["batching"]["coalesce"] = self.gateway.coalesce
         return merged
 
     def buffer_stats(self) -> list[dict]:

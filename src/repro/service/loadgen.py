@@ -157,6 +157,13 @@ class LoadConfig:
     #: True forces probing (how the snapshot arm of BENCH_memtier
     #: measures its flush-cycle visibility floor); False disables.
     visibility_probes: bool | None = None
+    #: Gateway read micro-batch cap (1 = the unbatched PR 6 wire
+    #: protocol, frame for frame).
+    batch_size: int = 16
+    #: Ceiling of the adaptive batch-flush delay window (microseconds).
+    batch_delay_us: int = 250
+    #: Single-flight coalescing of identical concurrent queries.
+    coalesce: bool = False
 
     def __post_init__(self) -> None:
         if self.readers <= 0 or self.flush_cycles <= 0:
@@ -223,6 +230,10 @@ class LoadConfig:
                     "background_merge drives the in-process "
                     "BackgroundMerger; gateway workers merge on flush"
                 )
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.batch_delay_us < 0:
+            raise ValueError("batch_delay_us must be >= 0")
 
     @property
     def injects_faults(self) -> bool:
@@ -387,6 +398,9 @@ class LoadGenerator:
                 check_invariants=self.config.check_invariants,
                 buffer_cache_blocks=self.config.buffer_cache_blocks,
                 read_tier=self.config.read_tier,
+                max_batch_size=self.config.batch_size,
+                max_batch_delay_us=self.config.batch_delay_us,
+                coalesce=self.config.coalesce,
             )
         else:
             self.service = QueryService(

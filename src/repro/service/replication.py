@@ -105,6 +105,16 @@ class Replica:
         #: Generation counter: bumped at every respawn so concurrent
         #: observers of one death agree on a single rebuild.
         self.epoch = 0
+        #: Lazily attached per-replica read micro-batcher (the gateway's
+        #: ``_ReadBatcher``).  It lives on the *replica*, not the shard:
+        #: the read rotation picks a replica per logical read first, so
+        #: each member of one batch frame is bound for exactly this
+        #: connection — batching never defeats the round-robin spread or
+        #: the per-answer version-vector validation.  The batcher holds
+        #: no connection state of its own (it addresses ``writer`` /
+        #: ``reader`` under ``lock`` at flush time), so it survives
+        #: respawns untouched.
+        self.batcher = None
 
     @property
     def name(self) -> str:

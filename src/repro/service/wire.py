@@ -74,15 +74,59 @@ class Response:
     error: str | None = None
 
 
-def encode(message, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
-    """Serialize one message into a complete frame."""
+@dataclass(frozen=True)
+class BatchRequest:
+    """Many member reads in one frame (the gateway's micro-batch).
+
+    ``requests`` holds plain :class:`Request` members whose ids are batch
+    ordinals — the envelope's ``request_id`` is the one that matters for
+    reply matching on the connection.  Members must be read methods: the
+    worker evaluates all of them against one pinned published state and
+    stamps the whole batch with a single version vector entry.
+    """
+
+    request_id: int
+    requests: tuple = ()
+
+
+@dataclass(frozen=True)
+class BatchResponse:
+    """One reply frame answering every member of a :class:`BatchRequest`.
+
+    ``responses`` aligns index-for-index with the request's members; a
+    member that failed carries its own ``error`` so one poison query
+    cannot fail its batchmates.  ``version``/``mem_epoch`` stamp the one
+    worker state every member evaluated against.
+    """
+
+    request_id: int
+    responses: tuple = ()
+    version: int = 0
+    mem_epoch: int = 0
+
+
+def encode_parts(
+    message, max_frame: int = DEFAULT_MAX_FRAME
+) -> tuple[bytes, bytes]:
+    """Serialize one message into ``(header, payload)`` without joining.
+
+    Callers that can issue scatter writes (``sendmsg``, stream-writer
+    buffering) avoid the full extra copy ``header + payload`` would cost
+    on multi-MB checkpoint blobs.
+    """
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
     if len(payload) > max_frame:
         raise FrameTooLarge(
             f"message of {len(payload)} bytes exceeds the "
             f"{max_frame}-byte frame budget"
         )
-    return _HEADER.pack(MAGIC, len(payload)) + payload
+    return _HEADER.pack(MAGIC, len(payload)), payload
+
+
+def encode(message, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Serialize one message into a complete frame."""
+    header, payload = encode_parts(message, max_frame)
+    return header + payload
 
 
 def decode_header(header: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> int:
@@ -121,22 +165,29 @@ def decode(frame: bytes, max_frame: int = DEFAULT_MAX_FRAME):
 # -- blocking socket I/O (worker side) -----------------------------------------
 
 
-def _recv_exact(sock, n: int) -> bytes | None:
-    """Read exactly ``n`` bytes; ``None`` on EOF at a frame boundary."""
-    chunks: list[bytes] = []
-    remaining = n
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            if not chunks:
+def _recv_exact(sock, n: int):
+    """Read exactly ``n`` bytes; ``None`` on EOF at a frame boundary.
+
+    Fills one preallocated buffer via ``recv_into`` — no chunk list, no
+    ``join`` copy — and returns it as a ``bytearray`` (``struct`` and
+    ``pickle`` both accept any bytes-like object).
+    """
+    if not n:
+        return bytearray()
+    buf = bytearray(n)
+    view = memoryview(buf)
+    received = 0
+    while received < n:
+        got = sock.recv_into(view[received:])
+        if not got:
+            if not received:
                 return None
             raise TruncatedFrame(
-                f"stream ended {remaining} bytes short of a "
+                f"stream ended {n - received} bytes short of a "
                 f"{n}-byte read"
             )
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+        received += got
+    return buf
 
 
 def recv_message(sock, max_frame: int = DEFAULT_MAX_FRAME):
@@ -156,8 +207,32 @@ def recv_message(sock, max_frame: int = DEFAULT_MAX_FRAME):
 
 
 def send_message(sock, message, max_frame: int = DEFAULT_MAX_FRAME) -> None:
-    """Write one message to a blocking socket as a single frame."""
-    sock.sendall(encode(message, max_frame))
+    """Write one message to a blocking socket as a single frame.
+
+    Header and payload go out as a scatter write (``sendmsg``) so the
+    payload — which for checkpoint replies is a multi-MB blob — is never
+    copied into a joined ``header + payload`` buffer.  Platforms without
+    ``sendmsg`` fall back to two ``sendall`` calls (still copy-free).
+    """
+    header, payload = encode_parts(message, max_frame)
+    sendmsg = getattr(sock, "sendmsg", None)
+    if sendmsg is None:  # pragma: no cover - non-POSIX sockets
+        sock.sendall(header)
+        sock.sendall(payload)
+        return
+    buffers = [memoryview(header), memoryview(payload)]
+    while buffers:
+        sent = sendmsg(buffers)
+        while sent:
+            head = buffers[0]
+            if sent >= len(head):
+                sent -= len(head)
+                buffers.pop(0)
+            else:
+                buffers[0] = head[sent:]
+                sent = 0
+        while buffers and not len(buffers[0]):
+            buffers.pop(0)
 
 
 # -- asyncio stream I/O (gateway side) -----------------------------------------

@@ -135,6 +135,10 @@ class WorkerStats:
     flush_recoveries: int = 0
     requests: int = 0
     queries: int = 0
+    #: Batch frames received and member reads they carried (the spread
+    #: between ``batched_reads`` and ``batch_frames`` is frames saved).
+    batch_frames: int = 0
+    batched_reads: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -145,6 +149,8 @@ class WorkerStats:
             "flush_recoveries": self.flush_recoveries,
             "requests": self.requests,
             "queries": self.queries,
+            "batch_frames": self.batch_frames,
+            "batched_reads": self.batched_reads,
         }
 
 
@@ -488,6 +494,46 @@ class ShardWorker:
         value = getattr(self, method)(*args)
         return value, self.writer.batches, self._mem_epoch()
 
+    def batched_read(self, requests: tuple) -> tuple:
+        """Evaluate a micro-batch of reads against one pinned state.
+
+        The worker is single-threaded, so the published snapshot (and the
+        memory tier, and the writer's batch counter) cannot move between
+        members: version/snapshot validation happens **once per batch**,
+        and the whole reply carries a single ``(version, mem_epoch)``
+        stamp every member answer is true for.  Per-member failures are
+        isolated — a poison query yields an errored member
+        :class:`~repro.service.wire.Response` while its batchmates
+        answer normally — exactly the error surface the member would
+        have had as a lone frame.
+        """
+        self.stats.batch_frames += 1
+        self.stats.batched_reads += len(requests)
+        responses = []
+        for i, request in enumerate(requests):
+            if request.method not in READ_METHODS:
+                responses.append(
+                    wire.Response(
+                        i,
+                        False,
+                        error=(
+                            f"ValueError: {request.method!r} is not a "
+                            "read method"
+                        ),
+                    )
+                )
+                continue
+            try:
+                value = getattr(self, request.method)(*request.args)
+                responses.append(wire.Response(i, True, value))
+            except Exception as exc:  # noqa: BLE001 - typed member reply
+                responses.append(
+                    wire.Response(
+                        i, False, error=f"{type(exc).__name__}: {exc}"
+                    )
+                )
+        return tuple(responses), self.writer.batches, self._mem_epoch()
+
     # -- introspection ----------------------------------------------------
 
     def info(self) -> dict:
@@ -615,6 +661,35 @@ def serve(sock, spec: WorkerSpec) -> None:
             if request is None:
                 break
             worker.stats.requests += 1
+            if isinstance(request, wire.BatchRequest):
+                responses, version, mem_epoch = worker.batched_read(
+                    request.requests
+                )
+                reply = wire.BatchResponse(
+                    request.request_id, responses, version, mem_epoch
+                )
+                try:
+                    wire.send_message(sock, reply, spec.max_frame)
+                except wire.FrameTooLarge:
+                    # Degrade per member: every answer is refused, but
+                    # the envelope still arrives so no waiter hangs.
+                    errored = tuple(
+                        wire.Response(
+                            r.request_id,
+                            False,
+                            error="FrameTooLarge: batch response "
+                            "exceeded the frame budget",
+                        )
+                        for r in responses
+                    )
+                    wire.send_message(
+                        sock,
+                        wire.BatchResponse(
+                            request.request_id, errored, version, mem_epoch
+                        ),
+                        spec.max_frame,
+                    )
+                continue
             if request.method == "shutdown":
                 wire.send_message(
                     sock,

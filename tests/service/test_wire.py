@@ -162,3 +162,104 @@ class TestAsyncReader:
 
         with pytest.raises(wire.FrameTooLarge):
             asyncio.run(go())
+
+
+class TestBatchMessages:
+    def test_batch_request_roundtrip(self):
+        batch = wire.BatchRequest(
+            41,
+            (
+                wire.Request(0, "fetch_postings", ("wa", None, None)),
+                wire.Request(1, "search_streamed", ("wa AND wb", None, None)),
+            ),
+        )
+        assert roundtrip(batch) == batch
+
+    def test_batch_response_roundtrip(self):
+        reply = wire.BatchResponse(
+            41,
+            (
+                wire.Response(0, True, value=([1, 2], 3)),
+                wire.Response(1, False, error="ValueError: nope"),
+            ),
+            version=7,
+            mem_epoch=2,
+        )
+        assert roundtrip(reply) == reply
+        assert reply.responses[0].ok and not reply.responses[1].ok
+
+    def test_batch_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            batch = wire.BatchRequest(
+                5, tuple(wire.Request(i, "ping") for i in range(16))
+            )
+            wire.send_message(a, batch)
+            assert wire.recv_message(b) == batch
+        finally:
+            a.close()
+            b.close()
+
+
+class TestCopyElimination:
+    def test_encode_parts_matches_encode(self):
+        message = wire.Request(9, "search_boolean", ("a AND b", None))
+        header, payload = wire.encode_parts(message)
+        assert header + payload == wire.encode(message)
+        assert len(header) == wire.HEADER_BYTES
+        assert wire.decode_header(header) == len(payload)
+
+    def test_encode_parts_enforces_frame_budget(self):
+        big = wire.Request(1, "add_document", ("x" * 4096,))
+        with pytest.raises(wire.FrameTooLarge):
+            wire.encode_parts(big, max_frame=64)
+
+    def test_scatter_write_survives_partial_sends(self):
+        """A multi-MB payload overflows the socket buffer, forcing
+        ``sendmsg`` down its partial-write continuation path; the
+        receiver must still see one intact frame."""
+        import threading
+
+        a, b = socket.socketpair()
+        try:
+            blob = b"\x5a" * (4 * 1024 * 1024)
+            message = wire.Response(3, True, value=blob)
+            received = []
+
+            def drain():
+                received.append(wire.recv_message(b))
+
+            t = threading.Thread(target=drain)
+            t.start()
+            wire.send_message(a, message)
+            t.join(timeout=30.0)
+            assert received and received[0].value == blob
+        finally:
+            a.close()
+            b.close()
+
+    def test_recv_exact_returns_bytes_like(self):
+        """``_recv_exact`` fills one preallocated buffer via
+        ``recv_into`` and hands back a bytes-like object ``struct`` and
+        ``pickle`` both accept — no chunk list, no join copy."""
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"abcdef")
+            got = wire._recv_exact(b, 6)
+            assert isinstance(got, bytearray)
+            assert bytes(got) == b"abcdef"
+            assert wire._recv_exact(b, 0) == bytearray()
+            a.close()
+            assert wire._recv_exact(b, 4) is None  # EOF at a boundary
+        finally:
+            b.close()
+
+    def test_recv_exact_mid_read_eof_is_truncated(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"abc")
+            a.close()
+            with pytest.raises(wire.TruncatedFrame):
+                wire._recv_exact(b, 8)
+        finally:
+            b.close()
