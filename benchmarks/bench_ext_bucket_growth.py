@@ -1,0 +1,114 @@
+"""Extension X7 — dynamic bucket growth (paper §7's open problem).
+
+"As the size of the index grows from the addition of more documents, the
+performance of the index degrades.  This implies that we need a strategy to
+rebalance the division between short and long lists."
+
+This bench runs a double-length workload (146 days) through the bucket
+stage twice — fixed bucket space vs auto-growing bucket space — and then
+replays both long-list traces against the recommended new-style policy.
+
+Reproduced/extended claims:
+
+* with fixed buckets, the long-word fraction keeps climbing and the
+  long-list update stream keeps growing — the degradation the paper warns
+  about;
+* with the growth strategy the paper sketches (expand the bucket region at
+  flush time), migrations slow down, fewer moderately-frequent words are
+  forced into long lists, and late-run update costs are lower.
+"""
+
+from dataclasses import replace
+
+from _common import base_config, report
+from repro.analysis.reporting import format_table
+from repro.core.policy import Policy
+from repro.core.rebalance import GrowthPolicy
+from repro.pipeline.compute_buckets import ComputeBucketsProcess
+from repro.pipeline.compute_disks import ComputeDisksProcess, DiskStageConfig
+from repro.workload.synthetic import SyntheticNews
+
+DAYS = 146  # double the paper's run to expose the degradation
+
+
+def run_both():
+    config = base_config()
+    workload = replace(config.workload, days=DAYS)
+    updates = list(SyntheticNews(workload).batches())
+    out = {}
+    for label, growth in (
+        ("fixed", None),
+        ("growing", GrowthPolicy(occupancy_threshold=0.85)),
+    ):
+        stage = ComputeBucketsProcess(
+            config.nbuckets, config.bucket_size, growth=growth
+        )
+        bucket_result = stage.run(updates)
+        disks = ComputeDisksProcess(
+            DiskStageConfig(
+                policy=Policy.recommended_new(),
+                ndisks=config.ndisks,
+                block_postings=config.block_postings,
+                bucket_flush_blocks=config.bucket_flush_blocks,
+            )
+        ).run(bucket_result.trace)
+        out[label] = (bucket_result, disks)
+    return out
+
+
+def test_ext_bucket_growth(benchmark, capfd):
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = []
+    for label, (bucket_result, disks) in results.items():
+        _, _, long_fracs = bucket_result.category_fraction_series
+        late_long = sum(long_fracs[-14:]) / 14
+        rows.append(
+            (
+                label,
+                bucket_result.manager.nbuckets,
+                len(bucket_result.growth_events),
+                bucket_result.trace.nupdates,
+                disks.manager.directory.nwords,
+                round(late_long, 3),
+                disks.series.io_ops[-1],
+            )
+        )
+    report(
+        "ext_bucket_growth",
+        format_table(
+            (
+                "buckets",
+                "final count",
+                "growths",
+                "long-list updates",
+                "long words",
+                "late long-frac",
+                "io ops",
+            ),
+            rows,
+            title=f"X7: fixed vs growing bucket space over {DAYS} days",
+        ),
+        capfd,
+    )
+
+    fixed_bucket, fixed_disks = results["fixed"]
+    grown_bucket, grown_disks = results["growing"]
+    # Growth actually happened.
+    assert grown_bucket.growth_events
+    assert grown_bucket.manager.nbuckets > fixed_bucket.manager.nbuckets
+    # Rebalancing keeps more words short: fewer long words, fewer
+    # long-list updates, lower late-run long-word fraction.
+    assert grown_disks.manager.directory.nwords < (
+        fixed_disks.manager.directory.nwords
+    )
+    assert grown_bucket.trace.nupdates < fixed_bucket.trace.nupdates
+    _, _, fixed_long = fixed_bucket.category_fraction_series
+    _, _, grown_long = grown_bucket.category_fraction_series
+    assert sum(grown_long[-14:]) < sum(fixed_long[-14:])
+    # And the long-list I/O bill shrinks.
+    assert grown_disks.series.io_ops[-1] < fixed_disks.series.io_ops[-1]
+    # Postings conserved either way.
+    assert (
+        grown_bucket.trace.npostings + grown_bucket.manager.total_postings
+        == fixed_bucket.trace.npostings + fixed_bucket.manager.total_postings
+    )

@@ -12,7 +12,7 @@ Five subcommands cover the library's main entry points::
         query; prints matching doc ids (= ingest order) and the I/O cost.
 
     repro experiment [--policy SPEC ...] [--days N] [--scale S] [--exercise]
-                     [--jobs N] [--cache-dir DIR] [--shards N]
+                     [--jobs N] [--cache-dir DIR] [--shards N] [--doc-skew S]
                      [--inject-faults] [--fault-rate R] [--fault-seed S]
         Run the paper's pipeline on the synthetic News workload and print
         the evaluation metrics.  ``--policy`` may repeat; with several
@@ -42,6 +42,8 @@ Five subcommands cover the library's main entry points::
                       [--arrival-rate QPS] [--arrival-queries N]
                       [--queue-limit N] [--shard-timeout S]
                       [--batch-size N] [--batch-delay-us US] [--coalesce]
+                      [--doc-skew S] [--rebalance]
+                      [--rebalance-threshold X]
                       [--json PATH] [--no-verify]
                       [--inject-faults] [--fault-rate R] [--fault-seed S]
         Run the snapshot-isolated serving benchmark: N reader threads
@@ -63,6 +65,9 @@ Five subcommands cover the library's main entry points::
         adaptive micro-batches (``--batch-size``, ``--batch-delay-us``;
         ``--batch-size 1`` restores the unbatched wire protocol) and
         ``--coalesce`` single-flights identical concurrent queries.
+        ``--doc-skew`` pins explicit doc ids onto Zipf-drawn target
+        shards, and ``--rebalance`` (gateway only) answers the skew with
+        online shard splits/merges cut over at flush boundaries.
 
     repro check INDEX.ckpt
         Load a checkpointed index and verify the dual-structure
@@ -235,19 +240,26 @@ def _run_sharded_experiment(args, experiment, policies) -> int:
             print()
         report = sharded.run_policy(policy)
         print(f"policy:               {report.policy}")
+        skew = (
+            f", doc skew {report.doc_skew}" if report.doc_skew else ""
+        )
         print(f"shards:               {report.nshards} "
-              f"(router seed {report.router_seed})")
+              f"(router seed {report.router_seed}{skew})")
         print(f"long-list I/O total:  {report.io_ops_total:,}")
         print(f"critical-path I/O:    {report.io_ops_critical_path:,} "
               f"(parallel speedup {report.parallel_speedup:.2f}x)")
         print(f"avg reads per list:   {report.avg_reads_per_list:.2f}")
         print(f"long-list utilization {report.utilization:.1%}")
+        print(f"imbalance (max/mean): docs {report.doc_imbalance:.2f}x, "
+              f"I/O {report.io_imbalance:.2f}x "
+              f"(one split of the hottest shard -> "
+              f"{report.doc_imbalance_post_split:.2f}x)")
         for m in report.shards:
             print(
                 f"  shard {m.shard}: {m.io_ops:>9,} io ops, "
                 f"util {m.utilization:.1%}, "
                 f"reads/list {m.avg_reads_per_list:.2f}, "
-                f"{m.npostings:,} postings"
+                f"{m.npostings:,} postings, {m.ndocs:,} docs"
             )
     return 0
 
@@ -256,7 +268,9 @@ def cmd_experiment(args) -> int:
     fault_plan = _fault_plan_from_args(args)
     policies = args.policy or [Policy.recommended_new()]
     config = ExperimentConfig(
-        workload=SyntheticNewsConfig(days=args.days, scale=args.scale),
+        workload=SyntheticNewsConfig(
+            days=args.days, scale=args.scale, doc_skew=args.doc_skew
+        ),
         fault_plan=fault_plan,
     )
     experiment = Experiment(config, cache=_cache_from_args(args))
@@ -400,6 +414,9 @@ def cmd_serve_bench(args) -> int:
         batch_size=args.batch_size,
         batch_delay_us=args.batch_delay_us,
         coalesce=args.coalesce,
+        doc_skew=args.doc_skew,
+        rebalance=args.rebalance,
+        rebalance_threshold=args.rebalance_threshold,
     )
     report = LoadGenerator(config).run()
     overall = report.latency["overall"]
@@ -490,6 +507,17 @@ def cmd_serve_bench(args) -> int:
                 f"granted over {scheduler['rounds']} rounds "
                 f"({scheduler['deferred']} deferred, "
                 f"{len(scheduler['pending'])} still queued)"
+            )
+        reb = gw.get("rebalance", {})
+        if reb.get("enabled") or reb.get("splits") or reb.get("merges"):
+            print(
+                f"rebalance:        {reb['splits']} splits, "
+                f"{reb['merges']} merges, "
+                f"{reb['docs_moved']} docs moved "
+                f"(cutover {reb['cutover_seconds'] * 1e3:.1f} ms total), "
+                f"routing epoch {reb['routing_epoch']}, "
+                f"{len(reb['active_shards'])} active shards, "
+                f"imbalance {reb['last_imbalance']:.2f}x"
             )
         batching = gw.get("batching", {})
         if batching.get("batch_frames") or batching.get(
@@ -649,6 +677,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="seed perturbing the doc-id shard hash",
+    )
+    p_exp.add_argument(
+        "--doc-skew",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="Zipf exponent skewing document placement across shards "
+        "(shard 0 hottest; 0 = uniform hashing; with --shards > 1 the "
+        "report adds max/mean doc and I/O imbalance)",
     )
     add_fault_args(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
@@ -859,6 +896,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--coalesce",
         action="store_true",
         help="single-flight coalescing of identical concurrent queries",
+    )
+    p_serve.add_argument(
+        "--doc-skew",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="Zipf exponent skewing document placement across shards: "
+        "the writer pins explicit doc ids whose hash lands on a "
+        "Zipf-drawn target shard (shard 0 hottest; 0 = off)",
+    )
+    p_serve.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="let the gateway split hot shards and merge cold ones "
+        "online when live-doc imbalance exceeds --rebalance-threshold "
+        "(requires --gateway; cutovers land at flush boundaries and "
+        "the report grows a 'rebalance:' line)",
+    )
+    p_serve.add_argument(
+        "--rebalance-threshold",
+        type=float,
+        default=1.5,
+        metavar="X",
+        help="max/mean live-doc imbalance that triggers a shard split",
     )
     p_serve.add_argument(
         "--json", default=None, metavar="PATH",

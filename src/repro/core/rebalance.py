@@ -178,3 +178,124 @@ class RebuildScheduler:
             "deferred": self.deferred,
             "pending": list(self._queue),
         }
+
+
+@dataclass
+class RebalancePolicy:
+    """When shard-level doc skew justifies a structural move.
+
+    All thresholds are over *live* per-shard document counts sampled at
+    a flush boundary.  Imbalance is max/mean: 1.0 is perfect balance,
+    and a bound of ``max_imbalance`` tolerates the hottest shard holding
+    that multiple of the mean before a split is planned.
+    """
+
+    #: Split the hottest shard when max/mean exceeds this bound.
+    max_imbalance: float = 1.5
+    #: Plan nothing until the collection holds this many live docs
+    #: (tiny collections are all skew).
+    min_docs: int = 64
+    #: Never split a shard holding fewer live docs than this.
+    min_shard_docs: int = 16
+    #: Merge a shard holding less than this fraction of the mean.
+    merge_threshold: float = 0.25
+    #: Hard ceiling on active shards (0 = unlimited).
+    max_shards: int = 16
+    #: Flush rounds to sit out after a structural move (lets the moved
+    #: mass settle before the next plan reads the counts).
+    cooldown: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_imbalance <= 1.0:
+            raise ValueError("max_imbalance must be > 1.0")
+        if not 0.0 <= self.merge_threshold < 1.0:
+            raise ValueError("merge_threshold must be in [0, 1)")
+        if self.min_docs < 0 or self.min_shard_docs < 0:
+            raise ValueError("doc floors must be >= 0")
+        if self.max_shards < 0:
+            raise ValueError("max_shards must be >= 0")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+
+
+class RebalancePlanner(RebuildScheduler):
+    """A rebuild scheduler that also plans shard splits and merges.
+
+    Extends :class:`RebuildScheduler` so a gateway runs *one* scheduler:
+    bucket-growth grants keep their FIFO staggering (inherited
+    unchanged), and :meth:`plan` adds at most one structural move per
+    eligible flush round.  Deterministic on purpose — the plan depends
+    only on the policy and the observed count history, so replaying the
+    same ingest reproduces the same split/merge schedule.
+    """
+
+    def __init__(
+        self,
+        policy: RebalancePolicy | None = None,
+        max_concurrent: int = 1,
+    ) -> None:
+        super().__init__(max_concurrent=max_concurrent)
+        self.policy = policy or RebalancePolicy()
+        self._cooldown_left = 0
+        self.planned_splits = 0
+        self.planned_merges = 0
+
+    @staticmethod
+    def imbalance(counts) -> float:
+        """max/mean over per-shard live-doc counts (0.0 when empty).
+
+        Accepts the ``{shard_id: count}`` mapping :meth:`plan` takes or
+        a bare sequence of counts.
+        """
+        live = list(
+            counts.values() if hasattr(counts, "values") else counts
+        )
+        total = sum(live)
+        if not live or total == 0:
+            return 0.0
+        return max(live) / (total / len(live))
+
+    def plan(self, counts: dict) -> tuple | None:
+        """At most one structural move for this flush round.
+
+        ``counts`` maps each *active* shard id to its live-doc count.
+        Returns ``("split", victim)``, ``("merge", src, dst)`` (merge
+        the smallest shard into the second smallest), or ``None``.
+        Each returned move starts the cooldown clock.
+        """
+        policy = self.policy
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return None
+        total = sum(counts.values())
+        if not counts or total < policy.min_docs:
+            return None
+        mean = total / len(counts)
+        victim = max(counts, key=lambda s: (counts[s], -s))
+        if (
+            (not policy.max_shards or len(counts) < policy.max_shards)
+            and counts[victim] > policy.max_imbalance * mean
+            and counts[victim] >= policy.min_shard_docs
+        ):
+            self._cooldown_left = policy.cooldown
+            self.planned_splits += 1
+            return ("split", victim)
+        if len(counts) > 2:
+            order = sorted(counts, key=lambda s: (counts[s], s))
+            smallest, second = order[0], order[1]
+            if counts[smallest] < policy.merge_threshold * mean:
+                self._cooldown_left = policy.cooldown
+                self.planned_merges += 1
+                return ("merge", smallest, second)
+        return None
+
+    def as_dict(self) -> dict:
+        out = super().as_dict()
+        out.update(
+            {
+                "planned_splits": self.planned_splits,
+                "planned_merges": self.planned_merges,
+                "cooldown_left": self._cooldown_left,
+            }
+        )
+        return out

@@ -50,7 +50,7 @@ from .deletion import SweepStats
 from .index import BatchResult, IndexConfig
 from .invariants import InvariantReport, Violation
 from .rebalance import RebuildScheduler
-from .shard import shard_of
+from .routing import RoutingTable
 
 
 class ShardDeltaVector:
@@ -159,6 +159,8 @@ class ShardedTextIndex:
             for _ in range(shards)
         ]
         self.router_seed = router_seed
+        # Epoch 0: identity slot map, routing exactly like shard_of.
+        self.routing = RoutingTable.initial(shards, router_seed)
         self.flush_jobs = flush_jobs
         self.flush_executor = flush_executor
         # Serialize grow_buckets rebuilds across shards: at most one
@@ -168,6 +170,16 @@ class ShardedTextIndex:
         )
         self._next_doc_id = 0
         self._batches = 0
+        # *User* deletions over the global universe.  Per-shard deleted
+        # sets additionally hold rebalance tombstones (documents a split
+        # moved off a volume), which must hide a shard's stale copy but
+        # must NOT hide the document from NOT-complement answers — so
+        # global answer filtering uses this set, never the shard union.
+        self._deleted: set[int] = set()
+        # Doc ids skipped by explicit-id ingest (skewed placement):
+        # they exist on no shard, so rebalance doc counts must not
+        # treat them as live documents.
+        self._holes: set[int] = set()
         # Completed per-shard results of the batch currently being
         # flushed: survives a sibling shard's crash so recovery resumes
         # instead of redoing finished shards.
@@ -209,9 +221,14 @@ class ShardedTextIndex:
     def needs_recovery(self) -> bool:
         return any(shard.needs_recovery for shard in self.shards)
 
+    @property
+    def routing_epoch(self) -> int:
+        """The routing table's epoch (0 until the first rebalance)."""
+        return self.routing.epoch
+
     def route(self, doc_id: int) -> int:
-        """The shard index owning ``doc_id``."""
-        return shard_of(doc_id, len(self.shards), self.router_seed)
+        """The shard index owning ``doc_id`` under the current epoch."""
+        return self.routing.route(doc_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -231,6 +248,8 @@ class ShardedTextIndex:
                 f"doc id {doc_id} below next id {self._next_doc_id}: "
                 "ids must be non-decreasing"
             )
+        if doc_id > self._next_doc_id:
+            self._holes.update(range(self._next_doc_id, doc_id))
         self.shards[self.route(doc_id)].add_document(text, doc_id=doc_id)
         self._next_doc_id = doc_id + 1
         return doc_id
@@ -242,13 +261,23 @@ class ShardedTextIndex:
                 f"doc id {doc_id} outside [0, {self._next_doc_id})"
             )
         self.shards[self.route(doc_id)].delete_document(doc_id)
+        self._deleted.add(doc_id)
 
     def sweep_deletions(
         self, max_lists: int | None = None
     ) -> list[SweepStats]:
         """Run the reclamation sweep on every shard (``max_lists`` is a
-        per-shard budget); returns the per-shard stats."""
-        return [shard.sweep_deletions(max_lists) for shard in self.shards]
+        per-shard budget); returns the per-shard stats.
+
+        Ids a shard's sweep physically reclaimed leave the global
+        user-deletion set too, matching the single-volume contract
+        (paper §3: after a sweep the deleted list can be thrown away).
+        """
+        before = [set(shard.deletions.deleted) for shard in self.shards]
+        stats = [shard.sweep_deletions(max_lists) for shard in self.shards]
+        for prior, shard in zip(before, self.shards):
+            self._deleted -= prior - shard.deletions.deleted
+        return stats
 
     # -- flushing ---------------------------------------------------------
 
@@ -471,17 +500,109 @@ class ShardedTextIndex:
             return None
         return self.flush_batch()
 
+    # -- rebalancing ------------------------------------------------------
+
+    def shard_doc_counts(self) -> list[int]:
+        """Live documents per shard under the current routing epoch.
+
+        An O(ndocs) lazy scan over the global universe (the index keeps
+        no per-shard doc list); the rebalance planner samples this at
+        flush boundaries, where the cost is amortized against the flush
+        itself.
+        """
+        counts = [0] * len(self.shards)
+        for doc_id in range(self._next_doc_id):
+            if doc_id in self._deleted or doc_id in self._holes:
+                continue
+            counts[self.routing.route(doc_id)] += 1
+        return counts
+
+    def split_shard(self, victim: int) -> int:
+        """Split ``victim``'s hash slice onto a brand-new shard.
+
+        The new volume is spawned as a *clone* of the victim (the same
+        move a replica rebuild makes from a checkpoint), after which
+        each copy tombstones the half it no longer owns: the victim
+        deletes the movers, the clone deletes the stayers.  Routing
+        tombstones go through the ordinary deletion filter — they hide a
+        volume's stale copy from its answers — but never enter the
+        global user-deletion set, so the documents stay globally alive.
+        Publishes the next routing epoch and returns the new shard id.
+        """
+        if not 0 <= victim < len(self.shards):
+            raise ValueError(f"no shard {victim}")
+        new_id = len(self.shards)
+        table = self.routing.split(victim, new_id)
+        vol = self.shards[victim]
+        if len(vol.index.memory):
+            # Clones exist at batch boundaries only.
+            vol.flush_batch()
+        clone = vol.clone()
+        self.shards.append(clone)
+        for doc_id in range(vol.ndocs):
+            if self.routing.route(doc_id) != victim:
+                continue  # never lived on this volume
+            if table.route(doc_id) == new_id:
+                vol.delete_document(doc_id)  # mover: stale on the victim
+            else:
+                clone.delete_document(doc_id)  # stayer: stale on the clone
+        self.routing = table
+        return new_id
+
+    def merge_shards(self, src: int, dst: int) -> None:
+        """Merge ``src``'s slice into ``dst``, retiring ``src``.
+
+        Per-volume posting lists require ascending doc-id inserts, so
+        the union cannot be built by appending ``src``'s documents onto
+        ``dst``.  Instead both volumes :meth:`export
+        <repro.textindex.TextDocumentIndex.export_documents>` their live
+        documents and a fresh union volume re-indexes the interleaved
+        stream in global doc-id order.  ``dst``'s slot takes the union;
+        ``src``'s slot is left as an empty volume owning no routing
+        slots (shard ids are stable indices)."""
+        table = self.routing.merge(src, dst)
+        src_vol, dst_vol = self.shards[src], self.shards[dst]
+        for vol in (src_vol, dst_vol):
+            if len(vol.index.memory):
+                vol.flush_batch()
+        union = TextDocumentIndex(
+            dst_vol.index.config,
+            tokenizer_config=dst_vol.tokenizer_config,
+            region_rules=dst_vol.region_rules,
+        )
+        for doc_id, text in sorted(
+            src_vol.export_documents() + dst_vol.export_documents()
+        ):
+            union.add_document(text, doc_id=doc_id)
+        # Exports omit postings-free documents; restore the doc-id
+        # watermark so later deletions of such ids stay valid.
+        union.index._next_doc_id = max(src_vol.ndocs, dst_vol.ndocs)
+        if len(union.index.memory):
+            union.flush_batch()
+        self.shards[dst] = union
+        self.shards[src] = TextDocumentIndex(
+            src_vol.index.config,
+            tokenizer_config=src_vol.tokenizer_config,
+            region_rules=src_vol.region_rules,
+        )
+        self.routing = table
+
     # -- publication ------------------------------------------------------
 
     def _empty_copy(self) -> "ShardedTextIndex":
         copy = ShardedTextIndex.__new__(ShardedTextIndex)
         copy.router_seed = self.router_seed
+        # Routing tables are immutable: the clone shares this epoch's
+        # table and parts ways at the writer's next rebalance.
+        copy.routing = self.routing
         # Clones are published read-only snapshots: serial flush knobs.
         copy.flush_jobs = 1
         copy.flush_executor = "thread"
         copy.rebuild_scheduler = None
         copy._next_doc_id = self._next_doc_id
         copy._batches = self._batches
+        copy._deleted = set(self._deleted)
+        copy._holes = set(self._holes)
         copy._inflight = {}
         copy._last_read_ops = 0
         return copy
@@ -505,7 +626,11 @@ class ShardedTextIndex:
             not isinstance(prev, ShardedTextIndex)
             or len(prev.shards) != len(self.shards)
             or prev.router_seed != self.router_seed
+            or prev.routing != self.routing
         ):
+            # A routing-epoch change means documents moved between
+            # shards: per-shard deltas no longer describe the gap, so
+            # the caller must publish a full clone.
             raise CheckpointError(
                 "previous snapshot has a different shard layout"
             )
@@ -587,12 +712,6 @@ class ShardedTextIndex:
         )
         return fetch(word), counter[0]
 
-    def _deleted_union(self) -> set[int]:
-        dead: set[int] = set()
-        for shard in self.shards:
-            dead |= shard.deletions.deleted
-        return dead
-
     def search_boolean(self, query: str) -> QueryAnswer:
         """Fetch-level scatter: merge each term's posting fragments and
         run the unchanged boolean evaluator over the *global* universe —
@@ -604,7 +723,10 @@ class ShardedTextIndex:
         docs = boolean_query.evaluate(query, fetch, self.ndocs)
         # Per-shard fetches are deletion-filtered, but NOT's complement
         # still contains deleted ids (paper §3: filter every answer).
-        dead = self._deleted_union()
+        # Filter with the *user* deletion set, not the per-shard union —
+        # after a split the union also holds rebalance tombstones for
+        # documents that moved shards but are globally alive.
+        dead = self._deleted
         docs = [d for d in docs if d not in dead] if dead else list(docs)
         self._last_read_ops = counter[0]
         return QueryAnswer(doc_ids=docs, read_ops=counter[0])

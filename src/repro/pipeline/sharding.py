@@ -40,45 +40,101 @@ from .experiment import Experiment
 #: in aggregate, O(nshards) instead of O(count)).
 _EXACT_SPLIT_MAX = 64
 
+#: Resolution of the deterministic uniform draw feeding the skewed CDF.
+_SKEW_GRAIN = 1 << 20
 
-def _slot(day: int, word: int, j: int, nshards: int, seed: int) -> int:
+
+def _skew_cdf(nshards: int, doc_skew: float) -> list[float] | None:
+    """Cumulative Zipf shard weights (shard 0 hottest), or None."""
+    if doc_skew <= 0.0 or nshards <= 1:
+        return None
+    weights = [1.0 / (s + 1) ** doc_skew for s in range(nshards)]
+    total = sum(weights)
+    cdf, acc = [], 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    return cdf
+
+
+def _slot(
+    day: int,
+    word: int,
+    j: int,
+    nshards: int,
+    seed: int,
+    skew_cdf: list[float] | None = None,
+) -> int:
     """Shard owning the ``j``-th document slot of ``word`` on ``day``.
 
     Feeds a synthetic doc identity through the same stable mix the
-    serving router uses, so the model inherits its distribution.
+    serving router uses, so the model inherits its distribution.  With
+    ``skew_cdf`` the mix becomes a uniform draw mapped through the Zipf
+    CDF instead — the pipeline's model of ``doc_skew`` placement, with
+    the same determinism in ``(day, word, j, seed)``.
     """
-    return shard_of((day * 1_000_003 + word) * 97 + j, nshards, seed)
+    key = (day * 1_000_003 + word) * 97 + j
+    if skew_cdf is None:
+        return shard_of(key, nshards, seed)
+    u = shard_of(key, _SKEW_GRAIN, seed) / _SKEW_GRAIN
+    for s, edge in enumerate(skew_cdf):
+        if u < edge:
+            return s
+    return nshards - 1
 
 
 def split_update(
-    update: BatchUpdate, nshards: int, seed: int = 0
+    update: BatchUpdate,
+    nshards: int,
+    seed: int = 0,
+    doc_skew: float = 0.0,
 ) -> list[BatchUpdate]:
     """Split one day's update into per-shard updates.
 
     Per word, the per-shard counts are non-negative and sum to the
     original count; per-shard pair lists stay sorted by word id.  With
-    ``nshards <= 1`` the original update is returned unchanged.
+    ``nshards <= 1`` the original update is returned unchanged.  With
+    ``doc_skew > 0`` document slots land on Zipf-skewed shards (shard 0
+    hottest) instead of uniformly — the pipeline model of the serving
+    layer's skewed placement workload.
     """
     if nshards <= 1:
         return [update]
+    skew_cdf = _skew_cdf(nshards, doc_skew)
     pairs: list[list[tuple[int, int]]] = [[] for _ in range(nshards)]
     for word, count in update.pairs:
         counts = [0] * nshards
-        if count > _EXACT_SPLIT_MAX:
+        if count > _EXACT_SPLIT_MAX and skew_cdf is None:
             base, rem = divmod(count, nshards)
             for s in range(nshards):
                 counts[s] = base
             for j in range(rem):
                 counts[_slot(update.day, word, j, nshards, seed)] += 1
+        elif count > _EXACT_SPLIT_MAX:
+            # Skewed even-split: proportional floors plus a hashed
+            # remainder, so hot words skew exactly like rare ones.
+            prev_edge = 0.0
+            floors = []
+            for s, edge in enumerate(skew_cdf):
+                floors.append(int(count * (edge - prev_edge)))
+                prev_edge = edge
+            for s in range(nshards):
+                counts[s] = floors[s]
+            for j in range(count - sum(floors)):
+                counts[
+                    _slot(update.day, word, j, nshards, seed, skew_cdf)
+                ] += 1
         else:
             for j in range(count):
-                counts[_slot(update.day, word, j, nshards, seed)] += 1
+                counts[
+                    _slot(update.day, word, j, nshards, seed, skew_cdf)
+                ] += 1
         for s in range(nshards):
             if counts[s]:
                 pairs[s].append((word, counts[s]))
     ndocs = [0] * nshards
     for j in range(update.ndocs):
-        ndocs[_slot(update.day, 0, j, nshards, seed)] += 1
+        ndocs[_slot(update.day, 0, j, nshards, seed, skew_cdf)] += 1
     return [
         BatchUpdate(day=update.day, pairs=pairs[s], ndocs=ndocs[s])
         for s in range(nshards)
@@ -86,12 +142,17 @@ def split_update(
 
 
 def split_updates(
-    updates: list[BatchUpdate], nshards: int, seed: int = 0
+    updates: list[BatchUpdate],
+    nshards: int,
+    seed: int = 0,
+    doc_skew: float = 0.0,
 ) -> list[list[BatchUpdate]]:
     """Per-shard update streams: ``result[s]`` is shard ``s``'s days."""
     streams: list[list[BatchUpdate]] = [[] for _ in range(max(1, nshards))]
     for update in updates:
-        for s, part in enumerate(split_update(update, nshards, seed)):
+        for s, part in enumerate(
+            split_update(update, nshards, seed, doc_skew)
+        ):
             streams[s].append(part)
     return streams
 
@@ -106,6 +167,8 @@ class ShardRunMetrics:
     utilization: float
     avg_reads_per_list: float
     in_place_updates: int
+    #: Documents routed to this shard over the whole run.
+    ndocs: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -115,6 +178,7 @@ class ShardRunMetrics:
             "utilization": round(self.utilization, 6),
             "avg_reads_per_list": round(self.avg_reads_per_list, 4),
             "in_place_updates": self.in_place_updates,
+            "ndocs": self.ndocs,
         }
 
 
@@ -125,6 +189,7 @@ class ShardedPolicyReport:
     policy: str
     nshards: int
     router_seed: int
+    doc_skew: float = 0.0
     shards: list[ShardRunMetrics] = field(default_factory=list)
 
     @property
@@ -165,16 +230,50 @@ class ShardedPolicyReport:
             / total
         )
 
+    @property
+    def doc_imbalance(self) -> float:
+        """max/mean over per-shard document counts (1.0 = balanced)."""
+        from ..core.rebalance import RebalancePlanner
+
+        return RebalancePlanner.imbalance([m.ndocs for m in self.shards])
+
+    @property
+    def io_imbalance(self) -> float:
+        """max/mean over per-shard long-list I/O (the critical-path
+        skew a parallel flush actually waits on)."""
+        from ..core.rebalance import RebalancePlanner
+
+        return RebalancePlanner.imbalance([m.io_ops for m in self.shards])
+
+    @property
+    def doc_imbalance_post_split(self) -> float:
+        """Projected doc imbalance if the hottest shard were split in
+        half onto a new shard — what one online split would buy."""
+        from ..core.rebalance import RebalancePlanner
+
+        counts = sorted(m.ndocs for m in self.shards)
+        if not counts:
+            return 0.0
+        hot = counts.pop()
+        counts.extend([hot // 2, hot - hot // 2])
+        return RebalancePlanner.imbalance(counts)
+
     def as_dict(self) -> dict:
         return {
             "policy": self.policy,
             "nshards": self.nshards,
             "router_seed": self.router_seed,
+            "doc_skew": self.doc_skew,
             "io_ops_total": self.io_ops_total,
             "io_ops_critical_path": self.io_ops_critical_path,
             "parallel_speedup": round(self.parallel_speedup, 4),
             "utilization": round(self.utilization, 6),
             "avg_reads_per_list": round(self.avg_reads_per_list, 4),
+            "doc_imbalance": round(self.doc_imbalance, 4),
+            "io_imbalance": round(self.io_imbalance, 4),
+            "doc_imbalance_post_split": round(
+                self.doc_imbalance_post_split, 4
+            ),
             "shards": [m.as_dict() for m in self.shards],
         }
 
@@ -189,7 +288,11 @@ class ShardedExperiment:
     """
 
     def __init__(
-        self, experiment: Experiment, nshards: int, router_seed: int = 0
+        self,
+        experiment: Experiment,
+        nshards: int,
+        router_seed: int = 0,
+        doc_skew: float | None = None,
     ) -> None:
         if nshards < 2:
             raise ValueError(
@@ -199,13 +302,23 @@ class ShardedExperiment:
         self.experiment = experiment
         self.nshards = nshards
         self.router_seed = router_seed
+        # Default to the workload's own skew so `repro experiment
+        # --doc-skew` shapes both the corpus config and the split model.
+        if doc_skew is None:
+            doc_skew = getattr(
+                experiment.config.workload, "doc_skew", 0.0
+            )
+        self.doc_skew = doc_skew
         self._streams: list[list[BatchUpdate]] | None = None
         self._traces: list | None = None
 
     def shard_streams(self) -> list[list[BatchUpdate]]:
         if self._streams is None:
             self._streams = split_updates(
-                self.experiment.updates(), self.nshards, self.router_seed
+                self.experiment.updates(),
+                self.nshards,
+                self.router_seed,
+                self.doc_skew,
             )
         return self._streams
 
@@ -230,6 +343,7 @@ class ShardedExperiment:
             policy=policy.name,
             nshards=self.nshards,
             router_seed=self.router_seed,
+            doc_skew=self.doc_skew,
         )
         streams = self.shard_streams()
         for s, trace in enumerate(self._shard_traces()):
@@ -247,6 +361,7 @@ class ShardedExperiment:
                     utilization=disks.final_utilization,
                     avg_reads_per_list=disks.final_avg_reads,
                     in_place_updates=disks.counters.in_place_updates,
+                    ndocs=sum(u.ndocs for u in streams[s]),
                 )
             )
         return report

@@ -49,6 +49,30 @@ def merge_disjoint(runs: Sequence[list[int]]) -> list[int]:
     return list(heapq.merge(*live))
 
 
+def merge_unique(runs: Sequence[list[int]]) -> list[int]:
+    """Merge sorted doc-id runs, dropping cross-run duplicates.
+
+    On pairwise-disjoint runs this is exactly :func:`merge_disjoint` —
+    the steady-state scatter shape — so using it costs nothing in the
+    common case.  During a split's relocation window two shards briefly
+    both hold a moving document (the new shard was spawned from the
+    victim's checkpoint before the victim's tombstones flush); deduping
+    here makes that overlap invisible to boolean evaluation and vector
+    scoring, which is what keeps mid-rebalance answers byte-identical to
+    the unsharded oracle.
+    """
+    live = [run for run in runs if run]
+    if not live:
+        return []
+    if len(live) == 1:
+        return list(live[0])
+    merged: list[int] = []
+    for doc in heapq.merge(*live):
+        if not merged or merged[-1] != doc:
+            merged.append(doc)
+    return merged
+
+
 def scatter_fetch(fetchers: Sequence[ShardFetch]):
     """A merged fetch over per-shard fetchers, with summed accounting.
 

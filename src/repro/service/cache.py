@@ -151,7 +151,13 @@ class QueryResultCache:
         ``versions`` is the caller's shard-snapshot vector: when given
         and the lookup lands on the entry's newest snapshot, the vectors
         must agree — a mismatch (shard layout change, out-of-band shard
-        advance) drops the entry instead of serving it.
+        advance) drops the entry instead of serving it.  Callers on a
+        rebalancable topology prefix the vector with the routing-table
+        epoch (:attr:`IndexSnapshot.version_vector`), so an answer
+        computed before a shard split or merge — same per-shard
+        counters, different document placement — can never be served
+        after one: the epoch component (or the vector length itself)
+        disagrees.
 
         ``epoch`` is the live memory-tier epoch for immediate-tier
         lookups.  When it differs from the entry's recorded epoch the

@@ -90,13 +90,18 @@ import asyncio
 import itertools
 import socket
 import threading
+import time
 from contextlib import asynccontextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 
 from ..core.index import BatchResult, IndexConfig
 from ..core.invariants import InvariantReport, Violation
-from ..core.rebalance import RebuildScheduler
-from ..core.shard import shard_of
+from ..core.rebalance import (
+    RebalancePlanner,
+    RebalancePolicy,
+    RebuildScheduler,
+)
+from ..core.routing import RoutingTable
 from ..pipeline.profiling import LatencyRecorder, StageTimings
 from ..query import boolean as boolean_query
 from ..query import scatter
@@ -398,6 +403,11 @@ class GatewaySnapshot:
     #: gateway serves the snapshot tier only) — they ride the version
     #: vector so cache layers can scope invalidation to buffered terms.
     mem_epochs: tuple[int, ...] = ()
+    #: Routing-table epoch the boundary was published under.  A shard
+    #: split or merge bumps it (and the snapshot id), so any identity
+    #: comparison over this token distinguishes pre- and post-rebalance
+    #: boundaries even when per-shard counters happen to coincide.
+    routing_epoch: int = 0
 
 
 @dataclass
@@ -419,6 +429,36 @@ class GatewayStats:
             "flushes": self.flushes,
             "replayed_ops": self.replayed_ops,
             "worker_kills_observed": self.worker_kills_observed,
+        }
+
+
+@dataclass
+class RebalanceStats:
+    """Online split/merge counters (``gateway_stats["rebalance"]``)."""
+
+    #: Shard splits completed (victim slice halved onto a new shard).
+    splits: int = 0
+    #: Shard merges completed (two shards rebuilt as one union shard).
+    merges: int = 0
+    #: Live documents relocated across all structural moves.
+    docs_moved: int = 0
+    #: Total seconds readers could observe a relocation overlap (split:
+    #: routing flip → victim tombstone publish; merge: the synchronous
+    #: cutover block).  Answers stay exact throughout — the scatter
+    #: merges dedupe — this measures the window, not an outage.
+    cutover_seconds: float = 0.0
+    last_cutover_seconds: float = 0.0
+    #: max/mean live-doc imbalance at the last planner sample.
+    last_imbalance: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "splits": self.splits,
+            "merges": self.merges,
+            "docs_moved": self.docs_moved,
+            "cutover_seconds": round(self.cutover_seconds, 6),
+            "last_cutover_seconds": round(self.last_cutover_seconds, 6),
+            "last_imbalance": round(self.last_imbalance, 6),
         }
 
 
@@ -685,6 +725,8 @@ class AsyncShardGateway:
         max_batch_size: int = 16,
         max_batch_delay_us: int = 250,
         coalesce: bool = False,
+        rebalance: bool = False,
+        rebalance_policy: RebalancePolicy | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("gateway needs shards >= 1")
@@ -702,6 +744,13 @@ class AsyncShardGateway:
             raise ValueError("max_batch_size must be >= 1")
         if max_batch_delay_us < 0:
             raise ValueError("max_batch_delay_us must be >= 0")
+        if rebalance and read_tier == "immediate":
+            # The immediate tier reads workers' live write buffers; a
+            # relocation would need those buffers migrated mid-epoch,
+            # which the split/merge protocol does not attempt.
+            raise ValueError(
+                "online rebalance requires read_tier='snapshot'"
+            )
         self.max_batch_size = max_batch_size
         self.max_batch_delay_us = max_batch_delay_us
         self.coalesce = coalesce
@@ -733,11 +782,32 @@ class AsyncShardGateway:
             self._sets.append(
                 ReplicaSet(i, replica_specs(base, replicas, fault_plans, i))
             )
+        #: The versioned slice → shard map (epoch 0 routes exactly like
+        #: the static ``shard_of``); structural moves publish successors.
+        self.routing = RoutingTable.initial(shards, router_seed)
+        #: Shard ids currently serving (retired sets stay in ``_sets``
+        #: for in-flight readers but leave this list at cutover).
+        self._active: list[int] = list(range(shards))
+        #: Doc ids skipped by explicit-id ingest (skewed placement):
+        #: they exist nowhere, so rebalance doc counts and relocation
+        #: scans must not treat them as live victim documents.
+        self._holes: set[int] = set()
+        self.rebalance = RebalanceStats()
         #: Serializes grow_buckets rebuilds across shards (None = every
         #: shard grows the round its trigger fires, PR 5 behavior).
-        self.rebuild_scheduler = (
-            RebuildScheduler() if rebuild_stagger else None
-        )
+        #: With rebalancing on, one RebalancePlanner plays both roles —
+        #: growth grants keep their FIFO staggering and the same object
+        #: plans at most one split/merge per eligible flush round.
+        if rebalance:
+            self.rebalance_planner = RebalancePlanner(
+                rebalance_policy or RebalancePolicy()
+            )
+            self.rebuild_scheduler = self.rebalance_planner
+        else:
+            self.rebalance_planner = None
+            self.rebuild_scheduler = (
+                RebuildScheduler() if rebuild_stagger else None
+            )
         #: Debug knob: hold every rebuild this long before it starts, so
         #: tests can observe survivors serving while a victim recovers.
         self._rebuild_hold_s = 0.0
@@ -1021,11 +1091,19 @@ class AsyncShardGateway:
     # -- writer path (single logical writer) ------------------------------
 
     def route(self, doc_id: int) -> int:
-        return shard_of(doc_id, self.nshards, self.router_seed)
+        return self.routing.route(doc_id)
 
-    async def add_document(self, text: str) -> int:
+    async def add_document(self, text: str, doc_id: int | None = None) -> int:
         async with self._writer_lock:
-            doc_id = self._next_doc_id
+            if doc_id is None:
+                doc_id = self._next_doc_id
+            elif doc_id < self._next_doc_id:
+                raise ValueError(
+                    f"doc id {doc_id} below next id {self._next_doc_id}: "
+                    "ids must be non-decreasing"
+                )
+            if doc_id > self._next_doc_id:
+                self._holes.update(range(self._next_doc_id, doc_id))
             shard = self.route(doc_id)
             rs = self._sets[shard]
             # Journal before sending: if a replica dies mid-call, its
@@ -1041,6 +1119,8 @@ class AsyncShardGateway:
             raise ValueError(
                 f"doc id {doc_id} outside [0, {self._next_doc_id})"
             )
+        if doc_id in self._holes:
+            raise ValueError(f"doc id {doc_id} was never added")
         async with self._writer_lock:
             shard = self.route(doc_id)
             rs = self._sets[shard]
@@ -1110,36 +1190,30 @@ class AsyncShardGateway:
         async with self._writer_lock:
             self._batches += 1
             self.stats.flushes += 1
+            active = list(self._active)
             wants = sorted(
-                i for i, rs in enumerate(self._sets) if rs.wants_grow
+                i for i in active if self._sets[i].wants_grow
             )
             if self.rebuild_scheduler is not None:
                 granted = self.rebuild_scheduler.grant(wants)
             else:
                 granted = frozenset(wants)
-            op_indexes = []
-            for i, rs in enumerate(self._sets):
+            op_indexes = {}
+            for i in active:
+                rs = self._sets[i]
                 rs.oplog.append(("flush", i in granted))
-                op_indexes.append(len(rs.oplog) - 1)
+                op_indexes[i] = len(rs.oplog) - 1
             outcomes = await asyncio.gather(
-                *(
-                    self._flush_shard(i, op_indexes[i])
-                    for i in range(self.nshards)
-                )
+                *(self._flush_shard(i, op_indexes[i]) for i in active)
             )
             self._published_ndocs = self._next_doc_id
             self._published_deleted = frozenset(self._deleted)
-            self._published_versions = tuple(
-                outcome.version for outcome in outcomes
-            )
-            if self.read_tier == "immediate":
-                self._published_mem_epochs = tuple(
-                    outcome.mem_epoch for outcome in outcomes
-                )
-            for rs, outcome in zip(self._sets, outcomes):
+            for i, outcome in zip(active, outcomes):
+                rs = self._sets[i]
                 rs.expected_version = outcome.version
                 if self.read_tier == "immediate":
                     rs.expected_mem_epoch = outcome.mem_epoch
+            self._refresh_published()
             self._snapshot_id += 1
             results = [
                 outcome.result
@@ -1163,11 +1237,9 @@ class AsyncShardGateway:
             )
             if self._batches % self.checkpoint_every == 0:
                 await asyncio.gather(
-                    *(
-                        self._checkpoint_shard(i)
-                        for i in range(self.nshards)
-                    )
+                    *(self._checkpoint_shard(i) for i in active)
                 )
+            await self._maybe_rebalance()
             return aggregate, self.snapshot()
 
     async def _flush_shard(self, i: int, op_index: int) -> FlushOutcome:
@@ -1257,6 +1329,262 @@ class AsyncShardGateway:
         for replica in rs.replicas:
             replica.log_pos = 0
 
+    # -- rebalancing (online split / merge) --------------------------------
+
+    def _refresh_published(self) -> None:
+        """Rebuild the published version vector from the active sets'
+        expected versions (the vector follows ``_active`` order, so a
+        cutover that changes the active set changes the vector's length
+        — which is itself an identity signal for ``_covers``)."""
+        self._published_versions = tuple(
+            self._sets[i].expected_version for i in self._active
+        )
+        if self.read_tier == "immediate":
+            self._published_mem_epochs = tuple(
+                self._sets[i].expected_mem_epoch for i in self._active
+            )
+
+    def _shard_doc_counts(self) -> dict[int, int]:
+        """Live documents per active shard under the current routing
+        (gateway bookkeeping only — no RPC)."""
+        counts = {i: 0 for i in self._active}
+        for doc_id in range(self._next_doc_id):
+            if doc_id in self._deleted or doc_id in self._holes:
+                continue
+            counts[self.routing.route(doc_id)] += 1
+        return counts
+
+    async def _maybe_rebalance(self) -> None:
+        """One planner round at a flush boundary (writer lock held)."""
+        planner = self.rebalance_planner
+        if planner is None:
+            return
+        counts = self._shard_doc_counts()
+        self.rebalance.last_imbalance = planner.imbalance(counts)
+        action = planner.plan(counts)
+        if action is None:
+            return
+        if action[0] == "split":
+            await self._split_locked(action[1])
+        else:
+            await self._merge_locked(action[1], action[2])
+
+    async def split_shard(self, victim: int) -> int:
+        """Split ``victim``'s hash slice onto a new shard, online.
+
+        Returns the new shard's id.  Reads keep serving throughout: the
+        answer stream is exact at every instant (see ``_split_locked``).
+        """
+        if self.read_tier == "immediate":
+            raise ValueError(
+                "online rebalance requires read_tier='snapshot'"
+            )
+        async with self._writer_lock:
+            return await self._split_locked(victim)
+
+    async def merge_shards(self, src: int, dst: int) -> int:
+        """Merge shards ``src`` and ``dst`` into one new union shard,
+        online; returns the union shard's id."""
+        if self.read_tier == "immediate":
+            raise ValueError(
+                "online rebalance requires read_tier='snapshot'"
+            )
+        async with self._writer_lock:
+            return await self._merge_locked(src, dst)
+
+    async def _boundary_checkpoint(self, rs: ReplicaSet) -> bytes:
+        """A fresh checkpoint of one shard's boundary state, with
+        failover across replicas (writer lock held, so every healthy
+        replica is at the same boundary)."""
+        for replica in rs.replicas:
+            if replica.state is not ReplicaState.HEALTHY:
+                continue
+            try:
+                return await self._locked_rpc(replica, "checkpoint", ())
+            except self._DEATH:
+                self._note_death(rs, replica)
+        replica = await self._await_any_rebuild(rs)
+        return await self._locked_rpc(replica, "checkpoint", ())
+
+    async def _boundary_export(self, rs: ReplicaSet) -> list:
+        """One shard's live ``(doc_id, text)`` pairs at the boundary,
+        with failover across replicas (writer lock held)."""
+        for replica in rs.replicas:
+            if replica.state is not ReplicaState.HEALTHY:
+                continue
+            try:
+                return await self._locked_rpc(
+                    replica, "export_documents", ()
+                )
+            except self._DEATH:
+                self._note_death(rs, replica)
+        replica = await self._await_any_rebuild(rs)
+        return await self._locked_rpc(replica, "export_documents", ())
+
+    async def _journal_and_apply(self, rs: ReplicaSet, op: tuple) -> None:
+        rs.oplog.append(op)
+        await self._fan_write(rs, op, len(rs.oplog) - 1)
+
+    async def _flush_set(self, shard_id: int) -> None:
+        """Journal and run one out-of-band flush on a single shard (a
+        rebalance publish), then fold its new version into the published
+        vector if the shard is active."""
+        rs = self._sets[shard_id]
+        rs.oplog.append(("flush", False))
+        outcome = await self._flush_shard(shard_id, len(rs.oplog) - 1)
+        rs.expected_version = outcome.version
+        if shard_id in self._active:
+            self._refresh_published()
+            self._snapshot_id += 1
+
+    def _spawned_set(
+        self, new_id: int, restore: bytes | None
+    ) -> ReplicaSet:
+        """A ReplicaSet for a brand-new shard id (not yet spawned or
+        registered), specs derived from shard 0's base config."""
+        base = dc_replace(
+            self._sets[0].replicas[0].spec,
+            shard_id=new_id,
+            restore=restore,
+            fault_plan=None,
+        )
+        rs = ReplicaSet(new_id, replica_specs(base, self.replicas, None, new_id))
+        rs.checkpoint = restore
+        return rs
+
+    async def _split_locked(self, victim: int) -> int:
+        """The split protocol (writer lock held, at a flush boundary).
+
+        1. Checkpoint the victim and spawn the new shard's replica set
+           from that blob — a byte-copy of the victim, invisible to
+           readers until cutover.
+        2. Tombstone the *stayers* on the new shard (journaled deletes,
+           so a replica rebuild replays them) and flush it.
+        3. Cut over synchronously: publish the split routing table, add
+           the shard to the active list, extend the published vector,
+           bump the snapshot id.  From this instant reads scatter to the
+           new shard too; the victim still holds the movers, so both
+           shards briefly answer for them — ``merge_unique`` in the
+           scatter merges keeps answers exact through the overlap.
+        4. Tombstone the *movers* on the victim and flush it, closing
+           the overlap window.
+
+        No step loses availability: every read throughout is served
+        from published per-shard snapshots.
+        """
+        if victim not in self._active:
+            raise ValueError(f"shard {victim} is not an active shard")
+        new_id = len(self._sets)
+        table = self.routing.split(victim, new_id)
+        vrs = self._sets[victim]
+        blob = await self._boundary_checkpoint(vrs)
+        movers, stayers = [], []
+        for doc_id in range(self._next_doc_id):
+            if doc_id in self._deleted or doc_id in self._holes:
+                continue
+            if self.routing.route(doc_id) != victim:
+                continue
+            if table.route(doc_id) == new_id:
+                movers.append(doc_id)
+            else:
+                stayers.append(doc_id)
+        rs = self._spawned_set(new_id, blob)
+        await asyncio.gather(*(self._spawn(r) for r in rs.replicas))
+        self._sets.append(rs)
+        for doc_id in stayers:
+            await self._journal_and_apply(rs, ("delete", doc_id))
+        await self._flush_set(new_id)
+        # -- cutover (synchronous: atomic w.r.t. the event loop) --
+        cut_started = time.perf_counter()
+        self.routing = table
+        self._active.append(new_id)
+        self.nshards = len(self._active)
+        self._refresh_published()
+        self._snapshot_id += 1
+        # -- retire the movers from the victim --
+        for doc_id in movers:
+            await self._journal_and_apply(vrs, ("delete", doc_id))
+        await self._flush_set(victim)
+        window = time.perf_counter() - cut_started
+        await self._checkpoint_shard(victim)
+        await self._checkpoint_shard(new_id)
+        self.rebalance.splits += 1
+        self.rebalance.docs_moved += len(movers)
+        self.rebalance.cutover_seconds += window
+        self.rebalance.last_cutover_seconds = window
+        return new_id
+
+    async def _merge_locked(self, src: int, dst: int) -> int:
+        """The merge protocol (writer lock held, at a flush boundary).
+
+        Both shards' live documents are exported (vocabulary-scan text
+        reconstruction at the worker — exact because postings are
+        word-per-document sets), replayed in ascending doc-id order into
+        a brand-new union shard, and flushed there; the cutover then
+        atomically publishes a routing table whose slots all point at
+        the union shard and retires both sources.  Readers in flight
+        finish against the retired sets (their processes stay up); new
+        reads scatter to the union shard, whose content is identical to
+        the pair's at this frozen boundary.
+        """
+        if src == dst:
+            raise ValueError("cannot merge a shard with itself")
+        for shard_id in (src, dst):
+            if shard_id not in self._active:
+                raise ValueError(
+                    f"shard {shard_id} is not an active shard"
+                )
+        new_id = len(self._sets)
+        table = self.routing.reassign({src: new_id, dst: new_id})
+        exports: dict[int, str] = {}
+        for shard_id in (src, dst):
+            exports.update(
+                await self._boundary_export(self._sets[shard_id])
+            )
+        rs = self._spawned_set(new_id, None)
+        await asyncio.gather(*(self._spawn(r) for r in rs.replicas))
+        self._sets.append(rs)
+        for doc_id in sorted(exports):
+            await self._journal_and_apply(
+                rs, ("add", doc_id, exports[doc_id])
+            )
+        # Exports omit postings-free documents; pad the union shard's
+        # watermark so any later routed delete stays in range (an empty
+        # add carries no postings, so answers are unaffected).
+        head = self._next_doc_id
+        if head and (not exports or max(exports) != head - 1):
+            await self._journal_and_apply(rs, ("add", head - 1, ""))
+        await self._flush_set(new_id)
+        # -- cutover (synchronous: atomic w.r.t. the event loop) --
+        cut_started = time.perf_counter()
+        self.routing = table
+        self._active = [
+            i for i in self._active if i not in (src, dst)
+        ] + [new_id]
+        self.nshards = len(self._active)
+        self._sets[src].retired = True
+        self._sets[dst].retired = True
+        self._refresh_published()
+        self._snapshot_id += 1
+        window = time.perf_counter() - cut_started
+        await self._checkpoint_shard(new_id)
+        self.rebalance.merges += 1
+        self.rebalance.docs_moved += len(exports)
+        self.rebalance.cutover_seconds += window
+        self.rebalance.last_cutover_seconds = window
+        return new_id
+
+    def rebalance_report(self) -> dict:
+        """The ``rebalance`` stats section (no RPC)."""
+        report = self.rebalance.as_dict()
+        report["routing_epoch"] = self.routing.epoch
+        report["active_shards"] = list(self._active)
+        report["routing"] = self.routing.as_dict()
+        report["enabled"] = self.rebalance_planner is not None
+        if self.rebalance_planner is not None:
+            report["planner"] = self.rebalance_planner.as_dict()
+        return report
+
     # -- snapshots ---------------------------------------------------------
 
     def snapshot(self) -> GatewaySnapshot:
@@ -1267,6 +1595,7 @@ class AsyncShardGateway:
             deleted=self._published_deleted,
             shard_versions=self._published_versions,
             mem_epochs=self._published_mem_epochs,
+            routing_epoch=self.routing.epoch,
         )
 
     # -- read path (replicated scatter-gather) ----------------------------
@@ -1296,7 +1625,10 @@ class AsyncShardGateway:
         immediate tier — the published mem epochs and the live writer
         universe (doc-id head, deletion count), since immediate answers
         reflect every acknowledged write."""
-        token = (self._snapshot_id,) + self._published_versions
+        token = (
+            self._snapshot_id,
+            self.routing.epoch,
+        ) + self._published_versions
         if self.read_tier == "immediate":
             token += self._published_mem_epochs + (
                 self._next_doc_id,
@@ -1456,24 +1788,28 @@ class AsyncShardGateway:
         requires charging exactly as often as they fetch.
         """
         words = sorted(set(words))
+        active = list(self._active)
         tasks = [
             self._read_shard(i, "fetch_postings", (word, None, tier))
             for word in words
-            for i in range(self.nshards)
+            for i in active
         ]
         fetched = await self._gather_with_deadlines(
             tasks, "fetch_postings"
         )
+        fan = len(active)
         merged: dict[str, tuple[list[int], int]] = {}
         for w, word in enumerate(words):
             runs = []
             cost = 0
-            for i in range(self.nshards):
-                docs, read_ops = fetched[w * self.nshards + i]
+            for k in range(fan):
+                docs, read_ops = fetched[w * fan + k]
                 cost += read_ops
                 if docs:
                     runs.append(docs)
-            merged[word] = (scatter.merge_disjoint(runs), cost)
+            # merge_unique == merge_disjoint on disjoint runs; during a
+            # split's relocation window it also hides the brief overlap.
+            merged[word] = (scatter.merge_unique(runs), cost)
         counter = [0]
 
         def fetch(word: str) -> list[int]:
@@ -1558,14 +1894,16 @@ class AsyncShardGateway:
             self._read_shard(
                 i, "search_streamed", (query, None, self._tier())
             )
-            for i in range(self.nshards)
+            for i in list(self._active)
         ]
         answers = await self._gather_with_deadlines(
             tasks, "search_streamed"
         )
-        docs, read_ops = scatter.gather_answers(
-            [(a.doc_ids, a.read_ops) for a in answers]
-        )
+        # gather_answers merges disjoint runs; merge_unique additionally
+        # hides a split's brief relocation overlap (identical output on
+        # the steady-state disjoint shape).
+        docs = scatter.merge_unique([a.doc_ids for a in answers])
+        read_ops = sum(a.read_ops for a in answers)
         return QueryAnswer(doc_ids=docs, read_ops=read_ops)
 
     async def search_vector(
@@ -1748,9 +2086,11 @@ class GatewayService:
 
     # -- writer API -------------------------------------------------------
 
-    def add_document(self, text: str) -> int:
+    def add_document(self, text: str, doc_id: int | None = None) -> int:
         with self.timings.stage("serve.ingest"):
-            doc_id = self._run(self.gateway.add_document(text))
+            doc_id = self._run(
+                self.gateway.add_document(text, doc_id=doc_id)
+            )
         with self._stats_lock:
             self.stats.documents_ingested += 1
         return doc_id
@@ -1800,6 +2140,22 @@ class GatewayService:
             self.gateway.search_vector(weights, top_k=top_k, snapshot=snapshot)
         )
 
+    # -- rebalance hooks --------------------------------------------------
+
+    def split_shard(self, victim: int) -> int:
+        """Split one shard's hash slice onto a new shard, online;
+        returns the new shard id."""
+        return self._run(self.gateway.split_shard(victim))
+
+    def merge_shards(self, src: int, dst: int) -> int:
+        """Merge two shards into a new union shard, online; returns the
+        union shard's id."""
+        return self._run(self.gateway.merge_shards(src, dst))
+
+    @property
+    def routing_epoch(self) -> int:
+        return self.gateway.routing.epoch
+
     # -- replication hooks ------------------------------------------------
 
     def kill_replica(self, shard: int, replica: int = 0) -> None:
@@ -1834,6 +2190,8 @@ class GatewayService:
             "flush_recoveries",
         ):
             merged[key] = sum(w.get(key, 0) for w in workers)
+        merged["routing_epoch"] = self.gateway.routing.epoch
+        merged["rebalance"] = self.gateway.rebalance_report()
         merged["replication"] = self.gateway.replication_stats()
         merged["batching"] = self.gateway.batching.as_dict()
         merged["batching"]["max_batch_size"] = self.gateway.max_batch_size

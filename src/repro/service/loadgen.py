@@ -32,6 +32,13 @@ Two arrival disciplines drive the readers:
   scheduled_arrival`` — queue wait included, so an overloaded system
   shows its true tail instead of throttling the load that measures it.
 
+With ``doc_skew > 0`` the writer pins explicit doc ids whose hash lands
+on a Zipf-drawn target shard, concentrating document mass on the low
+shards; with ``rebalance=True`` (gateway only) the gateway's planner
+answers that skew with online shard splits and merges at flush
+boundaries, and the report's ``gateway.rebalance`` section records the
+moves.
+
 With ``gateway=True`` the service is a multi-process
 :class:`~repro.service.gateway.GatewayService` (one worker process per
 shard); per-query verification is unavailable across the process
@@ -164,6 +171,16 @@ class LoadConfig:
     batch_delay_us: int = 250
     #: Single-flight coalescing of identical concurrent queries.
     coalesce: bool = False
+    #: Zipf exponent skewing document *placement* across shards: the
+    #: writer pins explicit doc ids whose epoch-0 hash lands on a
+    #: Zipf-drawn target shard (shard 0 hottest).  0 = off — writer
+    #: assigned sequential ids, byte-identical to the unskewed path.
+    doc_skew: float = 0.0
+    #: Let the gateway split hot shards / merge cold ones online when
+    #: per-shard live-doc skew exceeds the planner bound (gateway only).
+    rebalance: bool = False
+    #: Planner bound: split when max/mean imbalance exceeds this.
+    rebalance_threshold: float = 1.5
 
     def __post_init__(self) -> None:
         if self.readers <= 0 or self.flush_cycles <= 0:
@@ -234,6 +251,20 @@ class LoadConfig:
             raise ValueError("batch_size must be >= 1")
         if self.batch_delay_us < 0:
             raise ValueError("batch_delay_us must be >= 0")
+        if self.doc_skew < 0.0:
+            raise ValueError("doc_skew must be >= 0")
+        if self.rebalance and not self.gateway:
+            raise ValueError(
+                "online rebalancing runs in the gateway's split/merge "
+                "protocol; set gateway=True for rebalance"
+            )
+        if self.rebalance and self.read_tier == "immediate":
+            raise ValueError(
+                "rebalance cutovers are defined at publish boundaries; "
+                "the immediate tier serves between them"
+            )
+        if self.rebalance_threshold <= 1.0:
+            raise ValueError("rebalance_threshold must be > 1.0")
 
     @property
     def injects_faults(self) -> bool:
@@ -382,6 +413,7 @@ class LoadGenerator:
         if service is not None:
             self.service = service
         elif self.config.gateway:
+            from ..core.rebalance import RebalancePolicy
             from .gateway import GatewayService
 
             self.service = GatewayService(
@@ -401,6 +433,12 @@ class LoadGenerator:
                 max_batch_size=self.config.batch_size,
                 max_batch_delay_us=self.config.batch_delay_us,
                 coalesce=self.config.coalesce,
+                rebalance=self.config.rebalance,
+                rebalance_policy=RebalancePolicy(
+                    max_imbalance=self.config.rebalance_threshold
+                )
+                if self.config.rebalance
+                else None,
             )
         else:
             self.service = QueryService(
@@ -419,6 +457,16 @@ class LoadGenerator:
         self._words = [
             _word_name(i) for i in range(1, self.config.vocabulary + 1)
         ]
+        # Skewed placement state: the next candidate explicit doc id and
+        # the ids actually ingested (delete victims must be real docs —
+        # the id gaps the scan leaves behind were never added).
+        self._skew_next = 0
+        self._skew_live: list[int] = []
+        if self.config.doc_skew > 0.0:
+            s = self.config.doc_skew
+            self._skew_weights = [
+                1.0 / (rank + 1) ** s for rank in range(self.config.shards)
+            ]
         # Parent-side mirror for mirror-based differential probes:
         # gateway workers cannot hand the parent a clone oracle, and
         # immediate-tier answers are defined over *everything ingested*
@@ -433,6 +481,29 @@ class LoadGenerator:
             self._mirror = BruteForceIndex()
 
     # -- deterministic generators -----------------------------------------
+
+    def _skewed_doc_id(self, rng: random.Random) -> int:
+        """Next explicit doc id, placed on a Zipf-drawn target shard.
+
+        Draws the target from the epoch-0 shard set (shard 0 hottest),
+        then scans candidate ids forward until the stable doc-id hash
+        lands there — the same ``shard_of`` the router's epoch-0 table
+        degenerates to, so where a document goes is decided entirely by
+        the *workload*, not by the serving topology.  After an online
+        split the hot slice's ids redistribute, but the id stream itself
+        is unchanged: rebalanced and epoch-0 arms see identical ingests.
+        """
+        from ..core.shard import shard_of
+
+        cfg = self.config
+        target = rng.choices(
+            range(cfg.shards), weights=self._skew_weights
+        )[0]
+        doc_id = self._skew_next
+        while shard_of(doc_id, cfg.shards, cfg.router_seed) != target:
+            doc_id += 1
+        self._skew_next = doc_id + 1
+        return doc_id
 
     def _skewed_word(self, rng: random.Random) -> str:
         """Zipf-ish draw: low word ids are hot, mirroring the corpus."""
@@ -783,6 +854,7 @@ class LoadGenerator:
             ]
         writer_rng = random.Random(cfg.seed)
         deleted = 0
+        ingested = 0
         differential_divergences: list[str] = []
         differential_checks = 0
         visibility = LatencyRecorder()
@@ -814,6 +886,9 @@ class LoadGenerator:
                     probe_word = "probe" + _word_name(cycle + 1)
                     probe_t0 = time.perf_counter()
                     probe_id = self.service.add_document(probe_word)
+                    # The probe's writer-assigned id advances the global
+                    # watermark; the skewed id scan must not fall below it.
+                    self._skew_next = max(self._skew_next, probe_id + 1)
                     if self._mirror is not None:
                         self._mirror.add_document(probe_id, [probe_word])
                     if cfg.read_tier == "immediate":
@@ -822,15 +897,41 @@ class LoadGenerator:
                             probe_seen = time.perf_counter() - probe_t0
                 for _ in range(cfg.docs_per_batch):
                     text = self._document(writer_rng)
-                    doc_id = self.service.add_document(text)
+                    if cfg.doc_skew > 0.0:
+                        doc_id = self._skewed_doc_id(writer_rng)
+                        self.service.add_document(text, doc_id)
+                        self._skew_live.append(doc_id)
+                    else:
+                        doc_id = self.service.add_document(text)
+                    ingested += 1
                     if self._mirror is not None:
                         self._mirror.add_document(doc_id, text.split())
-                    if (
-                        cfg.delete_every
-                        and doc_id
-                        and (doc_id + 1) % cfg.delete_every == 0
-                    ):
-                        victim = writer_rng.randrange(doc_id)
+                    if cfg.doc_skew > 0.0:
+                        # Skewed ids jump, so the trigger counts ingests
+                        # and victims come from ids actually added (the
+                        # scan's id gaps were never documents).
+                        due = (
+                            cfg.delete_every
+                            and ingested % cfg.delete_every == 0
+                            and len(self._skew_live) > 1
+                        )
+                        victim = (
+                            self._skew_live.pop(
+                                writer_rng.randrange(
+                                    len(self._skew_live) - 1
+                                )
+                            )
+                            if due
+                            else None
+                        )
+                    else:
+                        due = (
+                            cfg.delete_every
+                            and doc_id
+                            and (doc_id + 1) % cfg.delete_every == 0
+                        )
+                        victim = writer_rng.randrange(doc_id) if due else None
+                    if victim is not None:
                         self.service.delete_document(victim)
                         if self._mirror is not None:
                             self._mirror.delete_document(victim)
@@ -965,6 +1066,9 @@ class LoadGenerator:
                 "replicas": cfg.replicas,
                 "rebuild_stagger": cfg.rebuild_stagger,
                 "grow_buckets": cfg.grow_buckets,
+                "doc_skew": cfg.doc_skew,
+                "rebalance": cfg.rebalance,
+                "rebalance_threshold": cfg.rebalance_threshold,
             },
             wall_seconds=wall,
             queries=overall.count,

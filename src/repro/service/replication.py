@@ -153,6 +153,11 @@ class ReplicaSet:
         self.expected_version = 0
         #: Published memory-tier epoch (immediate tier only).
         self.expected_mem_epoch = 0
+        #: A rebalance merged or moved this shard's slice away: the set
+        #: stays alive for reads pinned to pre-cutover routing epochs
+        #: but receives no writes, flushes, or checkpoints, and the
+        #: planner never picks it again.
+        self.retired = False
         self._cursor = 0
 
     @property
@@ -228,6 +233,7 @@ class ReplicaSet:
             ],
             "oplog": len(self.oplog),
             "expected_version": self.expected_version,
+            "retired": self.retired,
         }
 
 

@@ -223,16 +223,18 @@ class QueryService:
         reader threads — use :meth:`snapshot`)."""
         return self._writer
 
-    def add_document(self, text: str) -> int:
+    def add_document(self, text: str, doc_id: int | None = None) -> int:
         """Ingest one document into the writer's in-memory batch.
 
         The document becomes visible to readers at the next
         :meth:`flush_and_publish` — exactly the paper's batch-update
-        visibility contract.
+        visibility contract.  ``doc_id`` pins an explicit non-decreasing
+        global id (the skewed workload generator targets shards by
+        choosing ids; ordinary callers let the writer assign them).
         """
         with self._writer_lock:
             with self.timings.stage("serve.ingest"):
-                doc_id = self._writer.add_document(text)
+                doc_id = self._writer.add_document(text, doc_id=doc_id)
                 if self._memtier is not None:
                     # Immediate visibility: the buffered postings serve
                     # reads the moment this returns (readers never see a
@@ -260,6 +262,26 @@ class QueryService:
             if self._reference is not None:
                 self._reference.delete_document(doc_id)
             self.stats.documents_deleted += 1
+
+    def split_shard(self, victim: int) -> int:
+        """Split a hot shard's hash slice onto a new shard (sharded
+        writers only).  Readers keep serving the published pre-split
+        snapshot; the new topology (and its bumped routing epoch, which
+        invalidates every cached answer via the version vector) lands at
+        the next :meth:`flush_and_publish`."""
+        with self._writer_lock:
+            if not hasattr(self._writer, "split_shard"):
+                raise ValueError("split requires a sharded service")
+            return self._writer.split_shard(victim)
+
+    def merge_shards(self, src: int, dst: int) -> None:
+        """Merge an underloaded shard into a sibling (sharded writers
+        only); visibility follows the same publish contract as
+        :meth:`split_shard`."""
+        with self._writer_lock:
+            if not hasattr(self._writer, "merge_shards"):
+                raise ValueError("merge requires a sharded service")
+            self._writer.merge_shards(src, dst)
 
     def flush_and_publish(self) -> tuple[BatchResult, IndexSnapshot]:
         """Apply the pending batch and atomically publish a new snapshot.
@@ -426,7 +448,7 @@ class QueryService:
                 self._writer.dirty_terms(),
                 universe_changed=snapshot.ndocs != prev.ndocs,
                 deletions_changed=delta.deletions_changed,
-                versions=snapshot.shard_versions,
+                versions=snapshot.version_vector,
             )
         else:
             self.cache.invalidate()
@@ -503,7 +525,7 @@ class QueryService:
             cached = self.cache.get(
                 key,
                 base.snapshot_id,
-                base.shard_versions,
+                base.version_vector,
                 epoch=view.epoch,
                 epoch_clean=self._memtier.clean_since,
             )
@@ -518,14 +540,14 @@ class QueryService:
                 base.snapshot_id,
                 terms=terms,
                 universe_sensitive=universe_sensitive,
-                versions=base.shard_versions,
+                versions=base.version_vector,
                 epoch=view.epoch,
             )
             return answer
         snapshot = snapshot or self._snapshot
         key = ("boolean", query)
         cached = self.cache.get(
-            key, snapshot.snapshot_id, snapshot.shard_versions
+            key, snapshot.snapshot_id, snapshot.version_vector
         )
         if cached is not None:
             doc_ids, read_ops = cached
@@ -538,7 +560,7 @@ class QueryService:
             snapshot.snapshot_id,
             terms=terms,
             universe_sensitive=universe_sensitive,
-            versions=snapshot.shard_versions,
+            versions=snapshot.version_vector,
         )
         return answer
 
@@ -557,7 +579,7 @@ class QueryService:
             cached = self.cache.get(
                 key,
                 base.snapshot_id,
-                base.shard_versions,
+                base.version_vector,
                 epoch=view.epoch,
                 epoch_clean=self._memtier.clean_since,
             )
@@ -570,14 +592,14 @@ class QueryService:
                 (tuple(answer.doc_ids), answer.read_ops),
                 base.snapshot_id,
                 terms=_streamed_terms(query),
-                versions=base.shard_versions,
+                versions=base.version_vector,
                 epoch=view.epoch,
             )
             return answer
         snapshot = snapshot or self._snapshot
         key = ("streamed", query)
         cached = self.cache.get(
-            key, snapshot.snapshot_id, snapshot.shard_versions
+            key, snapshot.snapshot_id, snapshot.version_vector
         )
         if cached is not None:
             doc_ids, read_ops = cached
@@ -588,7 +610,7 @@ class QueryService:
             (tuple(answer.doc_ids), answer.read_ops),
             snapshot.snapshot_id,
             terms=_streamed_terms(query),
-            versions=snapshot.shard_versions,
+            versions=snapshot.version_vector,
         )
         return answer
 
@@ -609,7 +631,7 @@ class QueryService:
             cached = self.cache.get(
                 key,
                 base.snapshot_id,
-                base.shard_versions,
+                base.version_vector,
                 epoch=view.epoch,
                 epoch_clean=self._memtier.clean_since,
             )
@@ -624,14 +646,14 @@ class QueryService:
                 base.snapshot_id,
                 terms=frozenset(w.lower() for w in weights),
                 universe_sensitive=True,
-                versions=base.shard_versions,
+                versions=base.version_vector,
                 epoch=view.epoch,
             )
             return ranked
         snapshot = snapshot or self._snapshot
         key = ("vector", query_key)
         cached = self.cache.get(
-            key, snapshot.snapshot_id, snapshot.shard_versions
+            key, snapshot.snapshot_id, snapshot.version_vector
         )
         if cached is not None:
             return list(cached)
@@ -643,7 +665,7 @@ class QueryService:
             snapshot.snapshot_id,
             terms=frozenset(w.lower() for w in weights),
             universe_sensitive=True,
-            versions=snapshot.shard_versions,
+            versions=snapshot.version_vector,
         )
         return ranked
 

@@ -65,6 +65,12 @@ class IndexSnapshot:
         self.snapshot_id = snapshot_id
         self.batch = index.batches
         self.shard_versions = index.shard_versions
+        # The routing-table epoch the snapshot was published under (0
+        # for single volumes and never-rebalanced sharded writers).  A
+        # split/merge moves documents between shards, so per-shard batch
+        # counters alone no longer identify the state — the epoch rides
+        # ahead of them in :attr:`version_vector`.
+        self.routing_epoch = getattr(index, "routing_epoch", 0)
         self.ndocs = index.ndocs
         self.reference = reference
         # The memory-tier epoch at publish time (0 when the service runs
@@ -73,6 +79,14 @@ class IndexSnapshot:
         # entries validate against the live epoch relative to this
         # boundary (DESIGN.md §14).
         self.mem_epoch = 0
+
+    @property
+    def version_vector(self) -> tuple[int, ...]:
+        """The cache-identity vector: routing epoch, then the per-shard
+        batch counters.  Equal vectors imply the same routing topology
+        *and* the same per-shard states, so a cached answer keyed on
+        this vector can never survive a split or merge."""
+        return (self.routing_epoch,) + tuple(self.shard_versions)
 
     @classmethod
     def publish_from(

@@ -555,6 +555,14 @@ class ShardWorker:
     def dirty_terms(self) -> frozenset:
         return self.writer.dirty_terms()
 
+    def export_documents(self) -> list:
+        """The writer's live documents reconstructed from its postings
+        (see :meth:`TextDocumentIndex.export_documents`) — the gateway's
+        relocation source when merging this shard into a sibling.  Call
+        at a batch boundary (the gateway merges right after a flush
+        round, so the writer is always flushed here)."""
+        return self.writer.export_documents()
+
     def check(self):
         """Invariant-check the *published* snapshot (what readers see)."""
         return self._snapshot_for(None).check()
@@ -632,6 +640,7 @@ DISPATCH = {
     "deleted_ids": "deleted_ids",
     "recover": "recover",
     "dirty_terms": "dirty_terms",
+    "export_documents": "export_documents",
     "check": "check",
     "freeze": "freeze",
     "attach_buffer_cache": "attach_buffer_cache",

@@ -335,6 +335,43 @@ class TextDocumentIndex:
         """Read operations charged by the most recent search."""
         return self._last_read_ops
 
+    def export_documents(self) -> list[tuple[int, str]]:
+        """Reconstruct every live document as ``(doc_id, text)``, sorted.
+
+        The rebalancer's relocation primitive: a shard merge rebuilds a
+        union volume by re-adding the source volumes' documents in
+        ascending doc-id order, and this is where the documents come
+        from.  The index stores postings, not document text, so each
+        document is *reconstructed* from the inverted lists — a
+        vocabulary scan collecting, for each live document, the words
+        whose (deletion-filtered) posting lists contain it.  That loses
+        word order and multiplicity, but the index never kept either
+        (one posting per distinct word, paper §4.2), and re-tokenizing
+        the space-joined word set yields the identical posting set:
+        vocabulary words are maximal lowercase letter/digit runs, so
+        they round-trip through the tokenizer unchanged and cannot form
+        an ignored ``Date:``-style header line.
+
+        Requires a flushed index (pending in-memory batches are not
+        visible to :meth:`fetch_postings`) and a non-positional
+        configuration (offsets and regions are not reconstructible from
+        a word set).
+        """
+        if self.index.config.positional:
+            raise RuntimeError(
+                "export_documents requires a non-positional index: "
+                "word order cannot be reconstructed from postings"
+            )
+        docs: dict[int, list[str]] = {}
+        for word in self.vocabulary.words():
+            doc_ids, _ = self.fetch_postings(word)
+            for doc_id in doc_ids:
+                docs.setdefault(doc_id, []).append(word)
+        return [
+            (doc_id, " ".join(sorted(words)))
+            for doc_id, words in sorted(docs.items())
+        ]
+
     # -- introspection -----------------------------------------------------------
 
     def document_frequency(self, word: str) -> int:

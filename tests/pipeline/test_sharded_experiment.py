@@ -135,3 +135,90 @@ class TestShardedExperiment:
         assert (
             sum(u.npostings for s in streams for u in s) == total
         )
+
+
+class TestSkewedSplit:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        update=updates,
+        nshards=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=50),
+        doc_skew=st.sampled_from([0.5, 1.0, 2.5]),
+    )
+    def test_skewed_split_still_conserves(self, update, nshards, seed, doc_skew):
+        parts = split_update(update, nshards, seed, doc_skew=doc_skew)
+        assert len(parts) == nshards
+        for word, count in update.pairs:
+            shard_counts = [dict(p.pairs).get(word, 0) for p in parts]
+            assert all(c >= 0 for c in shard_counts)
+            assert sum(shard_counts) == count
+        assert sum(p.ndocs for p in parts) == update.ndocs
+
+    def test_zero_skew_is_the_uniform_path(self):
+        update = BatchUpdate(
+            day=2, pairs=[(1, 5), (3, 40), (9, 2)], ndocs=11
+        )
+        assert split_update(update, 3, seed=7, doc_skew=0.0) == split_update(
+            update, 3, seed=7
+        )
+
+    def test_skew_is_deterministic(self):
+        update = BatchUpdate(day=1, pairs=[(1, 30), (2, 7)], ndocs=12)
+        first = split_update(update, 4, seed=3, doc_skew=1.5)
+        second = split_update(update, 4, seed=3, doc_skew=1.5)
+        assert [(p.pairs, p.ndocs) for p in first] == [
+            (p.pairs, p.ndocs) for p in second
+        ]
+
+    def test_skew_concentrates_mass_on_shard_zero(self):
+        update = BatchUpdate(day=0, pairs=[(1, 10_000)], ndocs=10_000)
+        parts = split_update(update, 4, seed=0, doc_skew=2.5)
+        counts = [dict(p.pairs).get(1, 0) for p in parts]
+        assert sum(counts) == 10_000
+        # Zipf s=2.5 over 4 shards gives shard 0 ~83% of the mass.
+        assert counts[0] > 0.75 * 10_000
+        assert counts[0] == max(counts)
+
+    def test_report_surfaces_imbalance_metrics(self):
+        experiment = Experiment(
+            ExperimentConfig(
+                workload=SyntheticNewsConfig(
+                    days=6, docs_per_day=30, doc_skew=2.0
+                ),
+                nbuckets=16,
+                bucket_size=128,
+            )
+        )
+        sharded = ShardedExperiment(experiment, 3)
+        assert sharded.doc_skew == 2.0  # inherited from the workload
+        report = sharded.run_policy(
+            Policy(style=Style.NEW, limit=Limit.ZERO)
+        )
+        assert report.doc_skew == 2.0
+        assert report.doc_imbalance > 1.5
+        assert report.io_imbalance >= 1.0
+        # Splitting the hottest shard in half can only tighten the bound.
+        assert report.doc_imbalance_post_split < report.doc_imbalance
+        d = report.as_dict()
+        assert d["doc_skew"] == 2.0
+        assert d["doc_imbalance"] == pytest.approx(
+            report.doc_imbalance, abs=1e-4
+        )
+        # The unskewed pipeline stays near-balanced by comparison.
+        flat = ShardedExperiment(self._uniform(), 3).run_policy(
+            Policy(style=Style.NEW, limit=Limit.ZERO)
+        )
+        assert flat.doc_imbalance < report.doc_imbalance
+
+    def _uniform(self):
+        return Experiment(
+            ExperimentConfig(
+                workload=SyntheticNewsConfig(days=6, docs_per_day=30),
+                nbuckets=16,
+                bucket_size=128,
+            )
+        )
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValueError, match="doc_skew"):
+            SyntheticNewsConfig(days=2, docs_per_day=5, doc_skew=-1.0)

@@ -1,0 +1,336 @@
+"""Gateway online split/merge battery: answers stay byte-identical to
+the in-process sharded index and the brute-force oracle while shards
+split and merge under live traffic, and the move survives replica
+death mid-protocol.
+
+The protocol under test (DESIGN.md §17): a split checkpoints the
+victim at a flush boundary, spawns the new shard from the blob,
+tombstones each side's foreign half, and cuts the routing table over
+*flip-first* — the overlap window where both shards hold the movers is
+exactly what the gateway's unique-merge collapses.  A merge exports
+both shards and re-indexes a brand-new union shard, so its cutover has
+no overlap at all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.index import IndexConfig
+from repro.core.rebalance import RebalancePolicy
+from repro.core.sharded import ShardedTextIndex
+from repro.query.reference import BruteForceIndex
+from repro.service.gateway import AsyncShardGateway, GatewayService
+
+
+def small_config() -> IndexConfig:
+    return IndexConfig(
+        nbuckets=8,
+        bucket_size=32,
+        block_postings=4,
+        ndisks=2,
+        nblocks_override=100_000,
+        store_contents=True,
+    )
+
+
+def _word(n: int) -> str:
+    return f"w{chr(ord('a') + n - 1)}"
+
+
+BOOLEAN = [
+    "wa AND wb",
+    "wb OR wc",
+    "(wa AND wb) OR wd",
+    "wa AND NOT wb",
+    "NOT wa",
+    "wz AND wa",
+]
+STREAMED = ["wa AND wb", "wc OR wd", "wa AND wb AND wc"]
+VECTORS = [
+    {"wa": 2.0, "wb": 1.0},
+    {"wc": 1.0, "wd": 3.0, "wa": 1.0},
+]
+
+
+async def _compare(gateway, local, oracle):
+    """Three-way parity: gateway ≡ in-process sharded ≡ oracle, for
+    answers *and* (vs the local index) read-op accounting."""
+    for query in BOOLEAN:
+        got = await gateway.search_boolean(query)
+        want = local.search_boolean(query)
+        assert got.doc_ids == want.doc_ids, query
+        assert got.read_ops == want.read_ops, query
+        assert got.doc_ids == oracle.search_boolean(query), query
+    for query in STREAMED:
+        got = await gateway.search_streamed(query)
+        want = local.search_streamed(query)
+        assert got.doc_ids == want.doc_ids, query
+        assert got.doc_ids == oracle.search_streamed(query), query
+    for weights in VECTORS:
+        got = await gateway.search_vector(weights, top_k=5)
+        want = oracle.search_vector(weights, top_k=5)
+        assert [(d.doc_id, d.score) for d in got] == [
+            (d.doc_id, d.score) for d in want
+        ], weights
+
+
+def _docs(n, stride=5):
+    return [
+        {1 + (i % stride), 1 + ((i * 3) % 7), 1 + ((i * 5) % 9)}
+        for i in range(n)
+    ]
+
+
+async def _ingest(gateway, local, oracle, docs, start=0):
+    for i, words in enumerate(docs):
+        text = " ".join(_word(w) for w in sorted(words))
+        doc_id = await gateway.add_document(text)
+        assert doc_id == start + i
+        local.add_document(text)
+        oracle.add_document(doc_id, text.split())
+    await gateway.flush()
+    local.flush_batch()
+
+
+class TestSplitMergeDifferential:
+    def test_split_during_traffic_matches_local_and_oracle(self):
+        async def body():
+            gateway = AsyncShardGateway(
+                small_config(), shards=2, replicas=2, router_seed=1
+            )
+            await gateway.start()
+            try:
+                local = ShardedTextIndex(
+                    small_config(), shards=2, router_seed=1
+                )
+                oracle = BruteForceIndex()
+                await _ingest(gateway, local, oracle, _docs(20))
+                await _compare(gateway, local, oracle)
+                counts = gateway._shard_doc_counts()
+                victim = max(counts, key=counts.get)
+                new_id = await gateway.split_shard(victim)
+                assert local.split_shard(victim) == new_id
+                assert gateway.routing.epoch == 1
+                await _compare(gateway, local, oracle)
+                # Post-split traffic routes under the new epoch.
+                for i, words in enumerate(_docs(6, stride=3), start=20):
+                    text = " ".join(_word(w) for w in sorted(words))
+                    await gateway.add_document(text)
+                    local.add_document(text)
+                    oracle.add_document(i, text.split())
+                await gateway.delete_document(4)
+                local.delete_document(4)
+                oracle.delete_document(4)
+                await gateway.flush()
+                local.flush_batch()
+                await _compare(gateway, local, oracle)
+                assert gateway.repl.reads_waited_for_rebuild == 0
+                assert gateway.rebalance.splits == 1
+                assert gateway.rebalance.docs_moved > 0
+            finally:
+                await gateway.close()
+
+        asyncio.run(body())
+
+    def test_merge_during_traffic_matches_oracle(self):
+        async def body():
+            gateway = AsyncShardGateway(
+                small_config(), shards=3, replicas=1, router_seed=2
+            )
+            await gateway.start()
+            try:
+                local = ShardedTextIndex(
+                    small_config(), shards=3, router_seed=2
+                )
+                oracle = BruteForceIndex()
+                await _ingest(gateway, local, oracle, _docs(18))
+                counts = gateway._shard_doc_counts()
+                order = sorted(counts, key=counts.get)
+                src, dst = order[0], order[1]
+                await gateway.merge_shards(src, dst)
+                assert gateway.routing.epoch == 1
+                assert gateway.rebalance.merges == 1
+                # The local index merges in place (dst keeps its id); the
+                # gateway rebuilds a union shard under a fresh id.  Both
+                # must keep answering like the oracle.
+                local.merge_shards(src, dst)
+                await _compare(gateway, local, oracle)
+                for i, words in enumerate(_docs(5, stride=4), start=18):
+                    text = " ".join(_word(w) for w in sorted(words))
+                    await gateway.add_document(text)
+                    local.add_document(text)
+                    oracle.add_document(i, text.split())
+                await gateway.flush()
+                local.flush_batch()
+                await _compare(gateway, local, oracle)
+            finally:
+                await gateway.close()
+
+        asyncio.run(body())
+
+    def test_split_then_merge_round_trip(self):
+        async def body():
+            gateway = AsyncShardGateway(
+                small_config(), shards=2, replicas=1, router_seed=0
+            )
+            await gateway.start()
+            try:
+                local = ShardedTextIndex(
+                    small_config(), shards=2, router_seed=0
+                )
+                oracle = BruteForceIndex()
+                await _ingest(gateway, local, oracle, _docs(16))
+                new_id = await gateway.split_shard(0)
+                local.split_shard(0)
+                await _compare(gateway, local, oracle)
+                await gateway.merge_shards(new_id, 0)
+                local.merge_shards(2, 0)
+                assert gateway.routing.epoch == 2
+                await _compare(gateway, local, oracle)
+            finally:
+                await gateway.close()
+
+        asyncio.run(body())
+
+
+class TestChaos:
+    def test_replica_death_during_split_fails_over(self):
+        """SIGKILL one replica of the victim right before the split:
+        the boundary checkpoint/tombstone RPCs fail over to the
+        surviving sibling, no read ever waits for the rebuild, and
+        parity holds afterwards."""
+
+        async def body():
+            gateway = AsyncShardGateway(
+                small_config(), shards=2, replicas=2, router_seed=1
+            )
+            await gateway.start()
+            try:
+                local = ShardedTextIndex(
+                    small_config(), shards=2, router_seed=1
+                )
+                oracle = BruteForceIndex()
+                await _ingest(gateway, local, oracle, _docs(20))
+                counts = gateway._shard_doc_counts()
+                victim = max(counts, key=counts.get)
+                gateway.kill_replica(victim, 0)
+                new_id = await gateway.split_shard(victim)
+                local.split_shard(victim)
+                assert new_id == 2
+                await gateway.quiesce()
+                await _compare(gateway, local, oracle)
+                assert gateway.repl.reads_waited_for_rebuild == 0
+                assert (await gateway.check()).ok
+            finally:
+                await gateway.close()
+
+        asyncio.run(body())
+
+
+class TestPlannerDriven:
+    def test_flush_auto_splits_under_skew(self):
+        """With rebalance=True, skewed explicit-id placement makes the
+        flush-boundary planner split the hot shard on its own; answers
+        never diverge from the oracle and imbalance drops."""
+
+        async def body():
+            gateway = AsyncShardGateway(
+                small_config(),
+                shards=2,
+                replicas=1,
+                router_seed=1,
+                rebalance=True,
+                rebalance_policy=RebalancePolicy(
+                    max_imbalance=1.3,
+                    min_docs=12,
+                    min_shard_docs=4,
+                    cooldown=0,
+                ),
+            )
+            await gateway.start()
+            try:
+                oracle = BruteForceIndex()
+                doc_id = 0
+                for cycle in range(3):
+                    for _ in range(10):
+                        while gateway.routing.route(doc_id) != 0:
+                            doc_id += 1
+                        text = " ".join(
+                            _word(1 + (doc_id + k) % 8) for k in range(3)
+                        )
+                        await gateway.add_document(text, doc_id)
+                        oracle.add_document(doc_id, text.split())
+                        doc_id += 1
+                    await gateway.flush()
+                    for query in BOOLEAN:
+                        got = await gateway.search_boolean(query)
+                        assert (
+                            got.doc_ids == oracle.search_boolean(query)
+                        ), query
+                assert gateway.rebalance.splits >= 1
+                assert gateway.routing.epoch >= 1
+                assert gateway.repl.reads_waited_for_rebuild == 0
+            finally:
+                await gateway.close()
+
+        asyncio.run(body())
+
+
+class TestGuardsAndStats:
+    def test_rebalance_rejected_on_immediate_tier(self):
+        with pytest.raises(ValueError, match="requires read_tier"):
+            AsyncShardGateway(
+                small_config(),
+                shards=2,
+                read_tier="immediate",
+                rebalance=True,
+            )
+
+    def test_split_rejected_on_immediate_tier(self):
+        async def body():
+            gateway = AsyncShardGateway(
+                small_config(), shards=2, read_tier="immediate"
+            )
+            await gateway.start()
+            try:
+                with pytest.raises(ValueError, match="requires read_tier"):
+                    await gateway.split_shard(0)
+            finally:
+                await gateway.close()
+
+        asyncio.run(body())
+
+    def test_delete_of_never_added_hole_raises(self):
+        async def body():
+            gateway = AsyncShardGateway(small_config(), shards=2)
+            await gateway.start()
+            try:
+                await gateway.add_document("wa wb", 0)
+                await gateway.add_document("wb wc", 5)  # ids 1-4 are holes
+                with pytest.raises(ValueError, match="never added"):
+                    await gateway.delete_document(3)
+            finally:
+                await gateway.close()
+
+        asyncio.run(body())
+
+    def test_routing_epoch_rides_stats_and_snapshot(self):
+        service = GatewayService(small_config(), shards=2, router_seed=1)
+        try:
+            for i in range(12):
+                service.add_document(f"{_word(1 + i % 5)} {_word(2)}")
+            service.flush_and_publish()
+            assert service.snapshot().routing_epoch == 0
+            assert service.gateway_stats()["routing_epoch"] == 0
+            service.split_shard(0)
+            assert service.routing_epoch == 1
+            assert service.snapshot().routing_epoch == 1
+            stats = service.gateway_stats()
+            assert stats["routing_epoch"] == 1
+            assert stats["rebalance"]["splits"] == 1
+            assert stats["rebalance"]["docs_moved"] >= 0
+        finally:
+            service.close()
